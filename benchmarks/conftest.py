@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: the timed body is
+the experiment itself (so ``pytest-benchmark`` reports how long the model
+takes), and the resulting rows are printed so the run log contains the same
+series the paper reports.  EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from repro.sim.reporting import render_experiment
+
+
+def run_and_report(benchmark, experiment_fn, *args, **kwargs):
+    """Benchmark an experiment function and print its rendered table."""
+    result = benchmark(experiment_fn, *args, **kwargs)
+    print()
+    print(render_experiment(result))
+    return result

@@ -1,0 +1,23 @@
+"""Ablations: chunk size (C_mem) and on-chip buffer size.
+
+These are the two central per-region knobs the Shield exposes (Section 5.2.2):
+larger chunks amortize MAC-tag overheads for streaming patterns but hurt
+fine-grained access; larger buffers absorb reuse in random-access regions.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.sim.experiments import ablation_buffer_size, ablation_chunk_size
+
+
+def test_chunk_size_sweep(benchmark):
+    result = run_and_report(benchmark, ablation_chunk_size)
+    values = {row["chunk_size"]: row["normalized_time"] for row in result.rows}
+    assert len(values) == 6
+    assert all(v >= 1.0 for v in values.values())
+
+
+def test_buffer_size_sweep(benchmark):
+    result = run_and_report(benchmark, ablation_buffer_size)
+    values = [row["normalized_time"] for row in result.rows]
+    # More buffer never hurts, and the largest buffer is strictly better than none.
+    assert values[-1] <= values[0]

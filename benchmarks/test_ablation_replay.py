@@ -1,0 +1,43 @@
+"""Ablation: ShEF's on-chip integrity counters vs a Bonsai Merkle tree.
+
+Section 5.2.2 argues that FPGAs should spend on-chip RAM on flat counters
+instead of walking a Merkle tree in DRAM.  This benchmark quantifies the claim
+two ways: analytically (extra DRAM bytes per protected access) and
+functionally (DRAM transactions actually issued by the Merkle baseline).
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.core.merkle import BonsaiMerkleCounterTree
+from repro.hw.axi import AxiPort, memory_backed_handler
+from repro.hw.memory import DeviceMemory
+from repro.sim.experiments import ablation_replay_protection
+
+
+def test_replay_protection_dram_overhead(benchmark):
+    result = run_and_report(benchmark, ablation_replay_protection, num_chunks=16_384)
+    rows = {row["scheme"]: row for row in result.rows}
+    assert rows["shef_counters"]["extra_dram_bytes_per_access"] == 0.0
+    for arity in (4, 8, 16):
+        assert rows[f"merkle_arity_{arity}"]["extra_dram_bytes_per_access"] > 0
+    # Wider trees trade DRAM traffic per access differently, but none reach zero.
+    assert rows["merkle_arity_4"]["on_chip_bytes"] == 32
+
+
+def test_functional_merkle_traffic(benchmark):
+    """Count real DRAM transactions for a batch of counter updates."""
+
+    def run_updates():
+        memory = DeviceMemory(1 << 22)
+        port = AxiPort("merkle", memory_backed_handler(memory))
+        tree = BonsaiMerkleCounterTree(port, 0x100000, num_chunks=256, arity=8, key=b"k" * 32)
+        tree.stats.node_reads = 0
+        tree.stats.node_writes = 0
+        for chunk in range(0, 256, 16):
+            tree.increment_counter(chunk)
+        return tree.stats
+
+    stats = benchmark(run_updates)
+    print(f"\nMerkle baseline: {stats.node_reads} node reads, {stats.node_writes} node writes "
+          f"for 16 counter updates (ShEF counters: 0 DRAM accesses)")
+    assert stats.node_reads > 16
+    assert stats.node_writes >= 16

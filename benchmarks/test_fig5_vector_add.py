@@ -1,0 +1,31 @@
+"""Figure 5: vector-add throughput overhead vs input size (8 KB - 80 MB).
+
+Paper shape: at small sizes execution is dominated by initialization, so the
+normalized time is close to 1 for both configurations; at large sizes the
+AES/4x configuration is limited by its encryption throughput (several times
+slower), while raising the S-box parallelism to 16x keeps the slowdown below
+1.5x at every size.  Section 6.2.2 also notes a matrix-multiply companion
+microbenchmark whose overhead stays near 1.26x because compute per byte is
+much higher.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.sim.experiments import figure5_experiment, matmul_companion_experiment
+
+
+def test_figure5_vector_add_sweep(benchmark):
+    result = run_and_report(benchmark, figure5_experiment)
+    series = {}
+    for row in result.rows:
+        series.setdefault(row["configuration"], []).append(row["normalized_time"])
+    assert all(value < 1.5 for value in series["AES/16x"])
+    assert series["AES/4x"][-1] > 2.0
+    assert series["AES/4x"][-1] > series["AES/16x"][-1]
+    assert series["AES/4x"][0] < series["AES/4x"][-1]
+
+
+def test_figure5_matmul_companion(benchmark):
+    result = run_and_report(benchmark, matmul_companion_experiment)
+    rows = {row["configuration"]: row["normalized_time"] for row in result.rows}
+    assert rows["AES/4x"] < 1.5
+    assert rows["AES/16x"] <= rows["AES/4x"]

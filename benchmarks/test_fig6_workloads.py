@@ -1,0 +1,41 @@
+"""Figure 6: execution time of five accelerators across Shield configurations.
+
+Paper ranges (normalized execution time): Convolution 1.20-1.35, Digit
+Recognition 1.85-3.15, Affine 1.41-2.22, DNNWeaver 3.20-3.83 (2.31 with the
+PMAC substitution), Bitcoin ~1.0.  The assertions below check the shape: the
+ordering of workloads, the benefit of 16x S-box parallelism, the near-zero
+cost for the register-only miner, and the PMAC fix for DNNWeaver.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.sim.experiments import figure6_experiment
+
+
+def test_figure6_workload_overheads(benchmark):
+    result = run_and_report(benchmark, figure6_experiment)
+    table = {}
+    for row in result.rows:
+        table.setdefault(row["workload"], {})[row["configuration"]] = row["normalized_time"]
+
+    # Bitcoin: securing a register-only accelerator is essentially free.
+    assert all(value <= 1.05 for value in table["bitcoin"].values())
+
+    # Convolution: batched streaming with high compute intensity -> small overheads.
+    assert table["convolution"]["AES-128/16x"] < 1.5
+
+    # DNNWeaver is the most expensive workload and PMAC recovers much of it.
+    assert table["dnnweaver"]["AES-128/16x"] > 2.5
+    assert table["dnnweaver"]["AES-128/16x-PMAC"] < 0.75 * table["dnnweaver"]["AES-128/16x"]
+
+    # More S-box parallelism never hurts; AES-256 never beats AES-128.
+    for workload, configs in table.items():
+        assert configs["AES-128/4x"] >= configs["AES-128/16x"] - 1e-9
+        assert configs["AES-256/16x"] >= configs["AES-128/16x"] - 1e-9
+
+    # Relative ordering of the memory-bound workloads matches the paper.
+    assert (
+        table["convolution"]["AES-128/16x"]
+        <= table["affine"]["AES-128/16x"]
+        <= table["dnnweaver"]["AES-128/16x"]
+    )
+    assert table["digit_recognition"]["AES-128/16x"] > table["convolution"]["AES-128/16x"]

@@ -1,0 +1,103 @@
+"""Microbenchmarks of the functional Shield datapath itself.
+
+These do not correspond to a paper figure; they measure the Python model's own
+throughput (sealing, shielded reads/writes, attestation) so regressions in the
+simulator are visible, and they exercise the full functional pipeline under
+pytest-benchmark.
+"""
+
+import pytest
+
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig
+from repro.sim.simulator import build_test_shield
+
+REGION_BYTES = 16 * 1024
+CHUNK = 512
+
+
+@pytest.fixture(scope="module")
+def harness():
+    config = ShieldConfig(
+        shield_id="bench-shield",
+        engine_sets=[EngineSetConfig(name="es", sbox_parallelism=16, buffer_bytes=4096)],
+        regions=[
+            RegionConfig(
+                name="scratch", base_address=0, size_bytes=REGION_BYTES, chunk_size=CHUNK,
+                engine_set="es",
+            )
+        ],
+    )
+    return build_test_shield(config)
+
+
+def test_shielded_write_throughput(benchmark, harness):
+    payload = bytes(range(256)) * (REGION_BYTES // 256)
+
+    def write_region():
+        harness.shield.memory_write(0, payload)
+        harness.shield.flush()
+
+    benchmark(write_region)
+    stats = harness.shield.stats()
+    assert stats.accel_bytes_written >= REGION_BYTES
+
+
+def test_shielded_read_throughput(benchmark, harness):
+    harness.shield.memory_write(0, b"\x5c" * REGION_BYTES)
+    harness.shield.flush()
+
+    def read_region():
+        return harness.shield.memory_read(0, REGION_BYTES)
+
+    data = benchmark(read_region)
+    assert data == b"\x5c" * REGION_BYTES
+
+
+def test_data_owner_sealing_throughput(benchmark, harness):
+    plaintext = b"\xa1" * REGION_BYTES
+
+    def seal():
+        return harness.data_owner.seal_input(
+            harness.shield_config, "scratch", plaintext, shield_id=harness.shield_config.shield_id
+        )
+
+    staged = benchmark(seal)
+    assert len(staged.sealed_chunks) == REGION_BYTES // CHUNK
+
+
+def test_attestation_handshake_latency(benchmark):
+    """Time one full remote-attestation handshake against a booted kernel."""
+    from repro.attestation.data_owner import DataOwner
+    from repro.attestation.ip_vendor import IpVendor
+    from repro.attestation.protocol import run_remote_attestation
+    from repro.boot.manufacturer import Manufacturer
+    from repro.boot.process import install_security_kernel, perform_secure_boot
+    from repro.hw.bitstream import Bitstream
+    from repro.hw.board import BoardModel, make_board
+    from tests.conftest import make_small_shield_config
+
+    board = make_board(BoardModel.AWS_F1, serial="bench-attest")
+    manufacturer = Manufacturer(seed=91)
+    provisioned = manufacturer.provision_device(board)
+    install_security_kernel(board)
+    kernel = perform_secure_boot(board).kernel
+    vendor = IpVendor("bench-vendor", seed=92)
+    vendor.trust_security_kernel(kernel.kernel_hash)
+    config = make_small_shield_config("bench-attest-shield")
+    package = vendor.package_accelerator("bench", {"kind": "bench"}, config.to_dict())
+    kernel.launch_shell(Bitstream("shell", "csp"))
+    kernel.stage_encrypted_bitstream(package.encrypted_bitstream)
+
+    counter = {"seed": 0}
+
+    def handshake():
+        counter["seed"] += 1
+        return run_remote_attestation(
+            vendor, DataOwner(seed=1000 + counter["seed"]), kernel, "bench",
+            provisioned.device_certificate,
+            manufacturer.certificate_authority.root_public_key,
+            shield_id=config.shield_id,
+        )
+
+    outcome = benchmark(handshake)
+    assert outcome.load_key.shield_id == config.shield_id

@@ -1,0 +1,14 @@
+"""Table 1: Shield component utilization on AWS F1 (BRAM / LUT / REG)."""
+
+from benchmarks.conftest import run_and_report
+from repro.sim.experiments import table1_experiment
+
+
+def test_table1_component_utilization(benchmark):
+    result = run_and_report(benchmark, table1_experiment)
+    rows = {row["component"]: row for row in result.rows}
+    assert rows["controller"]["lut"] == 2348
+    assert rows["engine_set"]["bram"] == 2
+    assert rows["aes_16x"]["lut"] == 2898
+    assert rows["hmac"]["reg"] == 2636
+    assert rows["pmac"]["lut"] < rows["hmac"]["lut"]

@@ -1,0 +1,26 @@
+"""Table 3: inclusive Shield resource utilization for the largest configurations.
+
+Paper values (% of the F1 device): Convolution 2.9/11/5.2, Digit Recognition
+0.71/3.3/1.4, Affine 2.1/11/5.2, DNNWeaver 3.1/7.1/3.5, Bitcoin 0/1.4/0.42
+(BRAM/LUT/REG).  The model composes Table 1's per-component costs according to
+each accelerator's Section 6.2.4 configuration.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.sim.experiments import table3_experiment
+
+
+def test_table3_per_accelerator_area(benchmark):
+    result = run_and_report(benchmark, table3_experiment)
+    rows = {row["workload"]: row for row in result.rows}
+    # Everything stays in the single-digit-to-low-teens percent range.
+    for row in rows.values():
+        assert row["lut_percent"] < 15
+        assert row["bram_percent"] < 10
+        assert row["reg_percent"] < 10
+    # Bitcoin's register-only Shield is the cheapest; convolution's 12 engine
+    # sets are the most LUT-hungry, as in the paper.
+    assert rows["bitcoin"]["lut_percent"] < 2
+    assert rows["bitcoin"]["bram_percent"] == 0
+    assert rows["convolution"]["lut_percent"] >= rows["dnnweaver"]["lut_percent"]
+    assert rows["digit_recognition"]["lut_percent"] < rows["convolution"]["lut_percent"]

@@ -1,0 +1,23 @@
+"""ShEF: Shielded Enclaves for Cloud FPGAs -- a Python reproduction.
+
+This package reproduces the ShEF framework (Zhao, Gao, Kozyrakis, ASPLOS 2022)
+in simulation: a from-scratch cryptographic substrate, a simulated cloud FPGA
+(fuses, SPB, fabric, Shell, DRAM), the secure-boot chain and remote-attestation
+protocol, the configurable Shield, the paper's evaluation accelerators, an
+adversary library, and the experiment harness that regenerates every table and
+figure of the evaluation.
+
+Quick start::
+
+    from repro import deploy_accelerator
+    from repro.accelerators import VectorAddAccelerator
+
+    accelerator = VectorAddAccelerator()
+    deployment = deploy_accelerator("vector_add", accelerator.build_shield_config())
+"""
+
+from repro.workflow import Deployment, deploy_accelerator
+
+__version__ = "1.0.0"
+
+__all__ = ["Deployment", "deploy_accelerator", "__version__"]

@@ -1,0 +1,54 @@
+"""Evaluation workloads: the accelerators the paper wraps with the Shield.
+
+Six Figure 6 / Table 2 accelerators (convolution, digit recognition, affine
+transformation, DNNWeaver, Bitcoin, SDP storage node) plus the two
+microbenchmarks (vector add for Figure 5 and matrix multiply).  Each exposes
+its paper Shield configuration, an analytical traffic profile for the timing
+model, and a functional run used to check bit-exact results behind the Shield.
+"""
+
+from repro.accelerators.affine import AffineTransformAccelerator
+from repro.accelerators.base import (
+    Accelerator,
+    AcceleratorResult,
+    DirectMemoryAdapter,
+    MemoryInterface,
+    ShieldMemoryAdapter,
+)
+from repro.accelerators.bitcoin import BitcoinAccelerator, double_sha256, leading_zero_bits
+from repro.accelerators.convolution import ConvolutionAccelerator
+from repro.accelerators.digit_recognition import DigitRecognitionAccelerator
+from repro.accelerators.dnnweaver import DnnWeaverAccelerator
+from repro.accelerators.matmul import MatMulAccelerator
+from repro.accelerators.sdp import SdpStorageNodeAccelerator
+from repro.accelerators.vector_add import VectorAddAccelerator
+
+ALL_ACCELERATORS = {
+    "vector_add": VectorAddAccelerator,
+    "matmul": MatMulAccelerator,
+    "convolution": ConvolutionAccelerator,
+    "digit_recognition": DigitRecognitionAccelerator,
+    "affine": AffineTransformAccelerator,
+    "dnnweaver": DnnWeaverAccelerator,
+    "bitcoin": BitcoinAccelerator,
+    "sdp": SdpStorageNodeAccelerator,
+}
+
+__all__ = [
+    "Accelerator",
+    "AcceleratorResult",
+    "DirectMemoryAdapter",
+    "MemoryInterface",
+    "ShieldMemoryAdapter",
+    "AffineTransformAccelerator",
+    "BitcoinAccelerator",
+    "double_sha256",
+    "leading_zero_bits",
+    "ConvolutionAccelerator",
+    "DigitRecognitionAccelerator",
+    "DnnWeaverAccelerator",
+    "MatMulAccelerator",
+    "SdpStorageNodeAccelerator",
+    "VectorAddAccelerator",
+    "ALL_ACCELERATORS",
+]

@@ -1,0 +1,291 @@
+"""DNNWeaver-style DNN accelerator running LeNet (Figure 6 and Section 6.2.4).
+
+DNNWeaver executes a whole network layer by layer: weights are streamed in
+once per layer in large chunks, while feature maps are read and written
+repeatedly in small chunks as layers consume and produce them.  The paper's
+Shield configuration therefore uses two engine sets with very different
+parameters:
+
+* the **weights** set -- C_mem of 4 KB, four AES engines and one HMAC engine,
+  128 KB of buffer, no integrity counters (weights are read-only), and
+* the **feature-map** set -- C_mem of 64 bytes, four AES engines and one HMAC
+  engine, 64 KB of buffer, *with* integrity counters because feature maps are
+  both read and written.
+
+The resulting overheads are the largest in Figure 6 (3.20x-3.83x), dominated
+by HMAC computation over the 4 KB weight chunks; replacing that HMAC engine
+with four PMAC engines drops the AES-128/16x overhead to 2.31x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator, AcceleratorResult, MemoryInterface
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig
+from repro.core.timing import RegionTraffic, WorkloadProfile
+
+_WEIGHT_CHUNK = 4096
+_FMAP_CHUNK = 64
+_ELEMENT_BYTES = 4
+
+# Paper-scale traffic (LeNet on DNNWeaver): weights ~1.7 MB as 32-bit values,
+# re-streamed for every image of a small inference batch; feature maps cover
+# roughly 1 MB of memory, of which the Shield sees the portion that spills
+# past the accelerator's internal buffers.
+PAPER_WEIGHT_BYTES = 1_720_000
+PAPER_INFERENCE_BATCH = 6
+PAPER_FEATURE_MAP_BYTES = 1_048_576
+PAPER_FEATURE_MAP_SPILL_BYTES = 512 * 1024
+PAPER_FEATURE_MAP_REUSE = 2.0
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+class DnnWeaverAccelerator(Accelerator):
+    """A small LeNet-like network with streamed weights and random-access feature maps."""
+
+    access_characteristics = "STR+RA"
+
+    BASELINE_BYTES_PER_CYCLE = 20.0
+    MACS_PER_CYCLE = 400.0
+    INIT_CYCLES = 30_000.0
+
+    def __init__(
+        self,
+        input_size: int = 16,
+        conv_channels: tuple = (4, 8),
+        fc_units: int = 32,
+        classes: int = 10,
+    ):
+        super().__init__("dnnweaver")
+        self.input_size = input_size
+        self.conv_channels = tuple(conv_channels)
+        self.fc_units = fc_units
+        self.classes = classes
+
+    # -- geometry ---------------------------------------------------------------------
+
+    def _layer_dims(self) -> dict:
+        size = self.input_size
+        c1, c2 = self.conv_channels
+        pooled1 = size // 2
+        pooled2 = pooled1 // 2
+        flat = pooled2 * pooled2 * c2
+        return {
+            "conv1_w": (c1, 3, 3, 1),
+            "conv2_w": (c2, 3, 3, c1),
+            "fc1_w": (self.fc_units, flat),
+            "fc2_w": (self.classes, self.fc_units),
+            "flat": flat,
+            "pooled1": pooled1,
+            "pooled2": pooled2,
+        }
+
+    @property
+    def weight_bytes(self) -> int:
+        dims = self._layer_dims()
+        total = 0
+        for key in ("conv1_w", "conv2_w", "fc1_w", "fc2_w"):
+            total += int(np.prod(dims[key])) * _ELEMENT_BYTES
+        return _round_up(total, _WEIGHT_CHUNK)
+
+    @property
+    def feature_map_bytes(self) -> int:
+        dims = self._layer_dims()
+        c1, c2 = self.conv_channels
+        biggest = max(
+            self.input_size ** 2,
+            self.input_size ** 2 * c1,
+            dims["pooled1"] ** 2 * c1,
+            dims["pooled1"] ** 2 * c2,
+            dims["pooled2"] ** 2 * c2,
+            dims["flat"],
+            self.fc_units,
+            self.classes,
+        )
+        # Double-buffered scratchpad for layer inputs and outputs.
+        return _round_up(2 * biggest * _ELEMENT_BYTES, _FMAP_CHUNK)
+
+    def _region_layout(self) -> list:
+        return [
+            ("weights", 0, self.weight_bytes, "weights", False),
+            ("feature_maps", self.weight_bytes, self.feature_map_bytes, "fmaps", False),
+        ]
+
+    def region_base(self, name: str) -> int:
+        for region_name, base, _, _, _ in self._region_layout():
+            if region_name == name:
+                return base
+        raise KeyError(name)
+
+    # -- Shield configuration -------------------------------------------------------------
+
+    def build_shield_config(
+        self,
+        aes_key_bits: int = 128,
+        sbox_parallelism: int = 16,
+        mac_algorithm: str = "HMAC",
+        pmac_weights: bool = False,
+    ) -> ShieldConfig:
+        """Two engine sets per Section 6.2.4; ``pmac_weights`` applies the PMAC fix."""
+        weight_mac = "PMAC" if pmac_weights else mac_algorithm
+        weight_mac_engines = 4 if pmac_weights else 1
+        engine_sets = [
+            EngineSetConfig(
+                name="weights", num_aes_engines=4, sbox_parallelism=sbox_parallelism,
+                aes_key_bits=aes_key_bits, mac_algorithm=weight_mac,
+                num_mac_engines=weight_mac_engines, buffer_bytes=128 * 1024,
+            ),
+            EngineSetConfig(
+                name="fmaps", num_aes_engines=4, sbox_parallelism=sbox_parallelism,
+                aes_key_bits=aes_key_bits, mac_algorithm=mac_algorithm,
+                num_mac_engines=1, buffer_bytes=64 * 1024,
+            ),
+        ]
+        regions = [
+            RegionConfig(
+                name="weights", base_address=0, size_bytes=self.weight_bytes,
+                chunk_size=_WEIGHT_CHUNK, engine_set="weights", access_pattern="streaming",
+            ),
+            RegionConfig(
+                name="feature_maps", base_address=self.weight_bytes,
+                size_bytes=self.feature_map_bytes, chunk_size=_FMAP_CHUNK,
+                engine_set="fmaps", replay_protected=True, access_pattern="random",
+            ),
+        ]
+        return ShieldConfig(shield_id="dnnweaver", engine_sets=engine_sets, regions=regions)
+
+    # -- analytical profile ------------------------------------------------------------------
+
+    def profile(self, paper_scale: bool = True, pmac_weights: bool = False) -> WorkloadProfile:
+        if paper_scale:
+            weight_bytes = PAPER_WEIGHT_BYTES * PAPER_INFERENCE_BATCH
+            fmap_spill = PAPER_FEATURE_MAP_SPILL_BYTES
+            fmap_working_set = PAPER_FEATURE_MAP_BYTES // 4
+            reuse = PAPER_FEATURE_MAP_REUSE
+        else:
+            weight_bytes = self.weight_bytes
+            fmap_spill = self.feature_map_bytes
+            fmap_working_set = self.feature_map_bytes
+            reuse = 2.0
+        regions = (
+            RegionTraffic(
+                # Weight bursts are issued one 4 KB chunk at a time and the
+                # accelerator stalls on the chunk's MAC before requesting the
+                # next -- exactly the HMAC bottleneck the paper describes.
+                "weights", bytes_read=weight_bytes, access_size=_WEIGHT_CHUNK,
+                access_pattern="streaming", serialized_mac=True,
+            ),
+            RegionTraffic(
+                "feature_maps",
+                bytes_read=fmap_spill // 2,
+                bytes_written=fmap_spill // 2,
+                access_size=_FMAP_CHUNK,
+                access_pattern="random",
+                reuse_factor=reuse,
+                working_set_bytes=fmap_working_set,
+            ),
+        )
+        macs = weight_bytes / _ELEMENT_BYTES * 48  # each weight participates in ~48 MACs
+        return WorkloadProfile(
+            name="dnnweaver",
+            regions=regions,
+            compute_cycles=macs / self.MACS_PER_CYCLE,
+            init_cycles=self.INIT_CYCLES,
+            baseline_bytes_per_cycle=self.BASELINE_BYTES_PER_CYCLE,
+        )
+
+    # -- functional execution --------------------------------------------------------------------
+
+    def prepare_inputs(self, seed: int = 0) -> dict:
+        rng = np.random.default_rng(seed)
+        dims = self._layer_dims()
+        blobs = []
+        for key in ("conv1_w", "conv2_w", "fc1_w", "fc2_w"):
+            blobs.append(rng.integers(-4, 5, size=dims[key], dtype=np.int32).tobytes())
+        weights = b"".join(blobs)
+        image = rng.integers(0, 16, size=(self.input_size, self.input_size), dtype=np.int32)
+        feature_maps = image.tobytes()
+        return {
+            "weights": weights + b"\x00" * (self.weight_bytes - len(weights)),
+            "feature_maps": feature_maps
+            + b"\x00" * (self.feature_map_bytes - len(feature_maps)),
+        }
+
+    # Layer helpers operate on plaintext numpy arrays; the accelerator streams
+    # them through the memory interface between layers (which is what makes the
+    # feature-map region read/write and therefore replay-protected).
+
+    @staticmethod
+    def _relu(x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0)
+
+    @staticmethod
+    def _conv2d(image: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        out_channels, kh, kw, in_channels = weights.shape
+        height, width = image.shape[0], image.shape[1]
+        pad = kh // 2
+        padded = np.pad(image, ((pad, pad), (pad, pad), (0, 0)))
+        out = np.zeros((height, width, out_channels), dtype=np.int64)
+        for dy in range(kh):
+            for dx in range(kw):
+                window = padded[dy : dy + height, dx : dx + width, :]
+                out += np.einsum("hwc,oc->hwo", window.astype(np.int64), weights[:, dy, dx, :].astype(np.int64))
+        return out
+
+    @staticmethod
+    def _maxpool2(feature_map: np.ndarray) -> np.ndarray:
+        height, width, channels = feature_map.shape
+        reshaped = feature_map[: height // 2 * 2, : width // 2 * 2, :]
+        reshaped = reshaped.reshape(height // 2, 2, width // 2, 2, channels)
+        return reshaped.max(axis=(1, 3))
+
+    def run(self, memory: MemoryInterface, **params) -> AcceleratorResult:
+        dims = self._layer_dims()
+        weights_raw = memory.read(self.region_base("weights"), self.weight_bytes)
+        offset = 0
+        tensors = {}
+        for key in ("conv1_w", "conv2_w", "fc1_w", "fc2_w"):
+            count = int(np.prod(dims[key]))
+            tensors[key] = np.frombuffer(
+                weights_raw[offset : offset + count * _ELEMENT_BYTES], dtype=np.int32
+            ).reshape(dims[key])
+            offset += count * _ELEMENT_BYTES
+
+        fmap_base = self.region_base("feature_maps")
+        image_raw = memory.read(fmap_base, self.input_size ** 2 * _ELEMENT_BYTES)
+        image = np.frombuffer(image_raw, dtype=np.int32).reshape(self.input_size, self.input_size, 1)
+
+        # Layer 1: conv + ReLU + pool; spill the activation through the Shield.
+        act1 = self._relu(self._conv2d(image, tensors["conv1_w"]))
+        act1 = self._maxpool2(act1).astype(np.int32)
+        memory.write(fmap_base, act1.tobytes())
+        act1 = np.frombuffer(
+            memory.read(fmap_base, act1.size * _ELEMENT_BYTES), dtype=np.int32
+        ).reshape(act1.shape)
+
+        # Layer 2: conv + ReLU + pool.
+        act2 = self._relu(self._conv2d(act1, tensors["conv2_w"]))
+        act2 = self._maxpool2(act2).astype(np.int32)
+        half = self.feature_map_bytes // 2
+        memory.write(fmap_base + half, act2.tobytes())
+        act2 = np.frombuffer(
+            memory.read(fmap_base + half, act2.size * _ELEMENT_BYTES), dtype=np.int32
+        ).reshape(act2.shape)
+
+        # Fully connected layers.
+        flat = act2.reshape(-1).astype(np.int64)
+        fc1 = self._relu(tensors["fc1_w"].astype(np.int64) @ flat)
+        logits = tensors["fc2_w"].astype(np.int64) @ fc1
+        logits32 = logits.astype(np.int32)
+        memory.write(fmap_base, logits32.tobytes())
+
+        return AcceleratorResult(
+            name=self.name,
+            outputs={"logits": logits32, "prediction": int(np.argmax(logits32))},
+            bytes_read=self.weight_bytes,
+            bytes_written=logits32.nbytes,
+        )

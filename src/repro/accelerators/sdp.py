@@ -1,0 +1,241 @@
+"""SDP storage node: the GDPR-compliant secure-storage application (Section 6.2.3).
+
+SDP (Software-Defined data Protection) couples smart Storage Nodes -- each an
+FPGA providing encryption-at-rest and line-rate throughput -- with a central
+Controller Node that provisions per-user keys after attesting every node.
+The paper builds the Storage Node as a key-value store on top of the Shield:
+file traffic to the storage device is protected with the user's key and
+traffic to the application with a TLS session key, which maps onto two engine
+sets (``storage`` and ``tls``), each with a 16 KB buffer and a 4 KB
+authentication block (C_mem).  Table 2 sweeps the engine configuration of
+those two sets -- 4/8/16 AES engines, 4x/16x S-box parallelism, HMAC vs PMAC
+-- and reports steady-state overhead for 1 MB file accesses, which is the
+experiment ``benchmarks/test_table2_sdp.py`` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator, AcceleratorResult, MemoryInterface
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig
+from repro.core.timing import RegionTraffic, WorkloadProfile
+from repro.errors import SimulationError
+
+DEFAULT_AUTH_BLOCK = 4096
+
+# Paper-scale experiment: steady-state 1 MB file accesses.
+PAPER_FILE_BYTES = 1 * 1024 * 1024
+PAPER_FILES_PER_RUN = 8
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+@dataclass
+class FileRecord:
+    """Where a stored file lives inside the storage region."""
+
+    user: str
+    name: str
+    offset: int
+    length: int
+
+
+@dataclass
+class SdpAccessLog:
+    """Operations performed during a functional run."""
+
+    puts: int = 0
+    gets: int = 0
+    bytes_stored: int = 0
+    bytes_served: int = 0
+    denied: int = 0
+    records: list = field(default_factory=list)
+
+
+class SdpStorageNodeAccelerator(Accelerator):
+    """A key-value Storage Node with per-user access control behind the Shield."""
+
+    access_characteristics = "STR"
+
+    BASELINE_BYTES_PER_CYCLE = 64.0
+    #: Key-value engine bookkeeping cycles per file operation.
+    CYCLES_PER_OPERATION = 600.0
+    INIT_CYCLES = 15_000.0
+
+    def __init__(
+        self,
+        storage_bytes: int = 256 * 1024,
+        tls_bytes: int = 64 * 1024,
+        auth_block: int = DEFAULT_AUTH_BLOCK,
+    ):
+        super().__init__("sdp")
+        self._require(auth_block > 0, "authentication block size must be positive")
+        self.auth_block = auth_block
+        self.storage_bytes = _round_up(storage_bytes, auth_block)
+        self.tls_bytes = _round_up(tls_bytes, auth_block)
+        self._directory: dict[tuple, FileRecord] = {}
+        self._next_offset = 0
+        self._access_policy: dict[str, set] = {}
+        self.log = SdpAccessLog()
+
+    # -- address map -----------------------------------------------------------------
+
+    @property
+    def storage_base(self) -> int:
+        return 0
+
+    @property
+    def tls_base(self) -> int:
+        return self.storage_bytes
+
+    # -- Shield configuration ------------------------------------------------------------
+
+    def build_shield_config(
+        self,
+        aes_key_bits: int = 128,
+        sbox_parallelism: int = 16,
+        mac_algorithm: str = "HMAC",
+        num_aes_engines: int = 4,
+        num_mac_engines: int = 1,
+        buffer_bytes: int = 16 * 1024,
+    ) -> ShieldConfig:
+        """Two identical engine sets (storage-side and TLS-side), per Section 6.2.3."""
+        engine_sets = [
+            EngineSetConfig(
+                name=name,
+                num_aes_engines=num_aes_engines,
+                sbox_parallelism=sbox_parallelism,
+                aes_key_bits=aes_key_bits,
+                mac_algorithm=mac_algorithm,
+                num_mac_engines=num_mac_engines,
+                buffer_bytes=buffer_bytes,
+            )
+            for name in ("storage", "tls")
+        ]
+        regions = [
+            RegionConfig(
+                name="storage", base_address=self.storage_base, size_bytes=self.storage_bytes,
+                chunk_size=self.auth_block, engine_set="storage", access_pattern="streaming",
+            ),
+            RegionConfig(
+                name="tls", base_address=self.tls_base, size_bytes=self.tls_bytes,
+                chunk_size=self.auth_block, engine_set="tls",
+                streaming_write_only=True, access_pattern="streaming",
+            ),
+        ]
+        return ShieldConfig(shield_id="sdp", engine_sets=engine_sets, regions=regions)
+
+    # -- analytical profile -----------------------------------------------------------------
+
+    def profile(
+        self,
+        file_bytes: int = PAPER_FILE_BYTES,
+        files_per_run: int = PAPER_FILES_PER_RUN,
+        auth_block: int | None = None,
+    ) -> WorkloadProfile:
+        auth_block = auth_block or self.auth_block
+        total = file_bytes * files_per_run
+        regions = (
+            RegionTraffic(
+                "storage", bytes_read=total, access_size=auth_block,
+                access_pattern="streaming", store_and_forward=True,
+            ),
+            RegionTraffic(
+                "tls", bytes_written=total, access_size=auth_block,
+                access_pattern="streaming", store_and_forward=True,
+            ),
+        )
+        return WorkloadProfile(
+            name="sdp",
+            regions=regions,
+            compute_cycles=files_per_run * self.CYCLES_PER_OPERATION,
+            init_cycles=self.INIT_CYCLES,
+            baseline_bytes_per_cycle=self.BASELINE_BYTES_PER_CYCLE,
+        )
+
+    # -- access policy (the Controller Node's job) ----------------------------------------------
+
+    def provision_user(self, user: str, allowed_files: list) -> None:
+        """Install an access policy entry (done by the CN after attestation)."""
+        self._access_policy.setdefault(user, set()).update(allowed_files)
+
+    def _check_access(self, user: str, name: str) -> bool:
+        return name in self._access_policy.get(user, set())
+
+    # -- key-value operations ----------------------------------------------------------------------
+
+    def put(self, memory: MemoryInterface, user: str, name: str, data: bytes) -> FileRecord:
+        """Store a file for ``user`` (data arrives via the TLS side in practice)."""
+        if not self._check_access(user, name):
+            self.log.denied += 1
+            raise SimulationError(f"user {user!r} may not write file {name!r}")
+        length = len(data)
+        padded = _round_up(length, self.auth_block)
+        if self._next_offset + padded > self.storage_bytes:
+            raise SimulationError("storage region is full")
+        record = FileRecord(user=user, name=name, offset=self._next_offset, length=length)
+        memory.write(self.storage_base + record.offset, data + b"\x00" * (padded - length))
+        self._directory[(user, name)] = record
+        self._next_offset += padded
+        self.log.puts += 1
+        self.log.bytes_stored += length
+        self.log.records.append(record)
+        return record
+
+    def get(self, memory: MemoryInterface, user: str, name: str) -> bytes:
+        """Serve a file to ``user``: read from storage, stage into the TLS region."""
+        if not self._check_access(user, name):
+            self.log.denied += 1
+            raise SimulationError(f"user {user!r} may not read file {name!r}")
+        record = self._directory.get((user, name))
+        if record is None:
+            raise SimulationError(f"no file {name!r} stored for user {user!r}")
+        data = memory.read(self.storage_base + record.offset, record.length)
+        staged = data + b"\x00" * (_round_up(record.length, self.auth_block) - record.length)
+        if len(staged) > self.tls_bytes:
+            raise SimulationError("file does not fit in the TLS staging region")
+        memory.write(self.tls_base, staged)
+        self.log.gets += 1
+        self.log.bytes_served += record.length
+        return data
+
+    # -- canonical functional run ---------------------------------------------------------------------
+
+    def prepare_inputs(self, seed: int = 0) -> dict:
+        """SDP stages nothing up front; files arrive through put()."""
+        return {}
+
+    def run(
+        self,
+        memory: MemoryInterface,
+        users: int = 2,
+        files_per_user: int = 2,
+        file_bytes: int = 8 * 1024,
+        seed: int = 0,
+        **params,
+    ) -> AcceleratorResult:
+        """Store and then serve a small population of per-user files."""
+        rng = np.random.default_rng(seed)
+        contents: dict[tuple, bytes] = {}
+        for user_index in range(users):
+            user = f"user{user_index}"
+            names = [f"file{user_index}_{i}" for i in range(files_per_user)]
+            self.provision_user(user, names)
+            for name in names:
+                data = rng.integers(0, 256, size=file_bytes, dtype=np.uint8).tobytes()
+                contents[(user, name)] = data
+                self.put(memory, user, name, data)
+        served: dict[str, bytes] = {}
+        for (user, name), expected in contents.items():
+            served[f"{user}/{name}"] = self.get(memory, user, name)
+        return AcceleratorResult(
+            name=self.name,
+            outputs={"served": served, "expected": {f"{u}/{n}": d for (u, n), d in contents.items()}},
+            bytes_read=self.log.bytes_served,
+            bytes_written=self.log.bytes_stored,
+        )

@@ -1,0 +1,171 @@
+"""Vector-vector addition microbenchmark (Figure 5 of the paper).
+
+The workload streams in two int32 vectors, adds them element-wise, and streams
+the sum back out.  There is almost no compute per byte, so it is strictly
+bound by off-chip memory bandwidth -- which is exactly why the paper uses it
+to expose the Shield's encryption-throughput limits: the input and output
+vectors are partitioned across four engine sets each (one AES + one HMAC
+engine per set, 512-byte chunks), and Figure 5 sweeps the vector size from
+8 KB to 80 MB for AES/4x and AES/16x S-box parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import Accelerator, AcceleratorResult, MemoryInterface
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig
+from repro.core.timing import RegionTraffic, WorkloadProfile
+
+_NUM_PARTITIONS = 4
+_CHUNK_SIZE = 512
+_ELEMENT_BYTES = 4
+
+
+class VectorAddAccelerator(Accelerator):
+    """Streaming vector addition partitioned across four engine sets per direction."""
+
+    access_characteristics = "STR"
+
+    #: Calibration constants for the analytical model (see DESIGN.md section 5).
+    BASELINE_BYTES_PER_CYCLE = 64.0
+    COMPUTE_CYCLES_PER_ELEMENT = 0.05
+    INIT_CYCLES = 25_000.0
+
+    def __init__(self, vector_bytes: int = 8 * 1024):
+        super().__init__("vector_add")
+        self._require(vector_bytes % (_NUM_PARTITIONS * _CHUNK_SIZE) == 0,
+                      "vector size must be a multiple of 4 partitions x 512-byte chunks")
+        self.vector_bytes = vector_bytes
+
+    # -- address map ----------------------------------------------------------------
+
+    @property
+    def partition_bytes(self) -> int:
+        return self.vector_bytes // _NUM_PARTITIONS
+
+    def _region_layout(self) -> list:
+        """(name, base, size, engine_set, write_only) for every region."""
+        layout = []
+        cursor = 0
+        for vector in ("a", "b"):
+            for part in range(_NUM_PARTITIONS):
+                layout.append(
+                    (f"{vector}{part}", cursor, self.partition_bytes, f"in{part}", False)
+                )
+                cursor += self.partition_bytes
+        for part in range(_NUM_PARTITIONS):
+            layout.append((f"c{part}", cursor, self.partition_bytes, f"out{part}", True))
+            cursor += self.partition_bytes
+        return layout
+
+    def region_base(self, name: str) -> int:
+        for region_name, base, _, _, _ in self._region_layout():
+            if region_name == name:
+                return base
+        raise KeyError(name)
+
+    # -- Shield configuration --------------------------------------------------------
+
+    def build_shield_config(
+        self,
+        aes_key_bits: int = 128,
+        sbox_parallelism: int = 16,
+        mac_algorithm: str = "HMAC",
+    ) -> ShieldConfig:
+        engine_sets = []
+        for part in range(_NUM_PARTITIONS):
+            for prefix in ("in", "out"):
+                engine_sets.append(
+                    EngineSetConfig(
+                        name=f"{prefix}{part}",
+                        num_aes_engines=1,
+                        sbox_parallelism=sbox_parallelism,
+                        aes_key_bits=aes_key_bits,
+                        mac_algorithm=mac_algorithm,
+                        num_mac_engines=1,
+                        buffer_bytes=0,
+                    )
+                )
+        regions = [
+            RegionConfig(
+                name=name,
+                base_address=base,
+                size_bytes=size,
+                chunk_size=_CHUNK_SIZE,
+                engine_set=engine_set,
+                streaming_write_only=write_only,
+                access_pattern="streaming",
+            )
+            for name, base, size, engine_set, write_only in self._region_layout()
+        ]
+        return ShieldConfig(shield_id="vector-add", engine_sets=engine_sets, regions=regions)
+
+    # -- analytical profile ---------------------------------------------------------------
+
+    def profile(self, vector_bytes: int | None = None) -> WorkloadProfile:
+        vector_bytes = vector_bytes or self.vector_bytes
+        partition = vector_bytes // _NUM_PARTITIONS
+        regions = []
+        for vector in ("a", "b"):
+            for part in range(_NUM_PARTITIONS):
+                regions.append(
+                    RegionTraffic(
+                        region_name=f"{vector}{part}",
+                        bytes_read=partition,
+                        access_size=_CHUNK_SIZE,
+                        access_pattern="streaming",
+                    )
+                )
+        for part in range(_NUM_PARTITIONS):
+            regions.append(
+                RegionTraffic(
+                    region_name=f"c{part}",
+                    bytes_written=partition,
+                    access_size=_CHUNK_SIZE,
+                    access_pattern="streaming",
+                )
+            )
+        elements = vector_bytes // _ELEMENT_BYTES
+        return WorkloadProfile(
+            name="vector_add",
+            regions=tuple(regions),
+            compute_cycles=elements * self.COMPUTE_CYCLES_PER_ELEMENT,
+            init_cycles=self.INIT_CYCLES,
+            baseline_bytes_per_cycle=self.BASELINE_BYTES_PER_CYCLE,
+        )
+
+    # -- functional execution -----------------------------------------------------------------
+
+    def prepare_inputs(self, seed: int = 0) -> dict:
+        """Synthesize the two input vectors, keyed by region name."""
+        rng = np.random.default_rng(seed)
+        elements = self.partition_bytes // _ELEMENT_BYTES
+        inputs = {}
+        for vector in ("a", "b"):
+            for part in range(_NUM_PARTITIONS):
+                data = rng.integers(-(2 ** 20), 2 ** 20, size=elements, dtype=np.int32)
+                inputs[f"{vector}{part}"] = data.tobytes()
+        return inputs
+
+    def run(self, memory: MemoryInterface, **params) -> AcceleratorResult:
+        """Stream both vectors through ``memory``, add, and stream out the sum."""
+        outputs = {}
+        bytes_read = 0
+        bytes_written = 0
+        for part in range(_NUM_PARTITIONS):
+            a_bytes = memory.read(self.region_base(f"a{part}"), self.partition_bytes)
+            b_bytes = memory.read(self.region_base(f"b{part}"), self.partition_bytes)
+            bytes_read += 2 * self.partition_bytes
+            a = np.frombuffer(a_bytes, dtype=np.int32)
+            b = np.frombuffer(b_bytes, dtype=np.int32)
+            c = (a + b).astype(np.int32)
+            memory.write(self.region_base(f"c{part}"), c.tobytes())
+            bytes_written += self.partition_bytes
+            outputs[f"c{part}"] = c
+        return AcceleratorResult(
+            name=self.name,
+            outputs=outputs,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+        )

@@ -1,0 +1,43 @@
+"""Adversary library: the attacks the ShEF threat model defends against.
+
+Memory attacks (spoof/splice/replay on DRAM), malicious-Shell attacks (AXI
+snooping and tampering), and attestation man-in-the-middle attacks on the
+untrusted host channel.  These are used by the security test suite and the
+attack-demonstration example.
+"""
+
+from repro.attacks.bus_attacks import SnoopingShellAttack, SnoopRecord, TamperingShellAttack
+from repro.attacks.memory_attacks import (
+    ChunkSnapshot,
+    corrupt_tag,
+    read_chunk_raw,
+    replay_chunk,
+    snoop_region,
+    splice_chunks,
+    spoof_chunk,
+)
+from repro.attacks.mitm import (
+    ReplayRecorder,
+    corrupt_report_hook,
+    drop_key_delivery_hook,
+    redirect_load_key_hook,
+    swap_bitstream_hash_hook,
+)
+
+__all__ = [
+    "SnoopingShellAttack",
+    "SnoopRecord",
+    "TamperingShellAttack",
+    "ChunkSnapshot",
+    "corrupt_tag",
+    "read_chunk_raw",
+    "replay_chunk",
+    "snoop_region",
+    "splice_chunks",
+    "spoof_chunk",
+    "ReplayRecorder",
+    "corrupt_report_hook",
+    "drop_key_delivery_hook",
+    "redirect_load_key_hook",
+    "swap_bitstream_hash_hook",
+]

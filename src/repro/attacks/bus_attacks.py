@@ -1,0 +1,101 @@
+"""Malicious-Shell attacks: snooping and tampering on the AXI interfaces.
+
+The Shell is privileged FPGA logic controlled by the CSP, and ShEF assumes it
+may be malicious.  These classes install themselves on the Shell's interposer
+hooks and behave like a hostile Shell build: recording every burst and
+register access (to show that only ciphertext is visible), or actively
+corrupting data in flight (to show that the Shield detects it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.axi import AxiBurst, AxiLiteTransaction, BurstKind
+from repro.hw.shell import Shell
+
+
+@dataclass
+class SnoopRecord:
+    """One observation made by the malicious Shell."""
+
+    interface: str
+    kind: str
+    address: int
+    data: bytes
+
+
+class SnoopingShellAttack:
+    """Passively records every memory burst, register access, and DMA transfer."""
+
+    def __init__(self, shell: Shell):
+        self.records: list[SnoopRecord] = []
+        shell.install_memory_interposer(self._memory_interposer)
+        shell.install_register_tap(self._register_tap)
+        shell.install_dma_tap(self._dma_tap)
+
+    def _memory_interposer(self, burst: AxiBurst) -> AxiBurst:
+        self.records.append(
+            SnoopRecord(
+                interface="axi4",
+                kind=burst.kind.value,
+                address=burst.address,
+                data=bytes(burst.data),
+            )
+        )
+        return burst
+
+    def _register_tap(self, transaction: AxiLiteTransaction) -> None:
+        self.records.append(
+            SnoopRecord(
+                interface="axi4-lite",
+                kind=transaction.kind.value,
+                address=transaction.address,
+                data=bytes(transaction.data),
+            )
+        )
+
+    def _dma_tap(self, kind: str, address: int, data: bytes) -> None:
+        self.records.append(
+            SnoopRecord(interface="dma", kind=kind, address=address, data=bytes(data))
+        )
+
+    def observed_bytes(self) -> bytes:
+        """Everything the malicious Shell saw, concatenated."""
+        return b"".join(record.data for record in self.records)
+
+    def saw_plaintext(self, plaintext_fragments: list) -> bool:
+        """True if any known plaintext fragment appears in the observed traffic."""
+        haystack = self.observed_bytes()
+        return any(fragment and fragment in haystack for fragment in plaintext_fragments)
+
+
+@dataclass
+class TamperingShellAttack:
+    """Actively corrupts write bursts targeting a chosen address range."""
+
+    shell: Shell
+    target_base: int
+    target_size: int
+    flip_mask: int = 0x01
+    tampered_bursts: int = field(default=0)
+
+    def install(self) -> None:
+        self.shell.install_memory_interposer(self._interposer)
+
+    def _interposer(self, burst: AxiBurst) -> AxiBurst:
+        in_range = (
+            burst.address < self.target_base + self.target_size
+            and burst.address + burst.length_bytes > self.target_base
+        )
+        if burst.kind is BurstKind.WRITE and in_range:
+            corrupted = bytes(b ^ self.flip_mask for b in burst.data)
+            self.tampered_bursts += 1
+            return AxiBurst(
+                kind=burst.kind,
+                address=burst.address,
+                length_bytes=burst.length_bytes,
+                data=corrupted,
+                region_hint=burst.region_hint,
+            )
+        return burst

@@ -1,0 +1,103 @@
+"""Adversarial attacks on device DRAM: spoofing, splicing, and replay.
+
+The paper's threat model lets the adversary perform physical attacks on the
+off-chip memory bus or intercept traffic through the Shell.  These helpers
+modify raw DRAM contents exactly as such an attacker would:
+
+* **spoofing** -- overwrite a chunk's ciphertext with attacker-chosen bytes,
+* **splicing** -- copy a valid (ciphertext, tag) pair from one address to
+  another, hoping the Shield accepts data that is authentic but misplaced,
+* **replay** -- snapshot a chunk and restore it after the accelerator has
+  overwritten it, so stale-but-authentic data is returned on the next read.
+
+The Shield's MAC binds the chunk address (defeats spoof/splice) and, for
+replay-protected regions, the on-chip counter value (defeats replay); the
+attack tests assert that every one of these raises
+:class:`~repro.errors.IntegrityError` / :class:`~repro.errors.ReplayError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MAC_TAG_BYTES, RegionConfig, ShieldConfig
+from repro.hw.memory import DeviceMemory
+
+
+@dataclass
+class ChunkSnapshot:
+    """A saved (ciphertext, tag) pair for a later replay."""
+
+    region_name: str
+    chunk_index: int
+    ciphertext: bytes
+    tag: bytes
+
+
+def _chunk_address(region: RegionConfig, chunk_index: int) -> int:
+    return region.base_address + chunk_index * region.chunk_size
+
+
+def read_chunk_raw(
+    memory: DeviceMemory, config: ShieldConfig, region_name: str, chunk_index: int
+) -> ChunkSnapshot:
+    """Snapshot a chunk's current ciphertext and tag straight out of DRAM."""
+    region = config.region(region_name)
+    ciphertext = memory.tamper_read(_chunk_address(region, chunk_index), region.chunk_size)
+    tag = memory.tamper_read(config.tag_address(region, chunk_index), MAC_TAG_BYTES)
+    return ChunkSnapshot(
+        region_name=region_name, chunk_index=chunk_index, ciphertext=ciphertext, tag=tag
+    )
+
+
+def spoof_chunk(
+    memory: DeviceMemory,
+    config: ShieldConfig,
+    region_name: str,
+    chunk_index: int,
+    pattern: int = 0xA5,
+) -> None:
+    """Overwrite a chunk's ciphertext with attacker-chosen bytes (tag untouched)."""
+    region = config.region(region_name)
+    memory.tamper_write(
+        _chunk_address(region, chunk_index), bytes([pattern]) * region.chunk_size
+    )
+
+
+def corrupt_tag(
+    memory: DeviceMemory, config: ShieldConfig, region_name: str, chunk_index: int
+) -> None:
+    """Flip every bit of a chunk's MAC tag in DRAM."""
+    region = config.region(region_name)
+    address = config.tag_address(region, chunk_index)
+    tag = memory.tamper_read(address, MAC_TAG_BYTES)
+    memory.tamper_write(address, bytes(b ^ 0xFF for b in tag))
+
+
+def splice_chunks(
+    memory: DeviceMemory,
+    config: ShieldConfig,
+    region_name: str,
+    source_chunk: int,
+    target_chunk: int,
+) -> None:
+    """Copy a valid (ciphertext, tag) pair from one chunk address onto another."""
+    region = config.region(region_name)
+    snapshot = read_chunk_raw(memory, config, region_name, source_chunk)
+    memory.tamper_write(_chunk_address(region, target_chunk), snapshot.ciphertext)
+    memory.tamper_write(config.tag_address(region, target_chunk), snapshot.tag)
+
+
+def replay_chunk(memory: DeviceMemory, config: ShieldConfig, snapshot: ChunkSnapshot) -> None:
+    """Restore a previously captured (ciphertext, tag) pair over the current one."""
+    region = config.region(snapshot.region_name)
+    memory.tamper_write(_chunk_address(region, snapshot.chunk_index), snapshot.ciphertext)
+    memory.tamper_write(config.tag_address(region, snapshot.chunk_index), snapshot.tag)
+
+
+def snoop_region(
+    memory: DeviceMemory, config: ShieldConfig, region_name: str
+) -> bytes:
+    """Dump a whole region's raw DRAM contents (what a bus probe would see)."""
+    region = config.region(region_name)
+    return memory.tamper_read(region.base_address, region.size_bytes)

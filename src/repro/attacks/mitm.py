@@ -1,0 +1,99 @@
+"""Attacks on the remote-attestation protocol via the untrusted host channel.
+
+The host CPU relays every attestation message, so a compromised host can try
+to man-in-the-middle the exchange: replay an old report against a new nonce,
+substitute its own key material, redirect the Load Key to a different Shield,
+or simply corrupt messages.  Each helper here builds a tamper hook for
+:class:`~repro.attestation.channel.HostProxiedChannel`; the attack tests
+assert that the IP Vendor or the Security Kernel rejects the manipulated run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.attestation.messages import LoadKeyDelivery, SignedAttestationReport
+
+
+@dataclass
+class ReplayRecorder:
+    """Records reports from one attestation run to replay in a later one."""
+
+    recorded_report: Optional[bytes] = None
+    replays: int = field(default=0)
+
+    def record_hook(self, direction: str, message: bytes) -> bytes:
+        """Install on the victim's first run: remembers the signed report."""
+        if direction == "to_remote" and _looks_like(message, "signed-report"):
+            self.recorded_report = message
+        return message
+
+    def replay_hook(self, direction: str, message: bytes) -> bytes:
+        """Install on a later run: substitutes the stale report for the fresh one."""
+        if (
+            direction == "to_remote"
+            and _looks_like(message, "signed-report")
+            and self.recorded_report is not None
+        ):
+            self.replays += 1
+            return self.recorded_report
+        return message
+
+
+def _looks_like(message: bytes, kind: str) -> bool:
+    try:
+        return json.loads(message.decode("utf-8")).get("kind") == kind
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return False
+
+
+def corrupt_report_hook(direction: str, message: bytes) -> bytes:
+    """Flip a byte inside the signed report (simulates in-flight modification)."""
+    if direction == "to_remote" and _looks_like(message, "signed-report"):
+        report = SignedAttestationReport.deserialize(message)
+        forged = SignedAttestationReport(
+            report=report.report,
+            report_signature=bytes([report.report_signature[0] ^ 0xFF])
+            + report.report_signature[1:],
+            session_key_signature=report.session_key_signature,
+        )
+        return forged.serialize()
+    return message
+
+
+def swap_bitstream_hash_hook(forged_hash: bytes):
+    """Claim a different bitstream was loaded (defeated by the report signature)."""
+
+    def hook(direction: str, message: bytes) -> bytes:
+        if direction == "to_remote" and _looks_like(message, "signed-report"):
+            body = json.loads(message.decode("utf-8"))
+            report_body = json.loads(bytes.fromhex(body["report"]).decode("utf-8"))
+            report_body["encrypted_bitstream_hash"] = forged_hash.hex()
+            body["report"] = json.dumps(report_body, sort_keys=True).encode("utf-8").hex()
+            return json.dumps(body, sort_keys=True).encode("utf-8")
+        return message
+
+    return hook
+
+
+def redirect_load_key_hook(new_shield_id: str):
+    """Redirect the Load Key to a different Shield slot (detected by the protocol)."""
+
+    def hook(direction: str, message: bytes) -> bytes:
+        if direction == "to_device" and _looks_like(message, "load-key"):
+            delivery = LoadKeyDelivery.deserialize(message)
+            return LoadKeyDelivery(
+                wrapped_key=delivery.wrapped_key, shield_id=new_shield_id
+            ).serialize()
+        return message
+
+    return hook
+
+
+def drop_key_delivery_hook(direction: str, message: bytes) -> Optional[bytes]:
+    """Drop the Bitstream Key delivery entirely (denial, surfaced as a protocol error)."""
+    if direction == "to_device" and _looks_like(message, "key-delivery"):
+        return None
+    return message

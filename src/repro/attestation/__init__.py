@@ -1,0 +1,44 @@
+"""Remote attestation: the Figure 3 protocol and its three parties.
+
+The IP Vendor packages accelerators and verifies attestation reports, the Data
+Owner generates Data Encryption Keys and wraps them into Load Keys, and the
+protocol module orchestrates the message exchange with the on-FPGA Security
+Kernel over an untrusted host-proxied channel.
+"""
+
+from repro.attestation.channel import ChannelStats, HostProxiedChannel
+from repro.attestation.data_owner import DataOwner, StagedRegionData
+from repro.attestation.ip_vendor import (
+    IpVendor,
+    PackagedAccelerator,
+    PendingAttestation,
+    VendorSession,
+)
+from repro.attestation.messages import (
+    AttestationChallenge,
+    AttestationReport,
+    AttestationResult,
+    EncryptedKeyDelivery,
+    LoadKeyDelivery,
+    SignedAttestationReport,
+)
+from repro.attestation.protocol import AttestationOutcome, run_remote_attestation
+
+__all__ = [
+    "ChannelStats",
+    "HostProxiedChannel",
+    "DataOwner",
+    "StagedRegionData",
+    "IpVendor",
+    "PackagedAccelerator",
+    "PendingAttestation",
+    "VendorSession",
+    "AttestationChallenge",
+    "AttestationReport",
+    "AttestationResult",
+    "EncryptedKeyDelivery",
+    "LoadKeyDelivery",
+    "SignedAttestationReport",
+    "AttestationOutcome",
+    "run_remote_attestation",
+]

@@ -1,0 +1,76 @@
+"""The untrusted host-proxied channel between remote parties and the FPGA.
+
+Every message of the attestation protocol travels through the host CPU, which
+ShEF does not trust (Figure 1: the red arrows).  :class:`HostProxiedChannel`
+models that path as a pair of message queues with optional adversary hooks: an
+attacker-controlled host can observe, drop, reorder, replay, or rewrite
+messages.  The protocol's security rests entirely on the cryptography layered
+on top, which the attack tests exercise through exactly these hooks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class ChannelStats:
+    """Message counters for one direction of the channel."""
+
+    delivered: int = 0
+    dropped: int = 0
+    tampered: int = 0
+
+
+class HostProxiedChannel:
+    """A bidirectional, adversary-observable message channel."""
+
+    def __init__(self, name: str = "host-channel"):
+        self.name = name
+        self._queues: dict[str, deque] = {"to_device": deque(), "to_remote": deque()}
+        self.stats = ChannelStats()
+        self.transcript: list = []
+        self._tamper_hook: Optional[Callable[[str, bytes], Optional[bytes]]] = None
+
+    def install_tamper_hook(
+        self, hook: Callable[[str, bytes], Optional[bytes]]
+    ) -> None:
+        """Install an adversary callback.
+
+        The hook receives ``(direction, message)`` and returns the (possibly
+        modified) message, or ``None`` to drop it.
+        """
+        self._tamper_hook = hook
+
+    def send(self, direction: str, message: bytes) -> None:
+        """Send a message in ``direction`` (``"to_device"`` or ``"to_remote"``)."""
+        if direction not in self._queues:
+            raise ProtocolError(f"unknown channel direction {direction!r}")
+        original = bytes(message)
+        if self._tamper_hook is not None:
+            modified = self._tamper_hook(direction, original)
+            if modified is None:
+                self.stats.dropped += 1
+                return
+            if modified != original:
+                self.stats.tampered += 1
+            original = modified
+        self.transcript.append((direction, original))
+        self._queues[direction].append(original)
+        self.stats.delivered += 1
+
+    def receive(self, direction: str) -> bytes:
+        """Receive the next message in ``direction``; raises if none is pending."""
+        if direction not in self._queues:
+            raise ProtocolError(f"unknown channel direction {direction!r}")
+        queue = self._queues[direction]
+        if not queue:
+            raise ProtocolError(f"no pending message in direction {direction!r}")
+        return queue.popleft()
+
+    def pending(self, direction: str) -> int:
+        return len(self._queues[direction])

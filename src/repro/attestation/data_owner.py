@@ -1,0 +1,147 @@
+"""The Data Owner role: key generation, data sealing, and result recovery.
+
+The Data Owner rents the FPGA, chooses which IP Vendor to attest against, and
+-- once attestation succeeds -- provisions a fresh Data Encryption Key for
+each Shield by wrapping it against the IP Vendor's public Shield Encryption
+Key (the *Load Key*, Figure 3 step 8).  All sensitive data is sealed on the
+Data Owner's machine with the Data Encryption Key, in exactly the chunked
+format the Shield's engine sets use, before it ever touches the untrusted host
+or device DRAM; results come back the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attestation.messages import LoadKeyDelivery
+from repro.core.config import RegionConfig, ShieldConfig
+from repro.core.register_interface import RegisterChannelClient
+from repro.core.sealing import RegionSealer, SealedChunk
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.keys import DataEncryptionKey
+from repro.crypto.rsa import RsaPublicKey, rsa_encrypt
+from repro.errors import AttestationError
+
+
+@dataclass
+class StagedRegionData:
+    """Sealed input data for one region, ready for the host to DMA."""
+
+    region: RegionConfig
+    sealed_chunks: list = field(default_factory=list)
+    plaintext_length: int = 0
+
+    def flat_ciphertext(self) -> bytes:
+        """Concatenated ciphertext in region order (what the host writes to DRAM)."""
+        return b"".join(chunk.ciphertext for chunk in self.sealed_chunks)
+
+    def tags(self) -> list:
+        return [chunk.tag for chunk in self.sealed_chunks]
+
+
+class DataOwner:
+    """A Data Owner with a key ring of per-Shield Data Encryption Keys."""
+
+    def __init__(self, name: str = "data-owner", seed: int = 11):
+        self.name = name
+        self._rng = HmacDrbg(seed.to_bytes(8, "big"), b"data-owner:" + name.encode("utf-8"))
+        self._data_keys: dict[str, DataEncryptionKey] = {}
+
+    # -- key management ----------------------------------------------------------------
+
+    def generate_data_key(self, shield_id: str = "shield0", bits: int = 256) -> DataEncryptionKey:
+        """Generate (and remember) a fresh Data Encryption Key for one Shield."""
+        key = DataEncryptionKey(self._rng.generate(bits // 8))
+        self._data_keys[shield_id] = key
+        return key
+
+    def data_key(self, shield_id: str = "shield0") -> DataEncryptionKey:
+        try:
+            return self._data_keys[shield_id]
+        except KeyError:
+            raise AttestationError(
+                f"no Data Encryption Key generated for Shield {shield_id!r}"
+            ) from None
+
+    def wrap_load_key(
+        self, shield_public_key_encoding: bytes, shield_id: str = "shield0"
+    ) -> LoadKeyDelivery:
+        """Wrap the Data Encryption Key against the Shield's public key (the Load Key)."""
+        public_key = RsaPublicKey.decode(shield_public_key_encoding)
+        wrapped = rsa_encrypt(public_key, self.data_key(shield_id).material, self._rng)
+        return LoadKeyDelivery(wrapped_key=wrapped, shield_id=shield_id)
+
+    # -- data sealing ----------------------------------------------------------------------
+
+    def _sealer(self, shield_config: ShieldConfig, region_name: str, shield_id: str) -> RegionSealer:
+        region = shield_config.region(region_name)
+        engine_config = shield_config.engine_set(region.engine_set)
+        return RegionSealer(self.data_key(shield_id).material, region, engine_config)
+
+    def seal_input(
+        self,
+        shield_config: ShieldConfig,
+        region_name: str,
+        plaintext: bytes,
+        shield_id: str = "shield0",
+    ) -> StagedRegionData:
+        """Seal input data for one region in the Shield's on-DRAM format."""
+        sealer = self._sealer(shield_config, region_name, shield_id)
+        chunks = sealer.seal_region_data(plaintext)
+        return StagedRegionData(
+            region=shield_config.region(region_name),
+            sealed_chunks=chunks,
+            plaintext_length=len(plaintext),
+        )
+
+    def unseal_output(
+        self,
+        shield_config: ShieldConfig,
+        region_name: str,
+        sealed_chunks: list,
+        length: int | None = None,
+        shield_id: str = "shield0",
+    ) -> bytes:
+        """Verify and decrypt output chunks fetched back from device memory."""
+        sealer = self._sealer(shield_config, region_name, shield_id)
+        return sealer.unseal_region_data(sealed_chunks, length)
+
+    def unseal_output_with_versions(
+        self,
+        shield_config: ShieldConfig,
+        region_name: str,
+        sealed_chunks: list,
+        versions: list,
+        length: int | None = None,
+        shield_id: str = "shield0",
+    ) -> bytes:
+        """Unseal output chunks whose write versions are known (replay-protected regions)."""
+        sealer = self._sealer(shield_config, region_name, shield_id)
+        plaintext = b"".join(
+            sealer.unseal_chunk(chunk.chunk_index, chunk.ciphertext, chunk.tag, version)
+            for chunk, version in zip(sealed_chunks, versions)
+        )
+        return plaintext if length is None else plaintext[:length]
+
+    # -- register channel -----------------------------------------------------------------------
+
+    def register_channel(
+        self, shield_config: ShieldConfig, shield_id: str = "shield0"
+    ) -> RegisterChannelClient:
+        """A client that seals register commands under this Shield's Data Encryption Key."""
+        return RegisterChannelClient(
+            self.data_key(shield_id).material, shield_config.register_interface
+        )
+
+    @staticmethod
+    def sealed_chunks_from_device(
+        shield_config: ShieldConfig, region_name: str, ciphertext: bytes, tags: list
+    ) -> list:
+        """Rebuild :class:`SealedChunk` objects from raw ciphertext + tags read back via DMA."""
+        region = shield_config.region(region_name)
+        chunk_size = region.chunk_size
+        chunks = []
+        for index, tag in enumerate(tags):
+            piece = ciphertext[index * chunk_size : (index + 1) * chunk_size]
+            chunks.append(SealedChunk(chunk_index=index, ciphertext=piece, tag=tag))
+        return chunks

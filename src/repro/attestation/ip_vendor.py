@@ -1,0 +1,236 @@
+"""The IP Vendor role: accelerator packaging and the attestation verifier.
+
+The IP Vendor develops the accelerator in a secure environment, wraps it with
+the Shield, provisions the Bitstream Encryption Key and the Shield Encryption
+Key, and distributes only the *encrypted* bitstream (Figure 2, steps 3-4).  At
+deployment time the vendor runs the verification side of the remote
+attestation protocol (Figure 3): it challenges the Security Kernel with a
+nonce and ephemeral Verification Key, validates the returned report against
+the Manufacturer's certificate authority and its own whitelist of Security
+Kernel hashes, and only then releases the Bitstream Key over the freshly
+established session channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.attestation.messages import (
+    AttestationChallenge,
+    EncryptedKeyDelivery,
+    SignedAttestationReport,
+)
+from repro.boot.certificates import Certificate, verify_binding, verify_certificate_with_key
+from repro.crypto.authenc import AuthenticatedCipher
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import (
+    EcPrivateKey,
+    EcPublicKey,
+    derive_session_key,
+    ecdsa_verify,
+)
+from repro.crypto.keys import BitstreamKey, ShieldEncryptionKeyPair
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import AttestationError
+from repro.hw.bitstream import Bitstream, EncryptedBitstream, encrypt_bitstream
+
+
+@dataclass
+class PackagedAccelerator:
+    """An accelerator design packaged for distribution."""
+
+    name: str
+    encrypted_bitstream: EncryptedBitstream
+    expected_bitstream_hash: bytes
+    shield_config: dict
+    accelerator_spec: dict
+
+
+@dataclass
+class PendingAttestation:
+    """The verifier's state between challenge and report."""
+
+    nonce: bytes
+    verification_key: EcPrivateKey
+    accelerator_name: str
+
+
+@dataclass
+class VendorSession:
+    """An established, attested session with one Security Kernel."""
+
+    accelerator_name: str
+    device_serial: str
+    session_cipher: AuthenticatedCipher = field(repr=False, default=None)
+    nonce: bytes = b""
+    attestation_public_key: bytes = b""
+
+
+class IpVendor:
+    """An IP Vendor: packages accelerators and attests devices before key release."""
+
+    def __init__(self, name: str, seed: int = 7, shield_key_bits: int = 1024):
+        self.name = name
+        self._rng = HmacDrbg(seed.to_bytes(8, "big"), b"ip-vendor:" + name.encode("utf-8"))
+        self.shield_key_pair = ShieldEncryptionKeyPair(
+            RsaPrivateKey.from_seed(
+                self._rng.generate(32), bits=shield_key_bits, label=f"shield-key-{name}"
+            )
+        )
+        self.bitstream_key = BitstreamKey(self._rng.generate(32))
+        self._trusted_kernel_hashes: set[bytes] = set()
+        self._packaged: dict[str, PackagedAccelerator] = {}
+
+    # -- development-time steps ---------------------------------------------------
+
+    @property
+    def shield_public_key_encoding(self) -> bytes:
+        """The public Shield Encryption Key, published to Data Owners."""
+        return self.shield_key_pair.public_key.encode()
+
+    def trust_security_kernel(self, kernel_binary_hash: bytes) -> None:
+        """Add a Security Kernel measurement to the public whitelist."""
+        self._trusted_kernel_hashes.add(bytes(kernel_binary_hash))
+
+    @property
+    def trusted_kernel_hashes(self) -> set:
+        return set(self._trusted_kernel_hashes)
+
+    def package_accelerator(
+        self,
+        name: str,
+        accelerator_spec: dict,
+        shield_config: dict,
+        resources: Optional[dict] = None,
+    ) -> PackagedAccelerator:
+        """Wrap an accelerator with the Shield and produce the encrypted bitstream."""
+        bitstream = Bitstream(
+            accelerator_name=name,
+            vendor=self.name,
+            accelerator_spec=dict(accelerator_spec),
+            shield_config=dict(shield_config),
+            shield_private_key_blob=self.shield_key_pair.private_key.encode(),
+            resources=dict(resources or {}),
+        )
+        encrypted = encrypt_bitstream(
+            bitstream, self.bitstream_key.material, iv=self._rng.generate(12)
+        )
+        packaged = PackagedAccelerator(
+            name=name,
+            encrypted_bitstream=encrypted,
+            expected_bitstream_hash=encrypted.measurement(),
+            shield_config=dict(shield_config),
+            accelerator_spec=dict(accelerator_spec),
+        )
+        self._packaged[name] = packaged
+        return packaged
+
+    def packaged(self, name: str) -> PackagedAccelerator:
+        try:
+            return self._packaged[name]
+        except KeyError:
+            raise AttestationError(f"no packaged accelerator named {name!r}") from None
+
+    # -- attestation (verifier side) -------------------------------------------------
+
+    def begin_attestation(self, accelerator_name: str) -> tuple:
+        """Step 2 of Figure 3: generate a nonce and an ephemeral Verification Key."""
+        if accelerator_name not in self._packaged:
+            raise AttestationError(f"no packaged accelerator named {accelerator_name!r}")
+        nonce = self._rng.generate(32)
+        verification_key = EcPrivateKey.generate(self._rng)
+        challenge = AttestationChallenge(
+            nonce=nonce,
+            verification_public_key=verification_key.public_key.encode(),
+        )
+        pending = PendingAttestation(
+            nonce=nonce,
+            verification_key=verification_key,
+            accelerator_name=accelerator_name,
+        )
+        return challenge, pending
+
+    def verify_report(
+        self,
+        pending: PendingAttestation,
+        signed_report: SignedAttestationReport,
+        device_certificate: Certificate,
+        manufacturer_root_key: EcPublicKey,
+    ) -> VendorSession:
+        """Step 5 of Figure 3: authenticate the attestation report.
+
+        Checks, in order: the device certificate chains to the Manufacturer's
+        CA; sigma_SecKrnl was signed by the certified device key over (kernel
+        hash, Attestation public key); the kernel hash is whitelisted; the
+        report was signed by the Attestation key; the nonce is fresh; the
+        bitstream hash matches the distributed package; and sigma_SessionKey
+        proves the kernel holds the same session key we derive.
+        """
+        report = signed_report.report
+
+        # 1. Device certificate chains to the Manufacturer.
+        try:
+            verify_certificate_with_key(device_certificate, manufacturer_root_key)
+        except Exception as exc:
+            raise AttestationError(
+                "device certificate does not chain to the trusted manufacturer"
+            ) from exc
+        device_public_key = device_certificate.subject_public_key()
+        if report.device_serial and report.device_serial != device_certificate.subject:
+            raise AttestationError("attestation report names a different device serial")
+
+        # 2. sigma_SecKrnl binds (kernel hash, Attestation key) under the device key.
+        if not verify_binding(
+            device_public_key,
+            report.kernel_certificate_signature,
+            report.kernel_hash,
+            report.attestation_public_key,
+        ):
+            raise AttestationError("sigma_SecKrnl was not produced by a legitimate device")
+
+        # 3. The Security Kernel measurement is whitelisted.
+        if report.kernel_hash not in self._trusted_kernel_hashes:
+            raise AttestationError("unrecognized Security Kernel measurement")
+
+        # 4. The report itself is signed by the Attestation key.
+        attestation_public_key = EcPublicKey.decode(report.attestation_public_key)
+        if not ecdsa_verify(
+            attestation_public_key, report.canonical_bytes(), signed_report.report_signature
+        ):
+            raise AttestationError("attestation report signature is invalid")
+
+        # 5. Nonce freshness.
+        if report.nonce != pending.nonce:
+            raise AttestationError("attestation nonce mismatch (possible replay)")
+
+        # 6. The encrypted bitstream staged on the device is the one we shipped.
+        expected = self._packaged[pending.accelerator_name].expected_bitstream_hash
+        if report.encrypted_bitstream_hash != expected:
+            raise AttestationError("the staged bitstream is not the distributed one")
+
+        # 7. Session key agreement + sigma_SessionKey.
+        session_key = derive_session_key(pending.verification_key, attestation_public_key)
+        if not ecdsa_verify(
+            attestation_public_key,
+            b"shef-session-key" + session_key,
+            signed_report.session_key_signature,
+        ):
+            raise AttestationError("session key signature is invalid (possible MITM)")
+
+        return VendorSession(
+            accelerator_name=pending.accelerator_name,
+            device_serial=report.device_serial,
+            session_cipher=AuthenticatedCipher(session_key, "HMAC"),
+            nonce=pending.nonce,
+            attestation_public_key=report.attestation_public_key,
+        )
+
+    def provision_bitstream_key(self, session: VendorSession) -> EncryptedKeyDelivery:
+        """Step 6 of Figure 3: send the Bitstream Key sealed under the Session Key."""
+        message = session.session_cipher.seal(
+            self._rng.generate(12),
+            self.bitstream_key.material,
+            associated_data=b"bitstream-key" + session.nonce,
+        )
+        return EncryptedKeyDelivery(sealed_payload=message.serialize())

@@ -1,0 +1,97 @@
+"""Orchestration of the full remote-attestation handshake (Figure 3).
+
+``run_remote_attestation`` drives the message exchange between an IP Vendor's
+verification server, the Security Kernel on the FPGA, and the Data Owner, with
+every message crossing an untrusted :class:`~repro.attestation.channel.HostProxiedChannel`.
+On success the Security Kernel holds the Bitstream Key, the Data Owner holds a
+fresh Data Encryption Key and the Load Key that will provision it into the
+Shield, and the caller receives an :class:`AttestationOutcome` summarizing the
+session.  The Security Kernel is passed in duck-typed (any object exposing
+``handle_challenge`` / ``receive_bitstream_key``) so this module stays free of
+hardware dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attestation.channel import HostProxiedChannel
+from repro.attestation.data_owner import DataOwner
+from repro.attestation.ip_vendor import IpVendor, VendorSession
+from repro.attestation.messages import (
+    AttestationChallenge,
+    EncryptedKeyDelivery,
+    LoadKeyDelivery,
+    SignedAttestationReport,
+)
+from repro.boot.certificates import Certificate
+from repro.crypto.ecc import EcPublicKey
+from repro.errors import AttestationError
+
+
+@dataclass
+class AttestationOutcome:
+    """Result of a completed attestation run."""
+
+    vendor_session: VendorSession
+    load_key: LoadKeyDelivery
+    shield_public_key: bytes
+    transcript_length: int
+
+
+def run_remote_attestation(
+    ip_vendor: IpVendor,
+    data_owner: DataOwner,
+    security_kernel,
+    accelerator_name: str,
+    device_certificate: Certificate,
+    manufacturer_root_key: EcPublicKey,
+    channel: HostProxiedChannel | None = None,
+    shield_id: str = "shield0",
+) -> AttestationOutcome:
+    """Run the Figure 3 protocol end to end over an untrusted channel.
+
+    Raises :class:`AttestationError` if any verification step fails or if the
+    adversary controlling the channel tampered with a message in a detectable
+    way (dropped messages surface as :class:`~repro.errors.ProtocolError`).
+    """
+    channel = channel or HostProxiedChannel()
+
+    # 1-2. The IP Vendor issues a challenge; the host forwards it to the device.
+    challenge, pending = ip_vendor.begin_attestation(accelerator_name)
+    channel.send("to_device", challenge.serialize())
+    delivered_challenge = AttestationChallenge.deserialize(channel.receive("to_device"))
+
+    # 3-4. The Security Kernel produces a signed report; the host forwards it back.
+    signed_report = security_kernel.handle_challenge(delivered_challenge)
+    channel.send("to_remote", signed_report.serialize())
+    delivered_report = SignedAttestationReport.deserialize(channel.receive("to_remote"))
+
+    # 5. The IP Vendor authenticates the report against the Manufacturer CA.
+    session = ip_vendor.verify_report(
+        pending, delivered_report, device_certificate, manufacturer_root_key
+    )
+
+    # 6. The Bitstream Key crosses the untrusted host sealed under the session key.
+    key_delivery = ip_vendor.provision_bitstream_key(session)
+    channel.send("to_device", key_delivery.serialize())
+    delivered_key = EncryptedKeyDelivery.deserialize(channel.receive("to_device"))
+    security_kernel.receive_bitstream_key(delivered_key)
+
+    # 7-8. The Data Owner obtains the Shield public key from the vendor and
+    # wraps a fresh Data Encryption Key into the Load Key.
+    shield_public_key = ip_vendor.shield_public_key_encoding
+    data_owner.generate_data_key(shield_id)
+    load_key = data_owner.wrap_load_key(shield_public_key, shield_id)
+    channel.send("to_device", load_key.serialize())
+    delivered_load_key = LoadKeyDelivery.deserialize(channel.receive("to_device"))
+
+    if delivered_load_key.shield_id != shield_id:
+        raise AttestationError("Load Key was redirected to a different Shield")
+
+    return AttestationOutcome(
+        vendor_session=session,
+        load_key=delivered_load_key,
+        shield_public_key=shield_public_key,
+        transcript_length=len(channel.transcript),
+    )

@@ -1,0 +1,63 @@
+"""Secure-boot chain: Manufacturer provisioning, SPB firmware, Security Kernel.
+
+This package implements the chain of trust of Sections 3-4: the Manufacturer
+provisions device keys and sealed firmware, the BootROM (in :mod:`repro.hw.spb`)
+decrypts that firmware, the firmware measures the Security Kernel and derives
+the device-and-kernel-bound Attestation Key, and the Security Kernel then
+serves attestation, loads accelerator bitstreams, and monitors tamper sensors.
+"""
+
+from repro.boot.certificates import (
+    Certificate,
+    CertificateAuthority,
+    sign_binding,
+    verify_binding,
+    verify_certificate_with_key,
+)
+from repro.boot.firmware import KernelLaunchRecord, SpbFirmware
+from repro.boot.manufacturer import (
+    FIRMWARE_VERSION,
+    Manufacturer,
+    ProvisionedDevice,
+    build_firmware_payload,
+    parse_firmware_payload,
+)
+from repro.boot.measurement import MeasurementLog, measure, measure_many
+from repro.boot.process import (
+    F1_BITSTREAM_LOAD_SECONDS,
+    TYPICAL_VM_BOOT_SECONDS,
+    SecureBootResult,
+    install_security_kernel,
+    perform_secure_boot,
+)
+from repro.boot.security_kernel import (
+    DEFAULT_SECURITY_KERNEL_BINARY,
+    DEFAULT_SOFT_CPU_BITSTREAM,
+    SecurityKernel,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "sign_binding",
+    "verify_binding",
+    "verify_certificate_with_key",
+    "KernelLaunchRecord",
+    "SpbFirmware",
+    "FIRMWARE_VERSION",
+    "Manufacturer",
+    "ProvisionedDevice",
+    "build_firmware_payload",
+    "parse_firmware_payload",
+    "MeasurementLog",
+    "measure",
+    "measure_many",
+    "F1_BITSTREAM_LOAD_SECONDS",
+    "TYPICAL_VM_BOOT_SECONDS",
+    "SecureBootResult",
+    "install_security_kernel",
+    "perform_secure_boot",
+    "DEFAULT_SECURITY_KERNEL_BINARY",
+    "DEFAULT_SOFT_CPU_BITSTREAM",
+    "SecurityKernel",
+]

@@ -1,0 +1,137 @@
+"""Certificates and certificate authorities for the ShEF trust chain.
+
+Two certificate relationships exist in the paper's workflow:
+
+* the **Manufacturer** registers each FPGA's public device key with a trusted
+  certificate authority (step 2 of Figure 2), which is how the IP Vendor later
+  validates that an attestation report came from a legitimate device, and
+* the **SPB firmware** issues a per-boot certificate sigma_SecKrnl over the
+  Security Kernel hash and the derived Attestation public key, binding the
+  Attestation Key to a specific device and kernel binary.
+
+Certificates here are simple canonical byte structures signed with ECDSA; no
+X.509 machinery is needed for the protocols to be faithful.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import EcPrivateKey, EcPublicKey, ecdsa_sign, ecdsa_verify
+from repro.errors import SignatureError
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding between a subject, a public key, and a set of claims."""
+
+    subject: str
+    issuer: str
+    public_key: bytes
+    claims: dict = field(default_factory=dict)
+    signature: bytes = b""
+
+    def canonical_bytes(self) -> bytes:
+        """The byte string that is signed (signature field excluded)."""
+        body = {
+            "subject": self.subject,
+            "issuer": self.issuer,
+            "public_key": self.public_key.hex(),
+            "claims": {k: str(v) for k, v in sorted(self.claims.items())},
+        }
+        return json.dumps(body, sort_keys=True).encode("utf-8")
+
+    def with_signature(self, signature: bytes) -> "Certificate":
+        return Certificate(
+            subject=self.subject,
+            issuer=self.issuer,
+            public_key=self.public_key,
+            claims=dict(self.claims),
+            signature=signature,
+        )
+
+    def subject_public_key(self) -> EcPublicKey:
+        """Decode the certified public key (assumed to be a P-256 point)."""
+        return EcPublicKey.decode(self.public_key)
+
+
+class CertificateAuthority:
+    """A minimal CA: issues and verifies :class:`Certificate` objects."""
+
+    def __init__(self, name: str, seed: bytes | None = None):
+        self.name = name
+        seed = seed if seed is not None else name.encode("utf-8")
+        self._root_key = EcPrivateKey.from_seed(seed, label=f"ca-{name}")
+        self._registry: dict[str, Certificate] = {}
+
+    @property
+    def root_public_key(self) -> EcPublicKey:
+        return self._root_key.public_key
+
+    def issue(self, subject: str, public_key: bytes, claims: dict | None = None) -> Certificate:
+        """Issue and register a certificate for ``subject``."""
+        certificate = Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            claims=dict(claims or {}),
+        )
+        signature = ecdsa_sign(self._root_key, certificate.canonical_bytes())
+        certificate = certificate.with_signature(signature)
+        self._registry[subject] = certificate
+        return certificate
+
+    def lookup(self, subject: str) -> Certificate:
+        """Fetch the published certificate for ``subject``."""
+        try:
+            return self._registry[subject]
+        except KeyError:
+            raise SignatureError(f"no certificate registered for {subject!r}") from None
+
+    def verify(self, certificate: Certificate) -> None:
+        """Check that ``certificate`` was signed by this CA; raise on failure."""
+        if certificate.issuer != self.name:
+            raise SignatureError(
+                f"certificate issued by {certificate.issuer!r}, expected {self.name!r}"
+            )
+        if not ecdsa_verify(
+            self.root_public_key, certificate.canonical_bytes(), certificate.signature
+        ):
+            raise SignatureError(
+                f"certificate for {certificate.subject!r} has an invalid signature"
+            )
+
+
+def verify_certificate_with_key(
+    certificate: Certificate, issuer_public_key: EcPublicKey
+) -> None:
+    """Verify a certificate against an explicit issuer public key."""
+    if not ecdsa_verify(
+        issuer_public_key, certificate.canonical_bytes(), certificate.signature
+    ):
+        raise SignatureError(
+            f"certificate for {certificate.subject!r} has an invalid signature"
+        )
+
+
+def sign_binding(
+    signer: EcPrivateKey, *parts: bytes
+) -> bytes:
+    """Sign a concatenation of length-prefixed parts (used for sigma_SecKrnl)."""
+    message = b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+    return ecdsa_sign(signer, message)
+
+
+def verify_binding(
+    public_key: EcPublicKey, signature: bytes, *parts: bytes
+) -> bool:
+    """Verify a signature produced by :func:`sign_binding`."""
+    message = b"".join(len(p).to_bytes(4, "big") + p for p in parts)
+    return ecdsa_verify(public_key, message, signature)
+
+
+def make_rng(label: str, seed: int = 0) -> HmacDrbg:
+    """Convenience deterministic RNG factory used by the boot chain."""
+    return HmacDrbg(seed.to_bytes(8, "big"), label.encode("utf-8"))

@@ -1,0 +1,120 @@
+"""The SPB firmware: bootstrapping trust from the device key to the Security Kernel.
+
+After the BootROM decrypts and authenticates the firmware (see
+:mod:`repro.hw.spb`), the firmware's job (Section 4, "Secure Boot") is to:
+
+1. read the Security Kernel binary from the boot medium and hash it,
+2. sign that hash with the private device key and use the signature to seed a
+   key generator, producing the per-boot **Attestation Key** pair that is
+   cryptographically bound to (device, kernel binary),
+3. issue the certificate ``sigma_SecKrnl = Sign_DeviceKey(H(SecKrnl), AttestKey_pub)``,
+4. load the Security Kernel onto its dedicated processor and place the
+   Attestation Key pair and certificate into the kernel's private memory.
+
+The firmware holds the private device key; the Security Kernel never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.boot.manufacturer import parse_firmware_payload
+from repro.boot.measurement import measure, measure_many
+from repro.boot.certificates import sign_binding
+from repro.crypto.ecc import (
+    GENERATOR,
+    EcPrivateKey,
+    EcPublicKey,
+    ecdsa_sign,
+    scalar_multiply,
+)
+from repro.crypto.keys import AttestationKeyPair
+from repro.errors import BootError
+from repro.hw.board import FpgaBoard
+
+
+@dataclass(frozen=True)
+class KernelLaunchRecord:
+    """Everything the firmware hands to the Security Kernel's private memory."""
+
+    kernel_hash: bytes
+    attestation_key: AttestationKeyPair
+    kernel_certificate_signature: bytes
+    device_serial: str
+
+
+class SpbFirmware:
+    """The decrypted, running SPB firmware."""
+
+    def __init__(self, device_private_key: EcPrivateKey, device_serial: str, version: str):
+        self._device_private_key = device_private_key
+        self.device_serial = device_serial
+        self.version = version
+
+    @staticmethod
+    def from_payload(payload: bytes) -> "SpbFirmware":
+        """Instantiate the firmware from the plaintext payload the BootROM produced."""
+        body = parse_firmware_payload(payload)
+        scalar = int(body["device_private_scalar"], 16)
+        public_key = EcPublicKey(scalar_multiply(scalar, GENERATOR))
+        private_key = EcPrivateKey(scalar, public_key)
+        return SpbFirmware(private_key, body["device_serial"], body["version"])
+
+    @property
+    def device_public_key_encoding(self) -> bytes:
+        return self._device_private_key.public_key.encode()
+
+    # -- the core secure-boot step -------------------------------------------
+
+    def measure_and_launch_kernel(
+        self, board: FpgaBoard, kernel_binary: bytes, soft_cpu_bitstream: bytes = b""
+    ) -> KernelLaunchRecord:
+        """Measure the Security Kernel, derive the Attestation Key, and launch it.
+
+        If the Security Kernel Processor is a soft CPU, its bitstream is
+        measured alongside the kernel binary (Section 4).
+        """
+        if not kernel_binary:
+            raise BootError("no Security Kernel binary present on the boot medium")
+        processor = board.security_kernel_processor
+        if processor.is_soft:
+            if not soft_cpu_bitstream:
+                raise BootError(
+                    "a soft Security Kernel Processor requires its bitstream to be measured"
+                )
+            kernel_hash = measure_many(kernel_binary, soft_cpu_bitstream)
+        else:
+            kernel_hash = measure(kernel_binary)
+
+        # Sign the measurement with the device key; the signature seeds the
+        # Attestation Key generator, binding the key to (device, kernel).
+        seed_signature = ecdsa_sign(self._device_private_key, b"attestation-key-seed" + kernel_hash)
+        attestation_private = EcPrivateKey.from_seed(seed_signature, label="attestation-key")
+        attestation_key = AttestationKeyPair(
+            private_key=attestation_private, kernel_hash=kernel_hash
+        )
+
+        # sigma_SecKrnl binds the kernel hash and Attestation public key under
+        # the device key; the IP Vendor verifies it against the CA-published
+        # device certificate.
+        kernel_certificate_signature = sign_binding(
+            self._device_private_key,
+            kernel_hash,
+            attestation_key.public_key.encode(),
+        )
+
+        record = KernelLaunchRecord(
+            kernel_hash=kernel_hash,
+            attestation_key=attestation_key,
+            kernel_certificate_signature=kernel_certificate_signature,
+            device_serial=self.device_serial,
+        )
+        processor.load(
+            binary_hash=kernel_hash,
+            private_data={
+                "attestation_key": attestation_key,
+                "kernel_certificate_signature": kernel_certificate_signature,
+                "device_serial": self.device_serial,
+            },
+        )
+        return record

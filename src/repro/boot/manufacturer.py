@@ -1,0 +1,111 @@
+"""The Manufacturer's role: device key provisioning and firmware sealing.
+
+Figure 2, steps 1-2: during production the Manufacturer burns an AES device
+key into the e-fuses (optionally PUF-wrapped), embeds an asymmetric private
+device key inside the SPB firmware, encrypts that firmware under the AES
+device key, and registers the public device key with a trusted certificate
+authority.  After provisioning, the Manufacturer retains no control over the
+device -- everything later in the workflow authenticates back to the
+certificate it published.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.boot.certificates import Certificate, CertificateAuthority
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import EcPrivateKey
+from repro.crypto.keys import AesDeviceKey, DeviceKeySet
+from repro.errors import BootError
+from repro.hw.board import FpgaBoard
+from repro.hw.spb import seal_firmware_image
+
+FIRMWARE_VERSION = "shef-spb-firmware-1.0"
+
+
+def build_firmware_payload(device_key_set: DeviceKeySet, version: str = FIRMWARE_VERSION) -> bytes:
+    """Serialize the SPB firmware payload (embeds the private device key)."""
+    body = {
+        "version": version,
+        "device_serial": device_key_set.device_serial,
+        "device_private_scalar": hex(device_key_set.private_key.scalar),
+    }
+    return json.dumps(body, sort_keys=True).encode("utf-8")
+
+
+def parse_firmware_payload(payload: bytes) -> dict:
+    """Parse a firmware payload; raises :class:`BootError` on malformed input."""
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BootError("SPB firmware payload is corrupt") from exc
+    for field_name in ("version", "device_serial", "device_private_scalar"):
+        if field_name not in body:
+            raise BootError(f"SPB firmware payload missing field {field_name!r}")
+    return body
+
+
+@dataclass
+class ProvisionedDevice:
+    """What the Manufacturer publishes about a provisioned device."""
+
+    serial: str
+    device_certificate: Certificate
+
+
+class Manufacturer:
+    """The FPGA manufacturer: provisions devices and runs the device CA."""
+
+    def __init__(self, name: str = "fpga-manufacturer", seed: int = 1):
+        self.name = name
+        self._rng = HmacDrbg(seed.to_bytes(8, "big"), b"manufacturer")
+        # The CA root key is derived from this manufacturer's own secret seed,
+        # not just its name, so two manufacturers never share a root of trust.
+        self.certificate_authority = CertificateAuthority(name, seed=self._rng.generate(32))
+        # The manufacturer's private production records; never leaves the factory.
+        self._device_records: dict[str, DeviceKeySet] = {}
+
+    def provision_device(
+        self, board: FpgaBoard, use_puf_wrapping: bool = False
+    ) -> ProvisionedDevice:
+        """Provision a fresh board: burn keys, seal firmware, publish the certificate."""
+        if board.fuses.is_provisioned:
+            raise BootError(f"board {board.serial!r} has already been provisioned")
+
+        aes_key = AesDeviceKey(self._rng.generate(32))
+        private_device_key = EcPrivateKey.generate(self._rng)
+        key_set = DeviceKeySet(
+            aes_key=aes_key,
+            private_key=private_device_key,
+            device_serial=board.serial,
+        )
+        self._device_records[board.serial] = key_set
+
+        # Step 1: burn the AES device key (optionally wrapped by the PUF so a
+        # physical fuse readout is useless off-device).
+        if use_puf_wrapping:
+            board.enable_puf_key_wrapping()
+            board.fuses.program_aes_key(board.puf.wrap_key(aes_key.material))
+        else:
+            board.fuses.program_aes_key(aes_key.material)
+        board.fuses.program_public_key_hash(private_device_key.public_key.fingerprint())
+
+        # Step 2: embed the private device key in the firmware, seal it under
+        # the AES device key, and place it on the boot medium.
+        payload = build_firmware_payload(key_set)
+        sealed = seal_firmware_image(payload, aes_key.material)
+        board.boot_medium.store("spb_firmware", sealed)
+
+        # Publish the public device key through the certificate authority.
+        certificate = self.certificate_authority.issue(
+            subject=board.serial,
+            public_key=private_device_key.public_key.encode(),
+            claims={"role": "fpga-device", "manufacturer": self.name},
+        )
+        return ProvisionedDevice(serial=board.serial, device_certificate=certificate)
+
+    def device_certificate(self, serial: str) -> Certificate:
+        """Look up the published certificate for a device serial."""
+        return self.certificate_authority.lookup(serial)

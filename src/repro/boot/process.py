@@ -1,0 +1,104 @@
+"""The end-to-end secure-boot process and its latency model.
+
+``perform_secure_boot`` chains BootROM -> SPB firmware -> Security Kernel on a
+provisioned board, returning the running :class:`SecurityKernel` plus a
+per-phase latency breakdown.  The latencies come from the board profile and
+reproduce the Section 6.1 measurement: on the Ultra96 the whole process from
+power-on to bitstream loading completes in roughly 5 seconds, which the paper
+contrasts with the ~40 s boot of a cloud VM plus ~6 s of F1 bitstream loading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.boot.firmware import KernelLaunchRecord, SpbFirmware
+from repro.boot.security_kernel import (
+    DEFAULT_SECURITY_KERNEL_BINARY,
+    DEFAULT_SOFT_CPU_BITSTREAM,
+    SecurityKernel,
+)
+from repro.errors import BootError
+from repro.hw.board import FpgaBoard
+
+# Reference points the paper cites for comparison (Section 6.1).
+TYPICAL_VM_BOOT_SECONDS = 40.0
+F1_BITSTREAM_LOAD_SECONDS = 6.2
+
+
+@dataclass
+class SecureBootResult:
+    """Outcome of a secure boot: the running kernel and the latency breakdown."""
+
+    kernel: SecurityKernel
+    launch_record: KernelLaunchRecord
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+def install_security_kernel(
+    board: FpgaBoard,
+    kernel_binary: bytes = DEFAULT_SECURITY_KERNEL_BINARY,
+    soft_cpu_bitstream: bytes = DEFAULT_SOFT_CPU_BITSTREAM,
+) -> None:
+    """Place the Security Kernel binary (and soft-CPU bitstream) on the boot medium.
+
+    The boot medium is attacker-writable storage; nothing is trusted until the
+    firmware measures it.
+    """
+    board.boot_medium.store("security_kernel", kernel_binary)
+    if board.security_kernel_processor.is_soft:
+        board.boot_medium.store("soft_cpu_bitstream", soft_cpu_bitstream)
+
+
+def perform_secure_boot(
+    board: FpgaBoard, include_partial_reconfig_time: bool = True
+) -> SecureBootResult:
+    """Run the full secure-boot chain on a provisioned board.
+
+    Phases and their latency contributions (seconds, from the board profile):
+
+    * ``boot_rom`` -- BootROM fetches and decrypts the SPB firmware,
+    * ``firmware`` -- firmware initialization,
+    * ``kernel_measure_and_launch`` -- hashing the kernel, deriving the
+      Attestation Key, loading the dedicated processor,
+    * ``partial_reconfiguration`` -- (optional) the later bitstream-load time,
+      included so the total matches the paper's "power-on to bitstream
+      loading" definition.
+    """
+    if "security_kernel" not in board.boot_medium:
+        raise BootError(
+            "no Security Kernel on the boot medium; call install_security_kernel first"
+        )
+    profile = board.profile
+    phases: dict[str, float] = {}
+
+    # Phase 1: BootROM.
+    firmware_payload = board.spb.boot_rom_load_firmware(board.boot_medium)
+    phases["boot_rom"] = profile.boot_rom_seconds
+
+    # Phase 2: firmware comes up.
+    firmware = SpbFirmware.from_payload(firmware_payload)
+    phases["firmware"] = profile.firmware_load_seconds
+
+    # Phase 3: measure + launch the Security Kernel.
+    kernel_binary = board.boot_medium.load("security_kernel")
+    soft_bitstream = (
+        board.boot_medium.load("soft_cpu_bitstream")
+        if board.security_kernel_processor.is_soft
+        else b""
+    )
+    launch_record = firmware.measure_and_launch_kernel(
+        board, kernel_binary, soft_cpu_bitstream=soft_bitstream
+    )
+    phases["kernel_measure_and_launch"] = profile.kernel_load_seconds
+
+    if include_partial_reconfig_time:
+        phases["partial_reconfiguration"] = profile.partial_reconfig_seconds
+
+    kernel = SecurityKernel(board, launch_record)
+    board.clock.advance(int(sum(phases.values()) * profile.clock_hz))
+    return SecureBootResult(kernel=kernel, launch_record=launch_record, phase_seconds=phases)

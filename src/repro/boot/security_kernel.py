@@ -1,0 +1,169 @@
+"""The ShEF Security Kernel.
+
+The Security Kernel is open-source software running on a dedicated processor
+with private on-chip memory.  It holds no long-term secrets -- only the
+per-boot Attestation Key pair the firmware placed in its private memory -- and
+has three jobs (Section 3):
+
+1. serve remote-attestation requests from IP Vendors / Data Owners,
+2. mediate all access to the fabric: launch the CSP's Shell into the static
+   region, then decrypt (with the Bitstream Key received over the attested
+   session) and load the accelerator bitstream into the user region,
+3. continuously poll the hardware tamper monitors (JTAG / programming ports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attestation.messages import (
+    AttestationChallenge,
+    AttestationReport,
+    EncryptedKeyDelivery,
+    SignedAttestationReport,
+)
+from repro.boot.firmware import KernelLaunchRecord
+from repro.crypto.authenc import AuthenticatedCipher, AuthenticatedMessage
+from repro.crypto.ecc import EcPublicKey, derive_session_key, ecdsa_sign
+from repro.crypto.mac import MAC_TAG_SIZES
+from repro.errors import AttestationError, BitstreamError, BootError
+from repro.hw.bitstream import Bitstream, EncryptedBitstream, decrypt_bitstream
+from repro.hw.board import FpgaBoard
+
+# The "binary" of the reference Security Kernel.  Its hash is what IP Vendors
+# whitelist; changing a byte changes the measurement and attestation fails.
+DEFAULT_SECURITY_KERNEL_BINARY = (
+    b"ShEF Security Kernel v1.0\n"
+    b"services: remote-attestation, bitstream-load, tamper-monitor\n"
+)
+
+# Bitstream of the soft Security Kernel Processor (used on boards without a
+# spare hard core, e.g. the F1 profile); measured alongside the kernel binary.
+DEFAULT_SOFT_CPU_BITSTREAM = b"ShEF MicroBlaze Security Kernel Processor v1.0\n"
+
+
+@dataclass
+class AttestationSessionState:
+    """Per-attestation state the kernel keeps between challenge and key delivery."""
+
+    session_cipher: AuthenticatedCipher
+    verification_public_key: bytes
+    nonce: bytes
+
+
+class SecurityKernel:
+    """A running Security Kernel instance bound to one board and one boot."""
+
+    def __init__(self, board: FpgaBoard, launch_record: KernelLaunchRecord):
+        processor = board.security_kernel_processor
+        if processor.running_binary_hash != launch_record.kernel_hash:
+            raise BootError("Security Kernel processor is not running the measured binary")
+        self.board = board
+        self.kernel_hash = launch_record.kernel_hash
+        self.device_serial = launch_record.device_serial
+        self._attestation_key = launch_record.attestation_key
+        self._kernel_certificate_signature = launch_record.kernel_certificate_signature
+        self._staged_bitstream: Optional[EncryptedBitstream] = None
+        self._bitstream_key: Optional[bytes] = None
+        self._session: Optional[AttestationSessionState] = None
+        self.loaded_bitstream: Optional[Bitstream] = None
+        self.attestations_served = 0
+
+    # -- Shell and bitstream management ----------------------------------------
+
+    def launch_shell(self, shell_bitstream: Bitstream) -> None:
+        """Load the CSP's Shell into the static region (auditable: kernel-mediated)."""
+        self.board.fabric.program_region(FpgaBoard.SHELL_REGION, shell_bitstream)
+
+    def stage_encrypted_bitstream(self, encrypted: EncryptedBitstream) -> None:
+        """Receive the encrypted accelerator bitstream from the FPGA driver."""
+        self._staged_bitstream = encrypted
+
+    @property
+    def staged_bitstream_hash(self) -> bytes:
+        """``H(Enc_BitstrKey(Accelerator))`` over the currently staged bitstream."""
+        if self._staged_bitstream is None:
+            raise AttestationError("no encrypted bitstream has been staged")
+        return self._staged_bitstream.measurement()
+
+    # -- remote attestation ------------------------------------------------------
+
+    def handle_challenge(self, challenge: AttestationChallenge) -> SignedAttestationReport:
+        """Respond to an IP Vendor challenge with a signed attestation report.
+
+        Implements steps 3-4 of Figure 3: hash the staged encrypted bitstream,
+        derive the SessionKey with ECDH, sign the SessionKey and the report
+        with the Attestation private key.
+        """
+        self.monitor_ports()
+        bitstream_hash = self.staged_bitstream_hash
+        verification_key = EcPublicKey.decode(challenge.verification_public_key)
+        session_key = derive_session_key(
+            self._attestation_key.private_key, verification_key
+        )
+        session_key_signature = ecdsa_sign(
+            self._attestation_key.private_key, b"shef-session-key" + session_key
+        )
+        report = AttestationReport(
+            nonce=challenge.nonce,
+            encrypted_bitstream_hash=bitstream_hash,
+            attestation_public_key=self._attestation_key.public_key.encode(),
+            kernel_hash=self.kernel_hash,
+            kernel_certificate_signature=self._kernel_certificate_signature,
+            device_serial=self.device_serial,
+        )
+        report_signature = ecdsa_sign(
+            self._attestation_key.private_key, report.canonical_bytes()
+        )
+        self._session = AttestationSessionState(
+            session_cipher=AuthenticatedCipher(session_key, "HMAC"),
+            verification_public_key=challenge.verification_public_key,
+            nonce=challenge.nonce,
+        )
+        self.attestations_served += 1
+        return SignedAttestationReport(
+            report=report,
+            report_signature=report_signature,
+            session_key_signature=session_key_signature,
+        )
+
+    def receive_bitstream_key(self, delivery: EncryptedKeyDelivery) -> None:
+        """Decrypt the Bitstream Key sent by the IP Vendor over the attested session."""
+        if self._session is None:
+            raise AttestationError("bitstream key delivered before attestation completed")
+        message = AuthenticatedMessage.deserialize(
+            delivery.sealed_payload, tag_size=MAC_TAG_SIZES["HMAC"]
+        )
+        self._bitstream_key = self._session.session_cipher.open(
+            message, associated_data=b"bitstream-key" + self._session.nonce
+        )
+
+    # -- accelerator loading -------------------------------------------------------
+
+    def load_accelerator(self) -> Bitstream:
+        """Decrypt the staged bitstream and program it into the user region.
+
+        The plaintext bitstream (containing the IP and the Shield's private
+        key) only ever exists inside this method's scope and the fabric model,
+        mirroring "handled only in secure on-chip memory".
+        """
+        if self._staged_bitstream is None:
+            raise BitstreamError("no encrypted bitstream staged for loading")
+        if self._bitstream_key is None:
+            raise BitstreamError("the Bitstream Key has not been provisioned")
+        self.monitor_ports()
+        plaintext = decrypt_bitstream(self._staged_bitstream, self._bitstream_key)
+        self.board.fabric.program_region(FpgaBoard.USER_REGION, plaintext)
+        self.loaded_bitstream = plaintext
+        return plaintext
+
+    # -- isolated execution ----------------------------------------------------------
+
+    def monitor_ports(self) -> None:
+        """Poll tamper monitors; any unexpected JTAG/ICAP access aborts the flow."""
+        self.board.tamper_monitor.assert_untampered()
+
+    def holds_device_secrets(self) -> bool:
+        """The kernel never holds device keys -- used by tests to assert the TCB claim."""
+        return False

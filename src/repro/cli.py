@@ -1,0 +1,132 @@
+"""Command-line interface for the ShEF reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``experiments`` -- run one (or all) of the paper's experiments and print the
+  same rows the paper reports, optionally exporting CSV/JSON;
+* ``deploy-demo`` -- run the end-to-end Figure 2 workflow on a chosen
+  accelerator and report boot/attestation/Shield status;
+* ``list`` -- enumerate the available accelerators, experiments, and board
+  profiles.
+
+Usage::
+
+    python -m repro.cli experiments table-2
+    python -m repro.cli experiments all --export-dir results/
+    python -m repro.cli deploy-demo dnnweaver --board aws-f1
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.accelerators import ALL_ACCELERATORS
+from repro.hw.board import BoardModel
+from repro.sim import experiments as experiments_module
+from repro.sim.export import write_experiment
+from repro.sim.reporting import render_experiment
+
+EXPERIMENTS = {
+    "section-6.1": experiments_module.boot_latency_experiment,
+    "table-1": experiments_module.table1_experiment,
+    "figure-5": experiments_module.figure5_experiment,
+    "section-6.2.2-matmul": experiments_module.matmul_companion_experiment,
+    "table-2": experiments_module.table2_experiment,
+    "figure-6": experiments_module.figure6_experiment,
+    "table-3": experiments_module.table3_experiment,
+    "ablation-replay": experiments_module.ablation_replay_protection,
+    "ablation-chunk-size": experiments_module.ablation_chunk_size,
+    "ablation-buffer": experiments_module.ablation_buffer_size,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ShEF (ASPLOS 2022) reproduction command-line interface"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "experiments", help="run one of the paper's experiments (or 'all')"
+    )
+    run_parser.add_argument(
+        "experiment", choices=sorted(EXPERIMENTS) + ["all"], help="experiment identifier"
+    )
+    run_parser.add_argument(
+        "--export-dir", default=None, help="write each result as CSV into this directory"
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="export JSON instead of CSV"
+    )
+
+    demo_parser = subparsers.add_parser(
+        "deploy-demo", help="run the end-to-end deployment workflow for an accelerator"
+    )
+    demo_parser.add_argument("accelerator", choices=sorted(ALL_ACCELERATORS))
+    demo_parser.add_argument(
+        "--board", choices=[model.value for model in BoardModel], default="aws-f1"
+    )
+
+    subparsers.add_parser("list", help="list accelerators, experiments, and boards")
+    return parser
+
+
+def run_experiments(args: argparse.Namespace, out=sys.stdout) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(render_experiment(result), file=out)
+        print(file=out)
+        if args.export_dir:
+            os.makedirs(args.export_dir, exist_ok=True)
+            extension = "json" if args.json else "csv"
+            path = os.path.join(args.export_dir, f"{name}.{extension}")
+            write_experiment(result, path)
+            print(f"wrote {path}", file=out)
+    return 0
+
+
+def run_deploy_demo(args: argparse.Namespace, out=sys.stdout) -> int:
+    from repro.workflow import deploy_accelerator
+
+    accelerator = ALL_ACCELERATORS[args.accelerator]()
+    config = accelerator.build_shield_config()
+    deployment = deploy_accelerator(args.accelerator, config, board_model=args.board)
+    print(f"accelerator        : {args.accelerator}", file=out)
+    print(f"board              : {args.board}", file=out)
+    print(f"secure boot        : {deployment.boot_result.total_seconds:.1f} s (modelled)", file=out)
+    print(f"attestation        : {deployment.attestation.transcript_length} messages", file=out)
+    print(f"shield operational : {deployment.shield.operational}", file=out)
+    print(f"engine sets        : {len(config.engine_sets)}", file=out)
+    print(f"protected regions  : {len(config.regions)}", file=out)
+    return 0
+
+
+def run_list(out=sys.stdout) -> int:
+    print("accelerators:", file=out)
+    for name in sorted(ALL_ACCELERATORS):
+        print(f"  {name}", file=out)
+    print("experiments:", file=out)
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}", file=out)
+    print("boards:", file=out)
+    for model in BoardModel:
+        print(f"  {model.value}", file=out)
+    return 0
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return run_experiments(args, out=out)
+    if args.command == "deploy-demo":
+        return run_deploy_demo(args, out=out)
+    return run_list(out=out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

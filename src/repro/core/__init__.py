@@ -1,0 +1,93 @@
+"""The paper's primary contribution: the ShEF Shield and its models.
+
+This package contains the configurable Shield (burst decoder, engine sets with
+AES/HMAC/PMAC engines, on-chip plaintext buffers, integrity counters, the
+Bonsai-Merkle baseline, and the shielded register interface), plus the area
+and timing models used to reproduce the paper's evaluation, and the end-to-end
+workflow that ties the Shield to secure boot and remote attestation.
+"""
+
+from repro.core.area import (
+    ResourceVector,
+    component_area,
+    shield_area,
+    shield_utilization,
+    table1_rows,
+)
+from repro.core.buffer import BufferStats, PlaintextBuffer
+from repro.core.burst_decoder import BurstDecoder, RoutedAccess
+from repro.core.config import (
+    MAC_TAG_BYTES,
+    EngineSetConfig,
+    RegionConfig,
+    RegisterInterfaceConfig,
+    ShieldConfig,
+)
+from repro.core.counters import IntegrityCounterStore
+from repro.core.engine_set import PipelineStats, RegionPipeline
+from repro.core.engines import (
+    AesEngine,
+    MacEngine,
+    engine_set_authentication_rate,
+    engine_set_crypto_rate,
+    engine_set_encryption_rate,
+)
+from repro.core.key_store import ShieldKeyStore
+from repro.core.merkle import BonsaiMerkleCounterTree, merkle_extra_dram_bytes
+from repro.core.register_interface import RegisterChannelClient, ShieldedRegisterFile
+from repro.core.sealing import RegionSealer, SealedChunk, chunk_iv, region_key
+from repro.core.shield import Shield, ShieldStats
+from repro.core.sidechannel import (
+    ActiveFenceConfig,
+    recommend_chunk_size,
+    size_fence_for,
+)
+from repro.core.timing import (
+    RegionTraffic,
+    TimingBreakdown,
+    TimingModel,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "ResourceVector",
+    "component_area",
+    "shield_area",
+    "shield_utilization",
+    "table1_rows",
+    "BufferStats",
+    "PlaintextBuffer",
+    "BurstDecoder",
+    "RoutedAccess",
+    "MAC_TAG_BYTES",
+    "EngineSetConfig",
+    "RegionConfig",
+    "RegisterInterfaceConfig",
+    "ShieldConfig",
+    "IntegrityCounterStore",
+    "PipelineStats",
+    "RegionPipeline",
+    "AesEngine",
+    "MacEngine",
+    "engine_set_authentication_rate",
+    "engine_set_crypto_rate",
+    "engine_set_encryption_rate",
+    "ShieldKeyStore",
+    "BonsaiMerkleCounterTree",
+    "merkle_extra_dram_bytes",
+    "RegisterChannelClient",
+    "ShieldedRegisterFile",
+    "RegionSealer",
+    "SealedChunk",
+    "chunk_iv",
+    "region_key",
+    "Shield",
+    "ShieldStats",
+    "ActiveFenceConfig",
+    "recommend_chunk_size",
+    "size_fence_for",
+    "RegionTraffic",
+    "TimingBreakdown",
+    "TimingModel",
+    "WorkloadProfile",
+]

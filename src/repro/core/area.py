@@ -1,0 +1,160 @@
+"""Parametric area model of the Shield (Table 1 and Table 3 of the paper).
+
+Table 1 reports the per-component FPGA resource usage of the Shield on AWS F1;
+a full Shield's area is the sum of its configured components.  This model is
+seeded with exactly those per-component numbers and composes them according to
+a :class:`~repro.core.config.ShieldConfig`, so Table 1 is reproduced directly
+and Table 3 / the SDP area figures follow from the per-accelerator
+configurations.  On-chip memory (buffers + integrity counters) is converted to
+36 Kb BRAM-block equivalents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineSetConfig, ShieldConfig
+from repro.errors import ConfigurationError
+
+# Device totals used to express utilization percentages (AWS F1 VU9P user-visible).
+F1_TOTAL_LUTS = 900_000
+F1_TOTAL_REGISTERS = 1_790_000
+F1_TOTAL_BRAM_BLOCKS = 1_680
+BRAM_BLOCK_BYTES = 4_608  # one 36 Kb block
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A (BRAM blocks, LUTs, registers) triple."""
+
+    bram_blocks: float = 0.0
+    luts: float = 0.0
+    registers: float = 0.0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.bram_blocks + other.bram_blocks,
+            self.luts + other.luts,
+            self.registers + other.registers,
+        )
+
+    def scaled(self, factor: float) -> "ResourceVector":
+        return ResourceVector(
+            self.bram_blocks * factor, self.luts * factor, self.registers * factor
+        )
+
+    def utilization(self) -> dict:
+        """Percent utilization of the F1 device."""
+        return {
+            "BRAM": 100.0 * self.bram_blocks / F1_TOTAL_BRAM_BLOCKS,
+            "LUT": 100.0 * self.luts / F1_TOTAL_LUTS,
+            "REG": 100.0 * self.registers / F1_TOTAL_REGISTERS,
+        }
+
+
+# Per-component costs (Table 1).  Base modules exclude crypto engines and OCM.
+COMPONENT_AREAS = {
+    "controller": ResourceVector(bram_blocks=0, luts=2348, registers=547),
+    "engine_set": ResourceVector(bram_blocks=2, luts=1068, registers=2508),
+    "register_interface": ResourceVector(bram_blocks=0, luts=3251, registers=1902),
+    "aes_4x": ResourceVector(bram_blocks=0, luts=2435, registers=2347),
+    "aes_16x": ResourceVector(bram_blocks=0, luts=2898, registers=2347),
+    "hmac": ResourceVector(bram_blocks=0, luts=3926, registers=2636),
+    "pmac": ResourceVector(bram_blocks=0, luts=2545, registers=2570),
+    "cmac": ResourceVector(bram_blocks=0, luts=2250, registers=2100),
+}
+
+
+def component_area(name: str) -> ResourceVector:
+    """Area of one named Shield component (Table 1 row)."""
+    try:
+        return COMPONENT_AREAS[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown Shield component {name!r}") from None
+
+
+def aes_engine_area(sbox_parallelism: int) -> ResourceVector:
+    """AES engine area as a function of S-box parallelism.
+
+    Table 1 gives the 4x and 16x points; intermediate values interpolate the
+    LUT count linearly (registers are dominated by state and stay flat).
+    """
+    low = COMPONENT_AREAS["aes_4x"]
+    high = COMPONENT_AREAS["aes_16x"]
+    if sbox_parallelism <= 4:
+        return low
+    if sbox_parallelism >= 16:
+        return high
+    fraction = (sbox_parallelism - 4) / 12.0
+    return ResourceVector(
+        bram_blocks=0,
+        luts=low.luts + fraction * (high.luts - low.luts),
+        registers=low.registers,
+    )
+
+
+def mac_engine_area(algorithm: str) -> ResourceVector:
+    """Authentication engine area (HMAC / PMAC / CMAC)."""
+    key = algorithm.lower()
+    if key not in ("hmac", "pmac", "cmac"):
+        raise ConfigurationError(f"unknown MAC algorithm {algorithm!r}")
+    return COMPONENT_AREAS[key]
+
+
+def on_chip_memory_area(num_bytes: int) -> ResourceVector:
+    """BRAM-block equivalents of buffers and counters."""
+    if num_bytes <= 0:
+        return ResourceVector()
+    blocks = -(-num_bytes // BRAM_BLOCK_BYTES)
+    return ResourceVector(bram_blocks=blocks, luts=0, registers=0)
+
+
+def engine_set_area(config: EngineSetConfig, counter_bytes: int = 0) -> ResourceVector:
+    """Total area of one engine set with its engines, buffer, and counters."""
+    total = component_area("engine_set")
+    total = total + aes_engine_area(config.sbox_parallelism).scaled(config.num_aes_engines)
+    total = total + mac_engine_area(config.mac_algorithm).scaled(config.num_mac_engines)
+    total = total + on_chip_memory_area(config.buffer_bytes + counter_bytes)
+    return total
+
+
+def register_interface_area(config: ShieldConfig) -> ResourceVector:
+    """Area of the register interface including its own crypto engines."""
+    reg = config.register_interface
+    total = component_area("register_interface")
+    total = total + aes_engine_area(reg.sbox_parallelism)
+    total = total + mac_engine_area(reg.mac_algorithm)
+    return total
+
+
+def shield_area(config: ShieldConfig) -> ResourceVector:
+    """Total area of a configured Shield (the Table 3 quantity)."""
+    config.validate()
+    total = component_area("controller")
+    total = total + register_interface_area(config)
+    for engine_set in config.engine_sets:
+        counter_bytes = sum(
+            4 * region.num_chunks
+            for region in config.regions_for_engine_set(engine_set.name)
+            if region.replay_protected
+        )
+        total = total + engine_set_area(engine_set, counter_bytes)
+    return total
+
+
+def shield_utilization(config: ShieldConfig) -> dict:
+    """Percent utilization of the F1 device for a configured Shield."""
+    return shield_area(config).utilization()
+
+
+def table1_rows() -> dict:
+    """The per-component rows of Table 1 with their F1 utilization percentages."""
+    rows = {}
+    for name, vector in COMPONENT_AREAS.items():
+        rows[name] = {
+            "BRAM": vector.bram_blocks,
+            "LUT": vector.luts,
+            "REG": vector.registers,
+            "utilization": vector.utilization(),
+        }
+    return rows

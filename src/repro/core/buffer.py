@@ -1,0 +1,119 @@
+"""The engine set's on-chip plaintext buffer (a cache with C_mem-sized lines).
+
+Section 5.2.2: each engine set optionally includes a Block-RAM/UltraRAM buffer
+holding decrypted, authenticated plaintext chunks.  Hits are served entirely
+on-chip; misses fetch and verify the whole chunk; dirty evictions re-seal the
+chunk and write it (plus its tag) back to DRAM.  The buffer is allocated out
+of the board's :class:`~repro.hw.memory.OnChipMemory` budget so configurations
+that do not fit raise :class:`~repro.errors.CapacityError` just like an
+over-provisioned RTL design would fail placement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ShieldError
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters for one buffer."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class BufferLine:
+    """One cached chunk of plaintext."""
+
+    chunk_index: int
+    data: bytearray
+    dirty: bool = False
+    version: int = 0
+
+
+class PlaintextBuffer:
+    """An LRU cache of decrypted chunks for one (engine set, region) pair."""
+
+    def __init__(self, capacity_bytes: int, chunk_size: int):
+        if chunk_size <= 0:
+            raise ShieldError("buffer chunk size must be positive")
+        self.chunk_size = chunk_size
+        self.capacity_lines = capacity_bytes // chunk_size if capacity_bytes else 0
+        self._lines: OrderedDict[int, BufferLine] = OrderedDict()
+        self.stats = BufferStats()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_lines > 0
+
+    def lookup(self, chunk_index: int) -> BufferLine | None:
+        """Return the cached line for a chunk (refreshing LRU order) or None."""
+        line = self._lines.get(chunk_index)
+        if line is None:
+            self.stats.misses += 1
+            return None
+        self._lines.move_to_end(chunk_index)
+        self.stats.hits += 1
+        return line
+
+    def peek(self, chunk_index: int) -> BufferLine | None:
+        """Return a line without updating statistics or LRU order."""
+        return self._lines.get(chunk_index)
+
+    def insert(
+        self, chunk_index: int, data: bytes, dirty: bool = False, version: int = 0
+    ) -> BufferLine | None:
+        """Insert (or replace) a line; returns an evicted dirty line, if any.
+
+        The caller is responsible for writing the evicted line back to DRAM.
+        """
+        if not self.enabled:
+            raise ShieldError("this engine set has no on-chip buffer configured")
+        if len(data) != self.chunk_size:
+            raise ShieldError("buffer lines must be exactly one chunk in size")
+        evicted: BufferLine | None = None
+        if chunk_index not in self._lines and len(self._lines) >= self.capacity_lines:
+            _, candidate = self._lines.popitem(last=False)
+            self.stats.evictions += 1
+            if candidate.dirty:
+                self.stats.writebacks += 1
+                evicted = candidate
+        self._lines[chunk_index] = BufferLine(
+            chunk_index=chunk_index, data=bytearray(data), dirty=dirty, version=version
+        )
+        self._lines.move_to_end(chunk_index)
+        return evicted
+
+    def mark_dirty(self, chunk_index: int) -> None:
+        line = self._lines.get(chunk_index)
+        if line is None:
+            raise ShieldError(f"chunk {chunk_index} is not resident in the buffer")
+        line.dirty = True
+
+    def dirty_lines(self) -> list:
+        """All dirty lines, oldest first (used by flush)."""
+        return [line for line in self._lines.values() if line.dirty]
+
+    def invalidate(self) -> None:
+        """Drop every line (dirty contents are discarded; callers must flush first)."""
+        self._lines.clear()
+
+    def resident_chunks(self) -> list:
+        return list(self._lines.keys())
+
+    def __len__(self) -> int:
+        return len(self._lines)

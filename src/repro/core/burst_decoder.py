@@ -1,0 +1,76 @@
+"""The Shield's burst decoder: routing accelerator bursts to engine sets.
+
+Section 5.2.2: "Each burst request is transformed by a burst decoder in the
+Shield, which consults a map of IP Vendor-specified memory regions and maps
+each address range to one of the engine sets."  The decoder also splits bursts
+that span region boundaries so each piece is handled by exactly one engine
+set, and rejects accesses that fall outside every protected region (the Shield
+never lets the accelerator touch unprotected DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RegionConfig, ShieldConfig
+from repro.errors import ShieldError
+
+
+@dataclass(frozen=True)
+class RoutedAccess:
+    """One piece of a burst, mapped to a single region."""
+
+    region: RegionConfig
+    address: int
+    length: int
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.length
+
+
+class BurstDecoder:
+    """Maps (address, length) accesses onto the Shield's protected regions."""
+
+    def __init__(self, config: ShieldConfig):
+        self._config = config
+        self._regions = sorted(config.regions, key=lambda r: r.base_address)
+
+    def region_for(self, address: int) -> RegionConfig:
+        """The region containing ``address``; raises if unmapped."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise ShieldError(
+            f"address {address:#x} is not mapped to any protected region"
+        )
+
+    def route(self, address: int, length: int) -> list:
+        """Split an access into per-region pieces (raises on unmapped bytes)."""
+        if length <= 0:
+            raise ShieldError("burst length must be positive")
+        pieces: list[RoutedAccess] = []
+        cursor = address
+        end = address + length
+        while cursor < end:
+            region = self.region_for(cursor)
+            piece_end = min(end, region.end_address)
+            pieces.append(RoutedAccess(region=region, address=cursor, length=piece_end - cursor))
+            cursor = piece_end
+        return pieces
+
+    def chunk_spans(self, access: RoutedAccess) -> list:
+        """Break a routed access into (chunk_index, offset_in_chunk, length) tuples."""
+        region = access.region
+        spans = []
+        cursor = access.address
+        remaining = access.length
+        while remaining > 0:
+            chunk_index = region.chunk_index(cursor)
+            chunk_base = region.base_address + chunk_index * region.chunk_size
+            offset = cursor - chunk_base
+            take = min(remaining, region.chunk_size - offset)
+            spans.append((chunk_index, offset, take))
+            cursor += take
+            remaining -= take
+        return spans

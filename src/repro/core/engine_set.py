@@ -1,0 +1,213 @@
+"""The per-region authenticated-encryption pipeline (an engine set at work).
+
+A :class:`RegionPipeline` is the runtime datapath that an engine set provides
+for one protected memory region: on reads it fetches ciphertext chunks and
+their tags from DRAM through the untrusted Shell, verifies and decrypts them,
+and serves the accelerator from an optional on-chip plaintext buffer; on
+writes it updates the buffer (or performs read-modify-write without one) and
+re-seals dirty chunks back to DRAM, bumping the on-chip integrity counter for
+replay-protected regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.buffer import PlaintextBuffer
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig, MAC_TAG_BYTES
+from repro.core.counters import IntegrityCounterStore
+from repro.core.sealing import RegionSealer
+from repro.errors import ShieldError
+from repro.hw.axi import AxiPort
+from repro.hw.memory import OnChipMemory
+
+
+@dataclass
+class PipelineStats:
+    """Per-region traffic statistics (DRAM side and accelerator side)."""
+
+    accel_bytes_read: int = 0
+    accel_bytes_written: int = 0
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    chunks_fetched: int = 0
+    chunks_written_back: int = 0
+    tag_bytes: int = 0
+    integrity_failures: int = 0
+
+
+class RegionPipeline:
+    """Authenticated-encryption datapath for one region behind one engine set."""
+
+    def __init__(
+        self,
+        shield_config: ShieldConfig,
+        region: RegionConfig,
+        engine_config: EngineSetConfig,
+        data_encryption_key: bytes,
+        memory_port: AxiPort,
+        on_chip_memory: OnChipMemory,
+        buffer_bytes: Optional[int] = None,
+    ):
+        self.shield_config = shield_config
+        self.region = region
+        self.engine_config = engine_config
+        self._port = memory_port
+        self._sealer = RegionSealer(data_encryption_key, region, engine_config)
+        self.stats = PipelineStats()
+
+        buffer_budget = engine_config.buffer_bytes if buffer_bytes is None else buffer_bytes
+        if buffer_budget:
+            on_chip_memory.allocate(
+                f"{shield_config.shield_id}:{region.name}:buffer", buffer_budget
+            )
+        self.buffer = PlaintextBuffer(buffer_budget, region.chunk_size)
+
+        self.counters: Optional[IntegrityCounterStore] = None
+        if region.replay_protected:
+            allocation = on_chip_memory.allocate(
+                f"{shield_config.shield_id}:{region.name}:counters",
+                4 * region.num_chunks,
+            )
+            self.counters = IntegrityCounterStore(allocation, region.num_chunks)
+
+    # -- chunk-level DRAM operations ---------------------------------------------
+
+    def _chunk_address(self, chunk_index: int) -> int:
+        return self.region.base_address + chunk_index * self.region.chunk_size
+
+    def _current_version(self, chunk_index: int) -> int:
+        return self.counters.read(chunk_index) if self.counters is not None else 0
+
+    def _fetch_chunk(self, chunk_index: int) -> bytes:
+        """Read, verify, and decrypt one chunk from DRAM."""
+        chunk_size = self.region.chunk_size
+        ciphertext = self._port.read(
+            self._chunk_address(chunk_index), chunk_size, region_hint=self.region.name
+        )
+        tag = self._port.read(
+            self.shield_config.tag_address(self.region, chunk_index),
+            MAC_TAG_BYTES,
+            region_hint="tags",
+        )
+        self.stats.dram_bytes_read += chunk_size + MAC_TAG_BYTES
+        self.stats.tag_bytes += MAC_TAG_BYTES
+        self.stats.chunks_fetched += 1
+        version = self._current_version(chunk_index)
+        try:
+            return self._sealer.unseal_chunk(chunk_index, ciphertext, tag, version)
+        except Exception:
+            self.stats.integrity_failures += 1
+            raise
+
+    def _store_chunk(self, chunk_index: int, plaintext: bytes) -> None:
+        """Seal and write one chunk (and its tag) back to DRAM."""
+        if self.counters is not None:
+            version = self.counters.increment(chunk_index)
+        else:
+            version = 0
+        sealed = self._sealer.seal_chunk(chunk_index, plaintext, version)
+        self._port.write(
+            self._chunk_address(chunk_index), sealed.ciphertext, region_hint=self.region.name
+        )
+        self._port.write(
+            self.shield_config.tag_address(self.region, chunk_index),
+            sealed.tag,
+            region_hint="tags",
+        )
+        self.stats.dram_bytes_written += len(sealed.ciphertext) + MAC_TAG_BYTES
+        self.stats.tag_bytes += MAC_TAG_BYTES
+        self.stats.chunks_written_back += 1
+
+    # -- buffer-mediated access -----------------------------------------------------
+
+    def _chunk_plaintext_for_read(self, chunk_index: int) -> bytes:
+        if self.buffer.enabled:
+            line = self.buffer.lookup(chunk_index)
+            if line is not None:
+                return bytes(line.data)
+            plaintext = self._fetch_chunk(chunk_index)
+            evicted = self.buffer.insert(chunk_index, plaintext, dirty=False)
+            if evicted is not None:
+                self._store_chunk(evicted.chunk_index, bytes(evicted.data))
+            return plaintext
+        return self._fetch_chunk(chunk_index)
+
+    def _write_span(self, chunk_index: int, offset: int, data: bytes) -> None:
+        chunk_size = self.region.chunk_size
+        full_chunk_write = offset == 0 and len(data) == chunk_size
+        if self.buffer.enabled:
+            line = self.buffer.lookup(chunk_index)
+            if line is None:
+                if full_chunk_write or self.region.streaming_write_only:
+                    base = bytearray(chunk_size)
+                else:
+                    base = bytearray(self._fetch_chunk(chunk_index))
+                evicted = self.buffer.insert(chunk_index, bytes(base), dirty=False)
+                if evicted is not None:
+                    self._store_chunk(evicted.chunk_index, bytes(evicted.data))
+                line = self.buffer.peek(chunk_index)
+            line.data[offset : offset + len(data)] = data
+            line.dirty = True
+            return
+        # No buffer: read-modify-write unless the write covers the whole chunk.
+        if full_chunk_write:
+            self._store_chunk(chunk_index, data)
+            return
+        if self.region.streaming_write_only:
+            base = bytearray(chunk_size)
+        else:
+            base = bytearray(self._fetch_chunk(chunk_index))
+        base[offset : offset + len(data)] = data
+        self._store_chunk(chunk_index, bytes(base))
+
+    # -- accelerator-facing API --------------------------------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read plaintext on behalf of the accelerator."""
+        self._check_bounds(address, length)
+        self.stats.accel_bytes_read += length
+        out = bytearray()
+        cursor = address
+        remaining = length
+        while remaining > 0:
+            chunk_index = self.region.chunk_index(cursor)
+            chunk_base = self._chunk_address(chunk_index)
+            offset = cursor - chunk_base
+            take = min(remaining, self.region.chunk_size - offset)
+            plaintext = self._chunk_plaintext_for_read(chunk_index)
+            out += plaintext[offset : offset + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write plaintext on behalf of the accelerator."""
+        self._check_bounds(address, len(data))
+        self.stats.accel_bytes_written += len(data)
+        cursor = address
+        offset_in_data = 0
+        remaining = len(data)
+        while remaining > 0:
+            chunk_index = self.region.chunk_index(cursor)
+            chunk_base = self._chunk_address(chunk_index)
+            offset = cursor - chunk_base
+            take = min(remaining, self.region.chunk_size - offset)
+            self._write_span(chunk_index, offset, data[offset_in_data : offset_in_data + take])
+            cursor += take
+            offset_in_data += take
+            remaining -= take
+
+    def flush(self) -> None:
+        """Write every dirty buffered chunk back to DRAM."""
+        for line in self.buffer.dirty_lines():
+            self._store_chunk(line.chunk_index, bytes(line.data))
+            line.dirty = False
+
+    def _check_bounds(self, address: int, length: int) -> None:
+        if not self.region.contains(address, max(length, 1)):
+            raise ShieldError(
+                f"access [{address:#x}, {address + length:#x}) outside region "
+                f"{self.region.name!r}"
+            )

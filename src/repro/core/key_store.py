@@ -1,0 +1,48 @@
+"""Ephemeral key storage inside the Shield.
+
+The Shield's key storage holds two things: the private Shield Encryption Key
+that the IP Vendor embedded in the bitstream, and the Data Encryption Key(s)
+that arrive at runtime wrapped as Load Keys (Figure 2, step 11).  Data
+Encryption Keys only ever exist in this ephemeral store -- a reset clears
+them, and nothing outside the Shield can read them back.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.rsa import RsaPrivateKey, rsa_decrypt
+from repro.errors import ShieldError
+
+
+class ShieldKeyStore:
+    """Unwraps Load Keys and holds Data Encryption Keys for the Shield's lifetime."""
+
+    def __init__(self, shield_private_key: RsaPrivateKey):
+        self._shield_private_key = shield_private_key
+        self._data_keys: dict[str, bytes] = {}
+
+    def provision_load_key(self, wrapped_key: bytes, slot: str = "default") -> None:
+        """Decrypt a Load Key into the named Data Encryption Key slot."""
+        try:
+            data_key = rsa_decrypt(self._shield_private_key, wrapped_key)
+        except Exception as exc:
+            raise ShieldError("Load Key could not be unwrapped by this Shield") from exc
+        if len(data_key) not in (16, 32):
+            raise ShieldError("unwrapped Data Encryption Key has an invalid length")
+        self._data_keys[slot] = data_key
+
+    def data_key(self, slot: str = "default") -> bytes:
+        """The Data Encryption Key for ``slot``; raises if not provisioned."""
+        try:
+            return self._data_keys[slot]
+        except KeyError:
+            raise ShieldError(
+                f"no Data Encryption Key provisioned in slot {slot!r}"
+            ) from None
+
+    @property
+    def provisioned(self) -> bool:
+        return bool(self._data_keys)
+
+    def clear(self) -> None:
+        """Erase all Data Encryption Keys (Shield reset)."""
+        self._data_keys.clear()

@@ -1,0 +1,217 @@
+"""The shielded AXI4-Lite register interface.
+
+Section 5.1: the host program reads and writes accelerator registers through
+the Shell's AXI4-Lite port, but everything crossing that port is encrypted and
+authenticated with the Data Owner's Data Encryption Key.  The Shield exposes a
+plaintext register file to the accelerator and a mailbox-style protocol to the
+host:
+
+* the host (forwarding sealed blobs produced by the Data Owner) writes a
+  sealed command word-by-word into the *inbox* window, then rings a doorbell;
+* the Shield verifies and decrypts the command, applies it to the plaintext
+  register file (writes) or seals the requested value into the *outbox*
+  (reads), which the host then reads word-by-word and forwards back.
+
+Commands carry a monotonically increasing sequence number bound into the MAC,
+so a malicious host cannot replay an old command.  Optionally the register
+*index* travels inside the sealed payload only (``encrypt_addresses``), hiding
+access patterns from the Shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RegisterInterfaceConfig
+from repro.crypto.authenc import AuthenticatedCipher, AuthenticatedMessage
+from repro.crypto.kdf import derive_subkey
+from repro.crypto.mac import MAC_TAG_SIZES
+from repro.errors import IntegrityError, ReplayError, ShieldError
+from repro.hw.axi import AxiLiteTransaction, BurstKind
+
+REGISTER_BYTES = 4
+
+# AXI4-Lite address map of the shielded register window.
+DOORBELL_ADDRESS = 0x0000
+STATUS_ADDRESS = 0x0004
+INBOX_BASE = 0x1000
+OUTBOX_BASE = 0x2000
+MAILBOX_BYTES = 0x1000
+
+STATUS_IDLE = 0
+STATUS_OK = 1
+STATUS_ERROR = 2
+
+OPCODE_WRITE = 1
+OPCODE_READ = 2
+
+
+@dataclass
+class RegisterStats:
+    """Host-side register traffic counters."""
+
+    commands: int = 0
+    rejected: int = 0
+    host_words_written: int = 0
+    host_words_read: int = 0
+
+
+class RegisterChannelClient:
+    """The Data Owner's side of the register channel: seals commands, opens replies.
+
+    This code runs on the Data Owner's trusted machine (or inside the ShEF
+    runtime acting for them); the host program in between only ever sees the
+    sealed byte blobs.
+    """
+
+    def __init__(self, data_encryption_key: bytes, config: RegisterInterfaceConfig):
+        key = derive_subkey(data_encryption_key, "register-interface", 32)
+        self._cipher = AuthenticatedCipher(key, config.mac_algorithm)
+        self._config = config
+        self._sequence = 0
+
+    def _next_iv(self) -> bytes:
+        self._sequence += 1
+        return b"regchan#" + self._sequence.to_bytes(4, "big")
+
+    @property
+    def sequence(self) -> int:
+        return self._sequence
+
+    def seal_write(self, register_index: int, value: bytes) -> bytes:
+        """Seal a register-write command."""
+        if len(value) != REGISTER_BYTES:
+            raise ShieldError("register values are exactly 4 bytes")
+        payload = bytes([OPCODE_WRITE, register_index & 0xFF]) + value
+        message = self._cipher.seal(
+            self._next_iv(), payload, associated_data=b"reg-cmd" + self._sequence.to_bytes(4, "big")
+        )
+        return message.serialize()
+
+    def seal_read_request(self, register_index: int) -> bytes:
+        """Seal a register-read request."""
+        payload = bytes([OPCODE_READ, register_index & 0xFF]) + b"\x00" * REGISTER_BYTES
+        message = self._cipher.seal(
+            self._next_iv(), payload, associated_data=b"reg-cmd" + self._sequence.to_bytes(4, "big")
+        )
+        return message.serialize()
+
+    def open_read_response(self, blob: bytes) -> bytes:
+        """Verify and decrypt a sealed read response (the 4-byte register value)."""
+        message = AuthenticatedMessage.deserialize(
+            blob, tag_size=MAC_TAG_SIZES[self._config.mac_algorithm]
+        )
+        value = self._cipher.open(
+            message, associated_data=b"reg-resp" + self._sequence.to_bytes(4, "big")
+        )
+        return value
+
+
+class ShieldedRegisterFile:
+    """The Shield-side register interface: plaintext inside, sealed outside."""
+
+    def __init__(self, config: RegisterInterfaceConfig, data_encryption_key: bytes):
+        config.validate()
+        self.config = config
+        key = derive_subkey(data_encryption_key, "register-interface", 32)
+        self._cipher = AuthenticatedCipher(key, config.mac_algorithm)
+        self._tag_size = MAC_TAG_SIZES[config.mac_algorithm]
+        self._registers = [b"\x00" * REGISTER_BYTES for _ in range(config.num_registers)]
+        self._inbox = bytearray(MAILBOX_BYTES)
+        self._inbox_length = 0
+        self._outbox = b""
+        self._status = STATUS_IDLE
+        self._last_sequence = 0
+        self.stats = RegisterStats()
+
+    # -- accelerator-facing (trusted) side -------------------------------------------
+
+    def read_register(self, index: int) -> bytes:
+        """Plaintext register read by the accelerator logic."""
+        self._check_index(index)
+        return self._registers[index]
+
+    def write_register(self, index: int, value: bytes) -> None:
+        """Plaintext register write by the accelerator logic."""
+        self._check_index(index)
+        if len(value) != REGISTER_BYTES:
+            raise ShieldError("register values are exactly 4 bytes")
+        self._registers[index] = bytes(value)
+
+    # -- Shell/host-facing (untrusted) side --------------------------------------------
+
+    def handle_axi_lite(self, transaction: AxiLiteTransaction) -> bytes:
+        """Service one AXI4-Lite access from the Shell."""
+        address = transaction.address
+        if transaction.kind is BurstKind.WRITE:
+            self.stats.host_words_written += 1
+            if address == DOORBELL_ADDRESS:
+                self._ring_doorbell(int.from_bytes(transaction.data, "big"))
+            elif INBOX_BASE <= address < INBOX_BASE + MAILBOX_BYTES:
+                offset = address - INBOX_BASE
+                self._inbox[offset : offset + REGISTER_BYTES] = transaction.data
+                self._inbox_length = max(self._inbox_length, offset + REGISTER_BYTES)
+            else:
+                # Writes anywhere else are ignored: nothing outside the mailbox
+                # is host-writable.
+                self.stats.rejected += 1
+            return b""
+        # Reads.
+        self.stats.host_words_read += 1
+        if address == STATUS_ADDRESS:
+            return self._status.to_bytes(REGISTER_BYTES, "big")
+        if OUTBOX_BASE <= address < OUTBOX_BASE + MAILBOX_BYTES:
+            offset = address - OUTBOX_BASE
+            window = self._outbox[offset : offset + REGISTER_BYTES]
+            return window + b"\x00" * (REGISTER_BYTES - len(window))
+        return b"\x00" * REGISTER_BYTES
+
+    # -- command processing --------------------------------------------------------------
+
+    def _ring_doorbell(self, declared_length: int) -> None:
+        length = declared_length or self._inbox_length
+        blob = bytes(self._inbox[:length])
+        self._inbox_length = 0
+        self.stats.commands += 1
+        try:
+            self._process_command(blob)
+            self._status = STATUS_OK
+        except (IntegrityError, ReplayError, ShieldError):
+            self.stats.rejected += 1
+            self._status = STATUS_ERROR
+
+    def _process_command(self, blob: bytes) -> None:
+        message = AuthenticatedMessage.deserialize(blob, tag_size=self._tag_size)
+        sequence = int.from_bytes(message.iv[-4:], "big")
+        if sequence <= self._last_sequence:
+            raise ReplayError("register command replay detected (stale sequence number)")
+        payload = self._cipher.open(
+            message, associated_data=b"reg-cmd" + sequence.to_bytes(4, "big")
+        )
+        self._last_sequence = sequence
+        if len(payload) != 2 + REGISTER_BYTES:
+            raise ShieldError("malformed register command payload")
+        opcode, index = payload[0], payload[1]
+        self._check_index(index)
+        if opcode == OPCODE_WRITE:
+            self._registers[index] = payload[2:6]
+            self._outbox = b""
+        elif opcode == OPCODE_READ:
+            response = self._cipher.seal(
+                b"regresp#" + sequence.to_bytes(4, "big"),
+                self._registers[index],
+                associated_data=b"reg-resp" + sequence.to_bytes(4, "big"),
+            )
+            self._outbox = response.serialize()
+        else:
+            raise ShieldError(f"unknown register opcode {opcode}")
+
+    def outbox_size(self) -> int:
+        """Size of the sealed response currently in the outbox."""
+        return len(self._outbox)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.config.num_registers:
+            raise ShieldError(
+                f"register index {index} outside file of {self.config.num_registers}"
+            )

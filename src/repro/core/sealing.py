@@ -1,0 +1,134 @@
+"""The Shield's on-DRAM data format: per-chunk sealing and unsealing.
+
+Every protected region is stored in device DRAM as AES-CTR ciphertext, chunk
+by chunk, with a 16-byte MAC tag per chunk kept in a separate tag area
+(Section 5.2: "Each chunk is authenticated via a 16-byte MAC tag in
+encrypt-then-MAC mode stored in DRAM").  The MAC binds the chunk's *address*
+(defeating spoofing and splicing) and, for replay-protected regions, the
+chunk's current *write version* from the on-chip counters (defeating replay).
+
+Both the Shield's engine sets and the Data Owner's client library use these
+helpers: the Data Owner seals input data before DMA-ing it into device memory
+and unseals results coming back, so the format must be shared.  Sub-keys are
+derived per (Data Encryption Key, region name) so no two regions share keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RegionConfig
+from repro.core.engines import AesEngine, MacEngine, build_engines
+from repro.core.config import EngineSetConfig
+from repro.crypto.hashes import sha256
+from repro.crypto.kdf import derive_subkey
+from repro.errors import ShieldError
+
+
+def region_key(data_encryption_key: bytes, region_name: str) -> bytes:
+    """Derive the per-region sub-key from the Data Encryption Key."""
+    return derive_subkey(data_encryption_key, f"region:{region_name}", 32)
+
+
+def chunk_iv(region: RegionConfig, chunk_index: int, version: int = 0) -> bytes:
+    """The 12-byte IV for a chunk: region seed || chunk index || write version.
+
+    The paper increments a 12-byte IV by one per successive chunk; folding the
+    write version in as well keeps CTR key streams unique across rewrites of
+    replay-protected chunks.
+    """
+    seed = sha256(region.name.encode("utf-8"))[:4]
+    return seed + chunk_index.to_bytes(4, "big") + (version & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+def chunk_mac_context(region: RegionConfig, chunk_index: int, version: int) -> bytes:
+    """The associated data bound by each chunk's MAC tag."""
+    address = region.base_address + chunk_index * region.chunk_size
+    return (
+        b"shef-chunk"
+        + address.to_bytes(8, "big")
+        + (version & 0xFFFFFFFF).to_bytes(4, "big")
+    )
+
+
+@dataclass
+class SealedChunk:
+    """One sealed chunk: ciphertext plus its 16-byte tag."""
+
+    chunk_index: int
+    ciphertext: bytes
+    tag: bytes
+
+
+class RegionSealer:
+    """Seals and unseals chunks of one region under one Data Encryption Key."""
+
+    def __init__(
+        self,
+        data_encryption_key: bytes,
+        region: RegionConfig,
+        engine_config: EngineSetConfig,
+    ):
+        self.region = region
+        key = region_key(data_encryption_key, region.name)
+        self._aes_engine, self._mac_engine = build_engines(engine_config, key)
+
+    @property
+    def aes_engine(self) -> AesEngine:
+        return self._aes_engine
+
+    @property
+    def mac_engine(self) -> MacEngine:
+        return self._mac_engine
+
+    def seal_chunk(self, chunk_index: int, plaintext: bytes, version: int = 0) -> SealedChunk:
+        """Encrypt-then-MAC one chunk of plaintext."""
+        if len(plaintext) != self.region.chunk_size:
+            raise ShieldError(
+                f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
+            )
+        iv = chunk_iv(self.region, chunk_index, version)
+        ciphertext = self._aes_engine.encrypt(iv, plaintext)
+        context = chunk_mac_context(self.region, chunk_index, version)
+        tag = self._mac_engine.tag(context + ciphertext)
+        return SealedChunk(chunk_index=chunk_index, ciphertext=ciphertext, tag=tag)
+
+    def unseal_chunk(
+        self, chunk_index: int, ciphertext: bytes, tag: bytes, version: int = 0
+    ) -> bytes:
+        """Verify and decrypt one chunk; raises :class:`IntegrityError` on tampering."""
+        context = chunk_mac_context(self.region, chunk_index, version)
+        self._mac_engine.verify(context + ciphertext, tag)
+        iv = chunk_iv(self.region, chunk_index, version)
+        return self._aes_engine.decrypt(iv, ciphertext)
+
+    def seal_region_data(self, plaintext: bytes, start_chunk: int = 0) -> list:
+        """Seal a contiguous run of chunks (padding the tail with zeros).
+
+        Returns a list of :class:`SealedChunk`; used by the Data Owner to
+        prepare inputs for DMA and by tests to stage expected ciphertext.
+        """
+        chunk_size = self.region.chunk_size
+        chunks: list[SealedChunk] = []
+        offset = 0
+        index = start_chunk
+        while offset < len(plaintext):
+            piece = plaintext[offset : offset + chunk_size]
+            if len(piece) < chunk_size:
+                piece = piece + b"\x00" * (chunk_size - len(piece))
+            if index >= self.region.num_chunks:
+                raise ShieldError(
+                    f"data does not fit in region {self.region.name!r}: chunk {index} "
+                    f"exceeds {self.region.num_chunks} chunks"
+                )
+            chunks.append(self.seal_chunk(index, piece))
+            offset += chunk_size
+            index += 1
+        return chunks
+
+    def unseal_region_data(self, sealed_chunks: list, length: int | None = None) -> bytes:
+        """Unseal a list of :class:`SealedChunk` back into contiguous plaintext."""
+        plaintext = b"".join(
+            self.unseal_chunk(c.chunk_index, c.ciphertext, c.tag) for c in sealed_chunks
+        )
+        return plaintext if length is None else plaintext[:length]

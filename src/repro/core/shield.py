@@ -1,0 +1,175 @@
+"""The ShEF Shield: the trusted wrapper between accelerator and Shell.
+
+The Shield (Figure 4 of the paper) interposes on both Shell interfaces:
+
+* the AXI4 memory interface -- every accelerator burst is routed by the burst
+  decoder to a per-region :class:`~repro.core.engine_set.RegionPipeline` that
+  performs authenticated encryption with the engine set configured for that
+  region, and
+* the AXI4-Lite register interface -- host commands arrive sealed and are
+  verified/decrypted by the :class:`~repro.core.register_interface.ShieldedRegisterFile`.
+
+The Shield is instantiated from a :class:`~repro.core.config.ShieldConfig`
+(compiled into the bitstream by the IP Vendor) and the private Shield
+Encryption Key embedded alongside it.  It becomes operational only after the
+Data Owner's Load Key has been provisioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.burst_decoder import BurstDecoder
+from repro.core.config import ShieldConfig
+from repro.core.engine_set import RegionPipeline
+from repro.core.key_store import ShieldKeyStore
+from repro.core.register_interface import ShieldedRegisterFile
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import ShieldError
+from repro.hw.axi import AxiLiteTransaction
+from repro.hw.memory import OnChipMemory
+from repro.hw.shell import Shell
+
+
+@dataclass
+class ShieldStats:
+    """Aggregate Shield statistics (summed over region pipelines)."""
+
+    accel_bytes_read: int = 0
+    accel_bytes_written: int = 0
+    dram_bytes_read: int = 0
+    dram_bytes_written: int = 0
+    tag_bytes: int = 0
+    chunks_fetched: int = 0
+    chunks_written_back: int = 0
+    integrity_failures: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+
+class Shield:
+    """A configured Shield instance bound to a Shell and an on-chip memory budget."""
+
+    def __init__(
+        self,
+        config: ShieldConfig,
+        shell: Shell,
+        on_chip_memory: OnChipMemory,
+        shield_private_key: RsaPrivateKey,
+    ):
+        config.validate()
+        self.config = config
+        self.shell = shell
+        self.on_chip_memory = on_chip_memory
+        self.key_store = ShieldKeyStore(shield_private_key)
+        self.burst_decoder = BurstDecoder(config)
+        self._pipelines: dict[str, RegionPipeline] = {}
+        self._register_file: Optional[ShieldedRegisterFile] = None
+        # The Shield owns the Shell's register slave port from the moment it
+        # is loaded; before key provisioning it rejects everything.
+        shell.connect_register_slave(self._axi_lite_handler)
+
+    # -- key provisioning ----------------------------------------------------------
+
+    def provision_load_key(self, wrapped_key: bytes, slot: str = "default") -> None:
+        """Unwrap a Load Key and bring the datapath online."""
+        self.key_store.provision_load_key(wrapped_key, slot)
+        data_key = self.key_store.data_key(slot)
+        self._register_file = ShieldedRegisterFile(self.config.register_interface, data_key)
+        self._build_pipelines(data_key)
+
+    def _build_pipelines(self, data_key: bytes) -> None:
+        for region in self.config.regions:
+            engine_config = self.config.engine_set(region.engine_set)
+            served = self.config.regions_for_engine_set(region.engine_set)
+            # The engine set's buffer budget is split across the regions it serves.
+            buffer_share = engine_config.buffer_bytes // len(served) if served else 0
+            buffer_share = (buffer_share // region.chunk_size) * region.chunk_size
+            self._pipelines[region.name] = RegionPipeline(
+                shield_config=self.config,
+                region=region,
+                engine_config=engine_config,
+                data_encryption_key=data_key,
+                memory_port=self.shell.memory_port,
+                on_chip_memory=self.on_chip_memory,
+                buffer_bytes=buffer_share,
+            )
+
+    @property
+    def operational(self) -> bool:
+        """True once a Data Encryption Key has been provisioned."""
+        return self.key_store.provisioned and bool(self._pipelines) or (
+            self.key_store.provisioned and not self.config.regions
+        )
+
+    # -- accelerator-facing memory interface ------------------------------------------
+
+    def memory_read(self, address: int, length: int) -> bytes:
+        """Read plaintext for the accelerator through the protected datapath."""
+        self._require_operational()
+        out = bytearray()
+        for piece in self.burst_decoder.route(address, length):
+            pipeline = self._pipelines[piece.region.name]
+            out += pipeline.read(piece.address, piece.length)
+        return bytes(out)
+
+    def memory_write(self, address: int, data: bytes) -> None:
+        """Write plaintext for the accelerator through the protected datapath."""
+        self._require_operational()
+        cursor = 0
+        for piece in self.burst_decoder.route(address, len(data)):
+            pipeline = self._pipelines[piece.region.name]
+            pipeline.write(piece.address, data[cursor : cursor + piece.length])
+            cursor += piece.length
+
+    def flush(self) -> None:
+        """Write back all dirty buffered chunks (end of accelerator execution)."""
+        for pipeline in self._pipelines.values():
+            pipeline.flush()
+
+    # -- register interface ----------------------------------------------------------------
+
+    @property
+    def register_file(self) -> ShieldedRegisterFile:
+        """The plaintext register file (accelerator side)."""
+        if self._register_file is None:
+            raise ShieldError("the Shield has not been provisioned with a Data Encryption Key")
+        return self._register_file
+
+    def _axi_lite_handler(self, transaction: AxiLiteTransaction) -> bytes:
+        if self._register_file is None:
+            # Before provisioning, host register traffic is black-holed.
+            return b"\x00" * 4
+        return self._register_file.handle_axi_lite(transaction)
+
+    # -- statistics ---------------------------------------------------------------------------
+
+    def pipeline(self, region_name: str) -> RegionPipeline:
+        """The pipeline serving a region (for tests and reporting)."""
+        try:
+            return self._pipelines[region_name]
+        except KeyError:
+            raise ShieldError(f"no pipeline for region {region_name!r}") from None
+
+    def stats(self) -> ShieldStats:
+        """Aggregate statistics across all region pipelines."""
+        total = ShieldStats()
+        for pipeline in self._pipelines.values():
+            total.accel_bytes_read += pipeline.stats.accel_bytes_read
+            total.accel_bytes_written += pipeline.stats.accel_bytes_written
+            total.dram_bytes_read += pipeline.stats.dram_bytes_read
+            total.dram_bytes_written += pipeline.stats.dram_bytes_written
+            total.tag_bytes += pipeline.stats.tag_bytes
+            total.chunks_fetched += pipeline.stats.chunks_fetched
+            total.chunks_written_back += pipeline.stats.chunks_written_back
+            total.integrity_failures += pipeline.stats.integrity_failures
+            total.buffer_hits += pipeline.buffer.stats.hits
+            total.buffer_misses += pipeline.buffer.stats.misses
+        return total
+
+    def _require_operational(self) -> None:
+        if not self.key_store.provisioned:
+            raise ShieldError(
+                "the Shield cannot move data before a Load Key is provisioned"
+            )

@@ -1,0 +1,128 @@
+"""Side-channel countermeasures the Shield can be configured with (Section 5.2.2).
+
+The paper does not claim to close every side channel, but it ships two
+concrete mitigations and one design guideline, all reproduced here:
+
+* **Active fence** -- a block of dummy switching logic placed next to the
+  accelerator that masks data-dependent power draw from remote power-analysis
+  attacks (Krautter et al.); the original artifact generates it with a script,
+  this module models the fence's size and area cost so deployments can budget
+  for it.
+* **Controlled-channel mitigation** -- data-dependent memory access patterns
+  leak through page-fault/access-pattern channels; enlarging C_mem reduces the
+  number of distinct data-dependent accesses the adversary can observe, at a
+  bandwidth and on-chip-storage cost.  ``recommend_chunk_size`` captures that
+  trade-off.
+* **Constant-time engines** -- the Shield's crypto engines take a fixed number
+  of cycles per chunk regardless of data; ``engine_timing_is_data_independent``
+  states the property the tests check against the functional engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import ResourceVector
+from repro.core.config import RegionConfig
+from repro.errors import ConfigurationError
+
+# Area cost of one fence "cell" (a small ring of switching LUTs + registers).
+FENCE_CELL_LUTS = 8
+FENCE_CELL_REGISTERS = 8
+
+
+@dataclass(frozen=True)
+class ActiveFenceConfig:
+    """Configuration of the active fence surrounding a shielded accelerator."""
+
+    cells: int
+    toggle_rate: float = 0.5  # fraction of cells switching per cycle
+
+    def __post_init__(self) -> None:
+        if self.cells <= 0:
+            raise ConfigurationError("an active fence needs at least one cell")
+        if not 0.0 < self.toggle_rate <= 1.0:
+            raise ConfigurationError("fence toggle rate must be in (0, 1]")
+
+    def area(self) -> ResourceVector:
+        """LUT/REG cost of the fence (no BRAM)."""
+        return ResourceVector(
+            bram_blocks=0,
+            luts=self.cells * FENCE_CELL_LUTS,
+            registers=self.cells * FENCE_CELL_REGISTERS,
+        )
+
+    def masking_power(self, accelerator_dynamic_power: float) -> float:
+        """Relative magnitude of the fence's switching activity vs the accelerator's.
+
+        A fence is considered effective when its own (data-independent)
+        switching is at least comparable to the signal it hides; the returned
+        ratio is what a deployment would check against its target (>= 1.0).
+        """
+        if accelerator_dynamic_power <= 0:
+            raise ConfigurationError("accelerator dynamic power must be positive")
+        fence_activity = self.cells * self.toggle_rate
+        return fence_activity / accelerator_dynamic_power
+
+
+def size_fence_for(accelerator_luts: int, coverage: float = 0.15) -> ActiveFenceConfig:
+    """Size an active fence as a fraction of the accelerator's own logic.
+
+    The paper's script generates fences proportional to the protected design;
+    ``coverage`` is the fence-to-accelerator LUT ratio (15% by default, in line
+    with the active-fence literature the paper cites).
+    """
+    if accelerator_luts <= 0:
+        raise ConfigurationError("accelerator LUT count must be positive")
+    if not 0.0 < coverage <= 1.0:
+        raise ConfigurationError("fence coverage must be in (0, 1]")
+    cells = max(1, int(accelerator_luts * coverage) // FENCE_CELL_LUTS)
+    return ActiveFenceConfig(cells=cells)
+
+
+def observable_accesses(region: RegionConfig, data_dependent_accesses: int) -> int:
+    """How many distinct data-dependent chunk accesses an adversary can observe.
+
+    With chunk size C_mem, accesses that fall into the same chunk are
+    indistinguishable to an observer of the memory bus, so the observable
+    count is bounded by the number of chunks actually touched.
+    """
+    if data_dependent_accesses < 0:
+        raise ConfigurationError("access count cannot be negative")
+    return min(data_dependent_accesses, region.num_chunks)
+
+
+def recommend_chunk_size(
+    region_bytes: int,
+    max_observable_accesses: int,
+    minimum_chunk: int = 64,
+) -> int:
+    """Smallest power-of-two C_mem that caps observable data-dependent accesses.
+
+    This is the Section 5.2.2 controlled-channel guidance made executable:
+    "IP vendors can significantly reduce the number of data-dependent memory
+    accesses by increasing C_mem".  The returned chunk size guarantees the
+    region contains at most ``max_observable_accesses`` chunks.
+    """
+    if region_bytes <= 0 or max_observable_accesses <= 0:
+        raise ConfigurationError("region size and access budget must be positive")
+    chunk = minimum_chunk
+    while region_bytes // chunk > max_observable_accesses and chunk < region_bytes:
+        chunk *= 2
+    return min(chunk, region_bytes)
+
+
+def engine_timing_is_data_independent(engine, chunk_size: int, trials: int = 3) -> bool:
+    """Check that an AES engine's modelled cost does not depend on the data.
+
+    The functional engines charge work per byte, never per value; this helper
+    exists so the test suite can assert the property explicitly (the paper:
+    "we ensure that the timing of Shield cryptographic engines does not depend
+    on any confidential information").
+    """
+    costs = set()
+    for value in range(trials):
+        before = engine.stats.bytes_encrypted
+        engine.encrypt(b"\x00" * 12, bytes([value]) * chunk_size)
+        costs.add(engine.stats.bytes_encrypted - before)
+    return len(costs) == 1

@@ -1,0 +1,282 @@
+"""Analytical timing model of the Shield.
+
+The functional Shield (:mod:`repro.core.shield`) moves real bytes through real
+crypto, which is what the correctness tests exercise.  For the paper's
+performance experiments -- which sweep input sizes up to 80 MB and compare
+dozens of Shield configurations -- this module provides a calibrated
+analytical model that works from a compact *workload profile* (bytes moved per
+region, burst sizes, access pattern, compute intensity) instead of touching
+every byte.
+
+The model, in one paragraph: the baseline accelerator is limited by the larger
+of its memory time (bytes divided by the rate it can sustain through the
+Shell) and its compute time, plus a fixed initialization cost.  The Shield
+keeps the same structure but (a) caps each region's streaming rate at the
+serving engine set's authenticated-encryption rate, (b) adds MAC-tag traffic
+to the DRAM total, (c) adds a per-chunk pipeline penalty for access patterns
+that cannot be prefetched (random, data-dependent, or store-and-forward), and
+(d) models the on-chip buffer by scaling DRAM traffic with the expected miss
+rate.  Engine rates come from :mod:`repro.core.engines`; the constants below
+are calibrated against the paper's reported overheads (Table 2, Figures 5-6),
+not derived from RTL synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MAC_TAG_BYTES, ShieldConfig
+from repro.core.engines import (
+    engine_set_authentication_rate,
+    engine_set_crypto_rate,
+    engine_set_encryption_rate,
+)
+from repro.errors import SimulationError
+
+# -- calibrated constants (bytes per Shield clock cycle / cycles) ----------------
+
+DRAM_BYTES_PER_CYCLE = 64.0          # peak 512-bit AXI4 rate through the Shell
+BASE_BURST_LATENCY_CYCLES = 40       # DRAM access latency for latency-bound patterns
+CHUNK_PIPELINE_LATENCY_CYCLES = 12   # non-overlappable Shield latency per chunk access
+CHUNK_DRAM_OVERHEAD_CYCLES = 3       # extra DRAM transaction cost of the per-chunk tag fetch
+MAC_TAIL_FRACTION = 0.15             # trailing MAC work that cannot overlap forwarding
+SHIELD_INIT_EXTRA_CYCLES = 2_000     # Load-Key unwrap + engine key schedule at start
+
+
+@dataclass(frozen=True)
+class RegionTraffic:
+    """Traffic summary for one protected region of a workload.
+
+    ``reuse_factor`` is the average number of times each byte of the working
+    set is touched (1.0 = read/written once); with an on-chip buffer larger
+    than the working set, repeated touches become hits.
+    ``store_and_forward`` marks regions where each chunk must be fully
+    verified before the accelerator can proceed (e.g. SDP's per-auth-block
+    forwarding), which exposes the per-chunk pipeline latency.
+    ``serialized_mac`` models accelerators that do not prefetch past an
+    in-flight chunk at all (DNNWeaver's weight bursts): the whole MAC latency
+    of every chunk lands on the critical path.
+    """
+
+    region_name: str
+    bytes_read: int = 0
+    bytes_written: int = 0
+    access_size: int = 512
+    access_pattern: str = "streaming"  # "streaming" | "random"
+    reuse_factor: float = 1.0
+    working_set_bytes: int = 0
+    store_and_forward: bool = False
+    serialized_mac: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def num_accesses(self) -> int:
+        if self.access_size <= 0:
+            return 0
+        return -(-self.total_bytes // self.access_size)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Compact description of one accelerator execution."""
+
+    name: str
+    regions: tuple
+    compute_cycles: float = 0.0
+    init_cycles: float = 20_000.0
+    baseline_bytes_per_cycle: float = DRAM_BYTES_PER_CYCLE
+    register_operations: int = 4
+    latency_bound: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.regions)
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle breakdown for one run (baseline or shielded)."""
+
+    memory_cycles: float = 0.0
+    crypto_cycles: float = 0.0
+    serial_latency_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    init_cycles: float = 0.0
+    dram_bytes: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        datapath = max(self.memory_cycles, self.crypto_cycles, self.compute_cycles)
+        return datapath + self.serial_latency_cycles + self.init_cycles
+
+
+class TimingModel:
+    """Estimates execution time for a workload, with and without a Shield."""
+
+    def __init__(
+        self,
+        dram_bytes_per_cycle: float = DRAM_BYTES_PER_CYCLE,
+        burst_latency_cycles: float = BASE_BURST_LATENCY_CYCLES,
+        chunk_pipeline_latency_cycles: float = CHUNK_PIPELINE_LATENCY_CYCLES,
+        mac_tail_fraction: float = MAC_TAIL_FRACTION,
+    ):
+        self.dram_bytes_per_cycle = dram_bytes_per_cycle
+        self.burst_latency_cycles = burst_latency_cycles
+        self.chunk_pipeline_latency_cycles = chunk_pipeline_latency_cycles
+        self.mac_tail_fraction = mac_tail_fraction
+
+    # -- baseline ---------------------------------------------------------------
+
+    def baseline(self, profile: WorkloadProfile) -> TimingBreakdown:
+        """Execution time of the accelerator connected directly to the Shell."""
+        rate = min(profile.baseline_bytes_per_cycle, self.dram_bytes_per_cycle)
+        memory_cycles = profile.total_bytes / rate if profile.total_bytes else 0.0
+        serial = 0.0
+        for traffic in profile.regions:
+            if traffic.access_pattern == "random" or profile.latency_bound:
+                serial += traffic.num_accesses * self.burst_latency_cycles
+        return TimingBreakdown(
+            memory_cycles=memory_cycles,
+            compute_cycles=profile.compute_cycles,
+            serial_latency_cycles=serial,
+            init_cycles=profile.init_cycles,
+            dram_bytes=float(profile.total_bytes),
+        )
+
+    # -- shielded ------------------------------------------------------------------
+
+    def shielded(self, profile: WorkloadProfile, config: ShieldConfig) -> TimingBreakdown:
+        """Execution time of the accelerator behind the given Shield configuration."""
+        rate = min(profile.baseline_bytes_per_cycle, self.dram_bytes_per_cycle)
+        engine_set_bytes: dict[str, float] = {}
+        engine_set_tail: dict[str, float] = {}
+        dram_bytes = 0.0
+        serial = 0.0
+        details: dict = {}
+
+        for traffic in profile.regions:
+            region = config.region(traffic.region_name)
+            engine_config = config.engine_set(region.engine_set)
+            chunk = region.chunk_size
+
+            # DRAM traffic: data plus one tag per chunk touched, amplified by
+            # buffer misses (chunk-granular fetches for sub-chunk accesses).
+            chunk_accesses = self._chunk_accesses(traffic, chunk)
+            miss_rate = self._miss_rate(traffic, region, engine_config, chunk)
+            fetched_chunks = chunk_accesses * miss_rate
+            data_bytes = fetched_chunks * chunk
+            # Streaming regions with accesses >= chunk size do not amplify.
+            if traffic.access_pattern == "streaming" and traffic.access_size >= chunk:
+                data_bytes = traffic.total_bytes * traffic.reuse_factor * miss_rate
+                fetched_chunks = data_bytes / chunk
+            tag_bytes = fetched_chunks * MAC_TAG_BYTES
+            dram_bytes += data_bytes + tag_bytes
+
+            # Crypto work handled by this region's engine set.
+            crypto_bytes = data_bytes
+            engine_set_bytes[region.engine_set] = (
+                engine_set_bytes.get(region.engine_set, 0.0) + crypto_bytes
+            )
+            engine_set_tail[region.engine_set] = (
+                engine_set_tail.get(region.engine_set, 0.0)
+                + self.mac_tail_fraction
+                * crypto_bytes
+                / engine_set_authentication_rate(engine_config)
+            )
+
+            # Serial (non-overlappable) latency.
+            if traffic.access_pattern == "random" or profile.latency_bound:
+                # Data-dependent accesses cannot be prefetched, so each chunk
+                # pays the DRAM latency plus the Shield pipeline latency plus
+                # the chunk's own decrypt/verify latency.
+                per_chunk_crypto = chunk / engine_set_encryption_rate(
+                    engine_config
+                ) + chunk / engine_set_authentication_rate(engine_config)
+                serial += fetched_chunks * (
+                    self.burst_latency_cycles
+                    + self.chunk_pipeline_latency_cycles
+                    + per_chunk_crypto
+                )
+            elif traffic.store_and_forward:
+                serial += fetched_chunks * self.chunk_pipeline_latency_cycles
+            if traffic.serialized_mac:
+                # The accelerator stalls on every chunk's full MAC computation.
+                serial += fetched_chunks * (
+                    chunk / engine_set_authentication_rate(engine_config)
+                )
+
+            details[traffic.region_name] = {
+                "fetched_chunks": fetched_chunks,
+                "dram_bytes": data_bytes + tag_bytes,
+                "miss_rate": miss_rate,
+            }
+
+        crypto_cycles = 0.0
+        for set_name, set_bytes in engine_set_bytes.items():
+            engine_config = config.engine_set(set_name)
+            set_cycles = set_bytes / engine_set_crypto_rate(engine_config)
+            set_cycles += engine_set_tail[set_name]
+            crypto_cycles = max(crypto_cycles, set_cycles)
+            details[f"engine_set:{set_name}"] = {
+                "bytes": set_bytes,
+                "encryption_rate": engine_set_encryption_rate(engine_config),
+                "authentication_rate": engine_set_authentication_rate(engine_config),
+                "cycles": set_cycles,
+            }
+
+        total_fetched_chunks = sum(row["fetched_chunks"] for row in details.values() if isinstance(row, dict) and "fetched_chunks" in row)
+        memory_cycles = max(
+            profile.total_bytes / rate if profile.total_bytes else 0.0,
+            dram_bytes / self.dram_bytes_per_cycle,
+        ) + total_fetched_chunks * CHUNK_DRAM_OVERHEAD_CYCLES
+        return TimingBreakdown(
+            memory_cycles=memory_cycles,
+            crypto_cycles=crypto_cycles,
+            compute_cycles=profile.compute_cycles,
+            serial_latency_cycles=serial,
+            init_cycles=profile.init_cycles + SHIELD_INIT_EXTRA_CYCLES,
+            dram_bytes=dram_bytes,
+            details=details,
+        )
+
+    # -- convenience ---------------------------------------------------------------------
+
+    def overhead(self, profile: WorkloadProfile, config: ShieldConfig) -> float:
+        """Normalized execution time (shielded / baseline)."""
+        base = self.baseline(profile).total_cycles
+        shielded = self.shielded(profile, config).total_cycles
+        if base <= 0:
+            raise SimulationError("baseline execution time is zero; check the profile")
+        return shielded / base
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    @staticmethod
+    def _chunk_accesses(traffic: RegionTraffic, chunk_size: int) -> float:
+        """How many chunk-granular operations the accesses translate into."""
+        if traffic.access_size >= chunk_size:
+            return traffic.total_bytes / chunk_size
+        return float(traffic.num_accesses)
+
+    @staticmethod
+    def _miss_rate(traffic, region, engine_config, chunk_size: int) -> float:
+        """Expected fraction of chunk accesses that go to DRAM.
+
+        With no reuse every access misses (rate 1).  With reuse, the buffer
+        captures repeats when the working set fits; otherwise misses scale
+        with how much of the working set is resident.
+        """
+        if traffic.reuse_factor <= 1.0:
+            return 1.0
+        buffer_bytes = engine_config.buffer_bytes
+        if buffer_bytes <= 0:
+            return 1.0
+        working_set = traffic.working_set_bytes or traffic.total_bytes
+        coverage = min(1.0, buffer_bytes / working_set)
+        # First touch always misses; repeats hit with probability `coverage`.
+        repeats = traffic.reuse_factor - 1.0
+        return (1.0 + repeats * (1.0 - coverage)) / traffic.reuse_factor

@@ -1,0 +1,229 @@
+"""Pure-Python AES block cipher (AES-128, AES-192, AES-256).
+
+This module implements the Rijndael block cipher exactly as standardized in
+FIPS-197.  It is the functional model of the Shield's AES engines: the RTL in
+the original ShEF artifact instantiates a table-based AES core whose S-box can
+be duplicated for parallelism; here the *functional* behaviour lives in
+:class:`AES` while the parallelism/performance knob is modelled separately in
+:mod:`repro.core.timing`.
+
+Only the raw block transform lives here; chaining modes are in
+:mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidKeyError
+
+BLOCK_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# S-box generation.  We build the S-box programmatically (multiplicative
+# inverse in GF(2^8) followed by the affine transform) rather than pasting a
+# 256-entry magic table, which keeps the construction auditable.
+# ---------------------------------------------------------------------------
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    # Compute multiplicative inverses via exponentiation by the group order.
+    inverse = [0] * 256
+    for x in range(1, 256):
+        # x^254 == x^-1 in GF(2^8)*
+        acc = 1
+        base = x
+        exp = 254
+        while exp:
+            if exp & 1:
+                acc = _gf_mul(acc, base)
+            base = _gf_mul(base, base)
+            exp >>= 1
+        inverse[x] = acc
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for x in range(256):
+        value = inverse[x]
+        # Affine transform over GF(2).
+        result = 0
+        for bit in range(8):
+            result |= (
+                (
+                    (value >> bit)
+                    ^ (value >> ((bit + 4) % 8))
+                    ^ (value >> ((bit + 5) % 8))
+                    ^ (value >> ((bit + 6) % 8))
+                    ^ (value >> ((bit + 7) % 8))
+                    ^ (0x63 >> bit)
+                )
+                & 1
+            ) << bit
+        sbox[x] = result
+        inv_sbox[result] = x
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(_gf_mul(_RCON[-1], 2))
+
+# Pre-computed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = [_gf_mul(x, 2) for x in range(256)]
+_MUL3 = [_gf_mul(x, 3) for x in range(256)]
+_MUL9 = [_gf_mul(x, 9) for x in range(256)]
+_MUL11 = [_gf_mul(x, 11) for x in range(256)]
+_MUL13 = [_gf_mul(x, 13) for x in range(256)]
+_MUL14 = [_gf_mul(x, 14) for x in range(256)]
+
+_ROUNDS_BY_KEYLEN = {16: 10, 24: 12, 32: 14}
+
+
+class AES:
+    """The AES block cipher.
+
+    Parameters
+    ----------
+    key:
+        16-, 24-, or 32-byte key (AES-128/192/256).
+    """
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray)):
+            raise InvalidKeyError("AES key must be bytes")
+        key = bytes(key)
+        if len(key) not in _ROUNDS_BY_KEYLEN:
+            raise InvalidKeyError(
+                f"AES key must be 16, 24, or 32 bytes, got {len(key)}"
+            )
+        self._key = key
+        self.rounds = _ROUNDS_BY_KEYLEN[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    @property
+    def key_bits(self) -> int:
+        """Key size in bits (128, 192, or 256)."""
+        return len(self._key) * 8
+
+    # -- key schedule -------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        key_words = len(key) // 4
+        total_words = 4 * (self.rounds + 1)
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(key_words)]
+        for i in range(key_words, total_words):
+            temp = list(words[i - 1])
+            if i % key_words == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // key_words - 1]
+            elif key_words > 6 and i % key_words == 4:
+                temp = [SBOX[b] for b in temp]
+            words.append([words[i - key_words][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for round_index in range(self.rounds + 1):
+            round_key = []
+            for word in words[4 * round_index : 4 * round_index + 4]:
+                round_key.extend(word)
+            round_keys.append(round_key)
+        return round_keys
+
+    # -- block transforms ---------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be {BLOCK_SIZE} bytes")
+        state = [block[c * 4 + r] for r in range(4) for c in range(4)]
+        state = self._add_round_key(state, 0)
+        for round_index in range(1, self.rounds):
+            state = [SBOX[b] for b in state]
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, round_index)
+        state = [SBOX[b] for b in state]
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self.rounds)
+        return bytes(state[4 * r + c] for c in range(4) for r in range(4))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"AES block must be {BLOCK_SIZE} bytes")
+        state = [block[c * 4 + r] for r in range(4) for c in range(4)]
+        state = self._add_round_key(state, self.rounds)
+        for round_index in range(self.rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = [INV_SBOX[b] for b in state]
+            state = self._add_round_key(state, round_index)
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = [INV_SBOX[b] for b in state]
+        state = self._add_round_key(state, 0)
+        return bytes(state[4 * r + c] for c in range(4) for r in range(4))
+
+    # -- internal round operations (row-major state: state[4*r + c]) --------
+
+    def _add_round_key(self, state: list[int], round_index: int) -> list[int]:
+        round_key = self._round_keys[round_index]
+        # round_key is column-major (word i = column i).
+        return [
+            state[4 * r + c] ^ round_key[4 * c + r] for r in range(4) for c in range(4)
+        ]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        out = list(state)
+        for r in range(1, 4):
+            row = state[4 * r : 4 * r + 4]
+            out[4 * r : 4 * r + 4] = row[r:] + row[:r]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> list[int]:
+        out = list(state)
+        for r in range(1, 4):
+            row = state[4 * r : 4 * r + 4]
+            out[4 * r : 4 * r + 4] = row[-r:] + row[:-r]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = (state[4 * r + c] for r in range(4))
+            out[0 + c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[4 + c] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[8 + c] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[12 + c] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = (state[4 * r + c] for r in range(4))
+            out[0 + c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 + c] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[8 + c] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[12 + c] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out
+
+
+def gf_multiply(a: int, b: int) -> int:
+    """Public GF(2^8) multiply helper (used by PMAC doubling and tests)."""
+    return _gf_mul(a, b)

@@ -1,0 +1,93 @@
+"""Authenticated encryption in encrypt-then-MAC form.
+
+This is the exact construction the Shield applies to every C_mem chunk
+(Section 5.2 of the paper): AES-CTR for confidentiality, then a MAC computed
+over the ciphertext *and* its binding context (chunk address, counter) so that
+spoofing and splicing attacks are detected.  The same construction, with the
+address context replaced by a message sequence number, protects the host <->
+Shield register channel and the attestation session traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import AES
+from repro.crypto.kdf import derive_subkey
+from repro.crypto.mac import MAC_TAG_SIZES, compute_mac, constant_time_equal
+from repro.crypto.modes import ctr_transform
+from repro.errors import IntegrityError
+
+
+@dataclass(frozen=True)
+class AuthenticatedMessage:
+    """Ciphertext plus its authentication tag and the IV used."""
+
+    iv: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    def serialize(self) -> bytes:
+        """Flat wire encoding: iv || 4-byte ct length || ct || tag."""
+        return self.iv + len(self.ciphertext).to_bytes(4, "big") + self.ciphertext + self.tag
+
+    @staticmethod
+    def deserialize(data: bytes, tag_size: int = 32) -> "AuthenticatedMessage":
+        if len(data) < 16 + tag_size:
+            raise IntegrityError("authenticated message too short")
+        iv = data[:12]
+        ct_len = int.from_bytes(data[12:16], "big")
+        ciphertext = data[16 : 16 + ct_len]
+        tag = data[16 + ct_len :]
+        if len(ciphertext) != ct_len or len(tag) != tag_size:
+            raise IntegrityError("authenticated message framing is inconsistent")
+        return AuthenticatedMessage(iv, ciphertext, tag)
+
+
+class AuthenticatedCipher:
+    """Encrypt-then-MAC AEAD over AES-CTR and a configurable MAC engine.
+
+    Parameters
+    ----------
+    key:
+        Master symmetric key; independent encryption and MAC sub-keys are
+        derived from it so the CTR and MAC keys are never shared.
+    mac_algorithm:
+        ``"HMAC"`` (default, 32-byte tags), ``"PMAC"`` or ``"CMAC"`` (16-byte
+        tags) -- mirroring the Shield's configurable authentication engine.
+    """
+
+    def __init__(self, key: bytes, mac_algorithm: str = "HMAC"):
+        if mac_algorithm not in MAC_TAG_SIZES:
+            raise IntegrityError(f"unknown MAC algorithm {mac_algorithm!r}")
+        self.mac_algorithm = mac_algorithm
+        self.tag_size = MAC_TAG_SIZES[mac_algorithm]
+        enc_key = derive_subkey(key, "authenc-encrypt", len(key))
+        mac_key = derive_subkey(key, "authenc-mac", 32)
+        self._cipher = AES(enc_key)
+        self._mac_key = mac_key if mac_algorithm == "HMAC" else mac_key[:16]
+
+    def seal(
+        self, iv: bytes, plaintext: bytes, associated_data: bytes = b""
+    ) -> AuthenticatedMessage:
+        """Encrypt ``plaintext`` and authenticate it together with ``associated_data``."""
+        ciphertext = ctr_transform(self._cipher, iv, plaintext)
+        tag = compute_mac(
+            self.mac_algorithm, self._mac_key, associated_data + iv + ciphertext
+        )
+        return AuthenticatedMessage(iv, ciphertext, tag)
+
+    def open(
+        self, message: AuthenticatedMessage, associated_data: bytes = b""
+    ) -> bytes:
+        """Verify and decrypt; raises :class:`IntegrityError` on any tampering."""
+        expected = compute_mac(
+            self.mac_algorithm,
+            self._mac_key,
+            associated_data + message.iv + message.ciphertext,
+        )
+        if not constant_time_equal(expected, message.tag):
+            raise IntegrityError(
+                f"{self.mac_algorithm} tag mismatch: ciphertext or context tampered"
+            )
+        return ctr_transform(self._cipher, message.iv, message.ciphertext)

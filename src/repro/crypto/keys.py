@@ -1,0 +1,147 @@
+"""Named key containers used throughout the ShEF workflow.
+
+The paper's workflow (Figure 2) juggles a large cast of keys -- the AES device
+key, the private device key, the Bitstream Encryption Key, the Shield
+Encryption Key, the Attestation Key, the Verification Key, the Session Key,
+the Data Encryption Key, and the Load Key.  Representing each as a small typed
+container (rather than loose ``bytes``) makes the protocol code self-describing
+and lets tests assert that, for example, the Security Kernel never holds a
+:class:`DeviceKeySet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import EcPrivateKey, EcPublicKey
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.errors import InvalidKeyError
+
+SYMMETRIC_KEY_SIZES = (16, 32)
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A raw symmetric key with a human-readable purpose label."""
+
+    material: bytes
+    purpose: str = "generic"
+
+    def __post_init__(self) -> None:
+        if len(self.material) not in SYMMETRIC_KEY_SIZES:
+            raise InvalidKeyError(
+                f"symmetric key must be 16 or 32 bytes, got {len(self.material)}"
+            )
+
+    @property
+    def bits(self) -> int:
+        return len(self.material) * 8
+
+    @staticmethod
+    def generate(rng: HmacDrbg, bits: int = 256, purpose: str = "generic") -> "SymmetricKey":
+        if bits not in (128, 256):
+            raise InvalidKeyError("symmetric keys must be 128 or 256 bits")
+        return SymmetricKey(rng.generate(bits // 8), purpose)
+
+    def __repr__(self) -> str:  # Never print key material.
+        return f"SymmetricKey(purpose={self.purpose!r}, bits={self.bits})"
+
+
+@dataclass(frozen=True, repr=False)
+class AesDeviceKey(SymmetricKey):
+    """The manufacturer-burned AES device key (the true root of trust)."""
+
+    purpose: str = "aes-device-key"
+
+
+@dataclass(frozen=True, repr=False)
+class BitstreamKey(SymmetricKey):
+    """The IP Vendor's Bitstream Encryption Key."""
+
+    purpose: str = "bitstream-encryption-key"
+
+
+@dataclass(frozen=True, repr=False)
+class DataEncryptionKey(SymmetricKey):
+    """The Data Owner's per-Shield Data Encryption Key."""
+
+    purpose: str = "data-encryption-key"
+
+
+@dataclass(frozen=True, repr=False)
+class SessionKey(SymmetricKey):
+    """The symmetric session key agreed during remote attestation."""
+
+    purpose: str = "session-key"
+
+
+@dataclass(frozen=True)
+class DeviceKeySet:
+    """Both manufacturer-provisioned roots of trust for one FPGA device.
+
+    Only the Manufacturer and the SPB firmware ever hold this object.
+    """
+
+    aes_key: AesDeviceKey
+    private_key: EcPrivateKey
+    device_serial: str
+
+    @property
+    def public_key(self) -> EcPublicKey:
+        return self.private_key.public_key
+
+
+@dataclass(frozen=True)
+class AttestationKeyPair:
+    """The per-boot Attestation Key, bound to (device, Security Kernel hash)."""
+
+    private_key: EcPrivateKey
+    kernel_hash: bytes
+
+    @property
+    def public_key(self) -> EcPublicKey:
+        return self.private_key.public_key
+
+
+@dataclass(frozen=True)
+class ShieldEncryptionKeyPair:
+    """The IP Vendor's Shield Encryption Key (asymmetric; private half is in the Shield)."""
+
+    private_key: RsaPrivateKey
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        return self.private_key.public_key
+
+
+@dataclass(frozen=True)
+class LoadKey:
+    """The Data Encryption Key wrapped under the public Shield Encryption Key."""
+
+    wrapped: bytes
+    shield_id: str = "shield0"
+
+
+@dataclass
+class KeyRing:
+    """A labelled bag of symmetric keys (used by the Data Owner for many Shields)."""
+
+    keys: dict = field(default_factory=dict)
+
+    def add(self, name: str, key: SymmetricKey) -> None:
+        if name in self.keys:
+            raise InvalidKeyError(f"key {name!r} already present in key ring")
+        self.keys[name] = key
+
+    def get(self, name: str) -> SymmetricKey:
+        try:
+            return self.keys[name]
+        except KeyError:
+            raise InvalidKeyError(f"key {name!r} not present in key ring") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.keys
+
+    def __len__(self) -> int:
+        return len(self.keys)

@@ -1,0 +1,116 @@
+"""Block-cipher modes of operation (ECB, CBC, CTR) over :class:`~repro.crypto.aes.AES`.
+
+The Shield uses AES-CTR for data confidentiality (Section 5.1 of the paper):
+each C_mem chunk is associated with a 12-byte initialization vector and a
+32-bit block counter, so no two ciphertext blocks ever reuse the same
+key-stream block.  ECB and CBC are included because the boot chain (bitstream
+and firmware encryption) and the CBC-MAC/CMAC constructions need them.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad
+from repro.errors import CryptoError
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise CryptoError("xor_bytes requires equal-length inputs")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+# ---------------------------------------------------------------------------
+# ECB
+# ---------------------------------------------------------------------------
+
+
+def ecb_encrypt(cipher: AES, plaintext: bytes) -> bytes:
+    """Encrypt in ECB mode; the plaintext must be a multiple of the block size."""
+    if len(plaintext) % BLOCK_SIZE:
+        raise CryptoError("ECB plaintext must be a multiple of 16 bytes")
+    return b"".join(
+        cipher.encrypt_block(plaintext[i : i + BLOCK_SIZE])
+        for i in range(0, len(plaintext), BLOCK_SIZE)
+    )
+
+
+def ecb_decrypt(cipher: AES, ciphertext: bytes) -> bytes:
+    """Decrypt in ECB mode; the ciphertext must be a multiple of the block size."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise CryptoError("ECB ciphertext must be a multiple of 16 bytes")
+    return b"".join(
+        cipher.decrypt_block(ciphertext[i : i + BLOCK_SIZE])
+        for i in range(0, len(ciphertext), BLOCK_SIZE)
+    )
+
+
+# ---------------------------------------------------------------------------
+# CBC (with PKCS#7 padding)
+# ---------------------------------------------------------------------------
+
+
+def cbc_encrypt(cipher: AES, iv: bytes, plaintext: bytes) -> bytes:
+    """Encrypt with CBC and PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("CBC IV must be 16 bytes")
+    padded = pkcs7_pad(plaintext, BLOCK_SIZE)
+    out = []
+    previous = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = cipher.encrypt_block(xor_bytes(padded[i : i + BLOCK_SIZE], previous))
+        out.append(block)
+        previous = block
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher: AES, iv: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt CBC ciphertext and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError("CBC IV must be 16 bytes")
+    if not ciphertext or len(ciphertext) % BLOCK_SIZE:
+        raise CryptoError("CBC ciphertext must be a non-empty multiple of 16 bytes")
+    out = []
+    previous = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i : i + BLOCK_SIZE]
+        out.append(xor_bytes(cipher.decrypt_block(block), previous))
+        previous = block
+    return pkcs7_unpad(b"".join(out), BLOCK_SIZE)
+
+
+# ---------------------------------------------------------------------------
+# CTR
+# ---------------------------------------------------------------------------
+
+
+def _counter_block(iv: bytes, counter: int) -> bytes:
+    """Compose the 16-byte counter block from a 12-byte IV and a 32-bit counter."""
+    return iv + (counter & 0xFFFFFFFF).to_bytes(4, "big")
+
+
+def ctr_keystream(cipher: AES, iv: bytes, length: int, initial_counter: int = 0) -> bytes:
+    """Generate ``length`` bytes of CTR key stream starting at ``initial_counter``."""
+    if len(iv) != 12:
+        raise CryptoError("CTR IV must be 12 bytes (96 bits)")
+    blocks = []
+    counter = initial_counter
+    produced = 0
+    while produced < length:
+        blocks.append(cipher.encrypt_block(_counter_block(iv, counter)))
+        counter += 1
+        produced += BLOCK_SIZE
+    return b"".join(blocks)[:length]
+
+
+def ctr_transform(
+    cipher: AES, iv: bytes, data: bytes, initial_counter: int = 0
+) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operation is symmetric)."""
+    stream = ctr_keystream(cipher, iv, len(data), initial_counter)
+    return xor_bytes(data, stream)
+
+
+ctr_encrypt = ctr_transform
+ctr_decrypt = ctr_transform

@@ -1,0 +1,25 @@
+"""PKCS#7 padding helpers used by CBC mode and bitstream containers."""
+
+from __future__ import annotations
+
+from repro.errors import PaddingError
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Append PKCS#7 padding so that the result is a multiple of ``block_size``."""
+    if not 1 <= block_size <= 255:
+        raise PaddingError("block size must be between 1 and 255")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip PKCS#7 padding, raising :class:`PaddingError` if it is malformed."""
+    if not data or len(data) % block_size:
+        raise PaddingError("padded data must be a non-empty multiple of block size")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise PaddingError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("padding bytes are inconsistent")
+    return data[:-pad_len]

@@ -1,0 +1,6 @@
+"""Untrusted host-side software: the FPGA driver and the ShEF host runtime."""
+
+from repro.host.driver import DriverState, FpgaDriver
+from repro.host.runtime import HostTransferLog, ShefHostRuntime
+
+__all__ = ["DriverState", "FpgaDriver", "HostTransferLog", "ShefHostRuntime"]

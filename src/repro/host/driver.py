@@ -1,0 +1,93 @@
+"""The CSP's FPGA driver: untrusted management software on the host.
+
+The driver is the cloud-provider tooling a Data Owner uses to reset the FPGA,
+kick off secure boot, and hand encrypted bitstreams to the Security Kernel --
+the software equivalents of ``fpga-clear-local-image`` / ``fpga-load-local-image``
+in the AWS F1 workflow.  It never sees plaintext bitstreams or keys: everything
+it touches is encrypted, and the Security Kernel re-verifies everything it is
+given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.boot.process import SecureBootResult, install_security_kernel, perform_secure_boot
+from repro.boot.security_kernel import SecurityKernel
+from repro.errors import BootError
+from repro.hw.bitstream import Bitstream, EncryptedBitstream
+from repro.hw.board import FpgaBoard
+
+
+@dataclass
+class DriverState:
+    """What the driver believes about the board (it is not trusted to be right)."""
+
+    booted: bool = False
+    shell_loaded: bool = False
+    accelerator_loaded: bool = False
+    loaded_accelerator_name: Optional[str] = None
+
+
+class FpgaDriver:
+    """Untrusted host-side management of one FPGA board."""
+
+    def __init__(self, board: FpgaBoard, shell_design_name: str = "csp-shell"):
+        self.board = board
+        self.shell_design_name = shell_design_name
+        self.state = DriverState()
+        self._kernel: Optional[SecurityKernel] = None
+        self._boot_result: Optional[SecureBootResult] = None
+
+    # -- boot ------------------------------------------------------------------------
+
+    def reset_and_boot(self) -> SecureBootResult:
+        """Reset the user region and run the secure-boot chain."""
+        self.board.reset_user_region()
+        if "security_kernel" not in self.board.boot_medium:
+            install_security_kernel(self.board)
+        result = perform_secure_boot(self.board)
+        self._kernel = result.kernel
+        self._boot_result = result
+        self.state.booted = True
+        return result
+
+    @property
+    def security_kernel(self) -> SecurityKernel:
+        if self._kernel is None:
+            raise BootError("the board has not been booted; call reset_and_boot first")
+        return self._kernel
+
+    # -- Shell and accelerator loading ---------------------------------------------------
+
+    def load_shell(self) -> None:
+        """Ask the Security Kernel to launch the CSP's Shell into the static region."""
+        shell_bitstream = Bitstream(
+            accelerator_name=self.shell_design_name,
+            vendor="cloud-service-provider",
+            accelerator_spec={"kind": "shell"},
+        )
+        self.security_kernel.launch_shell(shell_bitstream)
+        self.state.shell_loaded = True
+
+    def stage_accelerator(self, encrypted_bitstream: EncryptedBitstream) -> None:
+        """Hand the (still encrypted) accelerator bitstream to the Security Kernel."""
+        self.security_kernel.stage_encrypted_bitstream(encrypted_bitstream)
+
+    def load_accelerator(self) -> Bitstream:
+        """Ask the kernel to decrypt and load the staged accelerator (post-attestation)."""
+        bitstream = self.security_kernel.load_accelerator()
+        self.state.accelerator_loaded = True
+        self.state.loaded_accelerator_name = bitstream.accelerator_name
+        return bitstream
+
+    def describe_image(self) -> dict:
+        """The driver's (untrusted) view of what is loaded, for operator tooling."""
+        return {
+            "booted": self.state.booted,
+            "shell_loaded": self.state.shell_loaded,
+            "accelerator_loaded": self.state.accelerator_loaded,
+            "accelerator": self.state.loaded_accelerator_name,
+            "boot_seconds": self._boot_result.total_seconds if self._boot_result else None,
+        }

@@ -1,0 +1,86 @@
+"""Simulated FPGA hardware substrate.
+
+This package models every piece of FPGA hardware the ShEF workflow touches:
+key fuses and the PUF, the Security Processor Block and boot medium, the
+reconfigurable fabric with its static (Shell) and dynamic (user) regions,
+device DRAM and on-chip BRAM/URAM, AXI4/AXI4-Lite interfaces, the untrusted
+Shell, and tamper-monitored debug ports.  Two board profiles (Ultra96 and AWS
+F1) mirror the paper's evaluation platforms.
+"""
+
+from repro.hw.axi import (
+    AXI_DATA_WIDTH_BYTES,
+    AxiBurst,
+    AxiLiteTransaction,
+    AxiPort,
+    BurstKind,
+    memory_backed_handler,
+)
+from repro.hw.bitstream import (
+    Bitstream,
+    EncryptedBitstream,
+    decrypt_bitstream,
+    encrypt_bitstream,
+)
+from repro.hw.board import (
+    AWS_F1_PROFILE,
+    ULTRA96_PROFILE,
+    BoardModel,
+    BoardProfile,
+    FpgaBoard,
+    make_board,
+)
+from repro.hw.clock import CycleClock
+from repro.hw.fabric import Fabric, FabricRegion, FabricResources
+from repro.hw.fuses import SPB_ACCESS_TOKEN, FuseBank, KeyFuses
+from repro.hw.jtag import DebugPort, TamperMonitor
+from repro.hw.memory import DeviceMemory, MemoryStats, OnChipAllocation, OnChipMemory
+from repro.hw.puf import Puf
+from repro.hw.shell import Shell, ShellStats
+from repro.hw.spb import (
+    BootMedium,
+    SecurityKernelProcessor,
+    SecurityProcessorBlock,
+    seal_firmware_image,
+    unseal_firmware_image,
+)
+
+__all__ = [
+    "AXI_DATA_WIDTH_BYTES",
+    "AxiBurst",
+    "AxiLiteTransaction",
+    "AxiPort",
+    "BurstKind",
+    "memory_backed_handler",
+    "Bitstream",
+    "EncryptedBitstream",
+    "decrypt_bitstream",
+    "encrypt_bitstream",
+    "AWS_F1_PROFILE",
+    "ULTRA96_PROFILE",
+    "BoardModel",
+    "BoardProfile",
+    "FpgaBoard",
+    "make_board",
+    "CycleClock",
+    "Fabric",
+    "FabricRegion",
+    "FabricResources",
+    "SPB_ACCESS_TOKEN",
+    "FuseBank",
+    "KeyFuses",
+    "DebugPort",
+    "TamperMonitor",
+    "DeviceMemory",
+    "MemoryStats",
+    "OnChipAllocation",
+    "OnChipMemory",
+    "Puf",
+    "Shell",
+    "ShellStats",
+    "BootMedium",
+    "SecurityKernelProcessor",
+    "SecurityProcessorBlock",
+    "seal_firmware_image",
+    "unseal_firmware_image",
+]

@@ -1,0 +1,159 @@
+"""Board profiles and the composed FPGA board model.
+
+Two profiles mirror the paper's evaluation platforms:
+
+* ``ULTRA96`` -- the local Xilinx Ultra96 (Zynq UltraScale+ MPSoC) board used
+  for the end-to-end secure boot and attestation measurement (Section 6.1),
+  with a hardened Cortex-R5 available as the Security Kernel Processor.
+* ``AWS_F1`` -- an AWS EC2 F1 instance with a Virtex UltraScale+ VU9P, 64 GiB
+  of DDR4 device memory, and the CSP's Shell occupying a static region
+  (Sections 2.3 and 6.2).
+
+:class:`FpgaBoard` wires the fuses, PUF, SPB, fabric, device memory, on-chip
+memory, tamper monitors, and Shell together into one object that the boot
+chain, workflow, and simulator all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.drbg import HmacDrbg
+from repro.hw.clock import CycleClock
+from repro.hw.fabric import Fabric, FabricResources
+from repro.hw.fuses import KeyFuses
+from repro.hw.jtag import TamperMonitor
+from repro.hw.memory import DeviceMemory, OnChipMemory
+from repro.hw.puf import Puf
+from repro.hw.shell import Shell
+from repro.hw.spb import BootMedium, SecurityKernelProcessor, SecurityProcessorBlock
+
+
+class BoardModel(Enum):
+    """Supported board profiles."""
+
+    ULTRA96 = "ultra96"
+    AWS_F1 = "aws-f1"
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Static description of a board's resources."""
+
+    model: BoardModel
+    device_memory_bytes: int
+    on_chip_memory_bytes: int
+    total_resources: FabricResources
+    shell_fraction: float
+    clock_hz: float
+    security_kernel_processor: str
+    boot_rom_seconds: float
+    firmware_load_seconds: float
+    kernel_load_seconds: float
+    partial_reconfig_seconds: float
+
+
+# The VU9P on F1: ~1,182k LUTs, ~2,364k registers, 75.9 Mb BRAM + 270 Mb URAM
+# (the paper quotes 382 Mb of on-chip memory as the configurable maximum).
+AWS_F1_PROFILE = BoardProfile(
+    model=BoardModel.AWS_F1,
+    device_memory_bytes=64 * 1024 ** 3,
+    on_chip_memory_bytes=int(382e6 / 8),
+    total_resources=FabricResources(
+        luts=1_182_000, registers=2_364_000, bram_kb=9_475, uram_kb=34_560
+    ),
+    shell_fraction=0.2,
+    clock_hz=250e6,
+    security_kernel_processor="microblaze",
+    boot_rom_seconds=0.4,
+    firmware_load_seconds=1.1,
+    kernel_load_seconds=1.2,
+    partial_reconfig_seconds=6.2,
+)
+
+# The Ultra96 (ZU3EG): much smaller fabric, 2 GiB LPDDR4, hard Cortex-R5.
+ULTRA96_PROFILE = BoardProfile(
+    model=BoardModel.ULTRA96,
+    device_memory_bytes=2 * 1024 ** 3,
+    on_chip_memory_bytes=int(7.6e6 / 8) * 8,
+    total_resources=FabricResources(
+        luts=71_000, registers=141_000, bram_kb=950, uram_kb=0
+    ),
+    shell_fraction=0.15,
+    clock_hz=150e6,
+    security_kernel_processor="cortex-r5",
+    boot_rom_seconds=0.3,
+    firmware_load_seconds=0.9,
+    kernel_load_seconds=1.1,
+    partial_reconfig_seconds=2.8,
+)
+
+_PROFILES = {
+    BoardModel.ULTRA96: ULTRA96_PROFILE,
+    BoardModel.AWS_F1: AWS_F1_PROFILE,
+}
+
+
+class FpgaBoard:
+    """A fully composed FPGA board instance."""
+
+    SHELL_REGION = "shell"
+    USER_REGION = "user"
+
+    def __init__(self, profile: BoardProfile, serial: str = "fpga-0001"):
+        self.profile = profile
+        self.serial = serial
+        self.clock = CycleClock(frequency_hz=profile.clock_hz)
+        self.fuses = KeyFuses()
+        # The silicon fingerprint is a per-device physical property; derive it
+        # from the serial so simulations are reproducible per board instance.
+        self.puf = Puf(
+            HmacDrbg(serial.encode("utf-8"), b"silicon-fingerprint").generate(32)
+        )
+        self.boot_medium = BootMedium()
+        self.spb = SecurityProcessorBlock(self.fuses, puf=None)
+        self.security_kernel_processor = SecurityKernelProcessor(
+            kind=profile.security_kernel_processor
+        )
+        self.device_memory = DeviceMemory(profile.device_memory_bytes)
+        self.on_chip_memory = OnChipMemory(profile.on_chip_memory_bytes)
+        self.fabric = Fabric(profile.total_resources)
+        self.fabric.add_region(
+            self.SHELL_REGION,
+            profile.total_resources.scaled(profile.shell_fraction),
+            static=True,
+        )
+        self.fabric.add_region(
+            self.USER_REGION,
+            profile.total_resources.scaled(1.0 - profile.shell_fraction),
+            static=False,
+        )
+        self.tamper_monitor = TamperMonitor()
+        self.tamper_monitor.add_port("jtag")
+        self.tamper_monitor.add_port("icap")
+        self.tamper_monitor.add_port("pcap")
+        self.shell = Shell(self.device_memory)
+
+    @property
+    def user_region_resources(self) -> FabricResources:
+        """Resources available to the user's accelerator + Shield."""
+        return self.fabric.region(self.USER_REGION).resources
+
+    def enable_puf_key_wrapping(self) -> None:
+        """Switch the SPB to PUF-wrapped device keys (optional hardening)."""
+        self.spb.puf = self.puf
+
+    def reset_user_region(self) -> None:
+        """Clear the user region (the FPGA driver does this before secure boot)."""
+        region = self.fabric.region(self.USER_REGION)
+        if region.is_programmed:
+            self.fabric.clear_region(self.USER_REGION)
+        self.shell.disconnect_user_logic()
+
+
+def make_board(model: BoardModel | str, serial: str = "fpga-0001") -> FpgaBoard:
+    """Construct a board from a profile name or :class:`BoardModel`."""
+    if isinstance(model, str):
+        model = BoardModel(model)
+    return FpgaBoard(_PROFILES[model], serial=serial)

@@ -1,0 +1,51 @@
+"""Cycle accounting for the simulated FPGA.
+
+Components that model latency or throughput (engines, DRAM, boot phases)
+charge cycles against a shared :class:`CycleClock`.  The clock is purely a
+counter -- there is no event-driven scheduler -- because the Shield timing
+model in :mod:`repro.core.timing` computes per-burst latencies analytically
+and only needs a place to accumulate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CycleClock:
+    """A monotonically advancing cycle counter with a nominal frequency."""
+
+    frequency_hz: float = 250e6
+    cycles: int = 0
+    _checkpoints: dict = field(default_factory=dict)
+
+    def advance(self, cycles: int) -> int:
+        """Advance the clock by ``cycles`` (must be non-negative); return the new time."""
+        if cycles < 0:
+            raise ValueError("cannot advance the clock by a negative amount")
+        self.cycles += int(cycles)
+        return self.cycles
+
+    def now(self) -> int:
+        """Current cycle count."""
+        return self.cycles
+
+    def elapsed_seconds(self) -> float:
+        """Wall-clock equivalent of the elapsed cycles at the nominal frequency."""
+        return self.cycles / self.frequency_hz
+
+    def checkpoint(self, name: str) -> None:
+        """Record the current cycle count under ``name`` (e.g. a boot phase)."""
+        self._checkpoints[name] = self.cycles
+
+    def since(self, name: str) -> int:
+        """Cycles elapsed since the named checkpoint."""
+        if name not in self._checkpoints:
+            raise KeyError(f"unknown checkpoint {name!r}")
+        return self.cycles - self._checkpoints[name]
+
+    def reset(self) -> None:
+        """Reset the counter and forget all checkpoints."""
+        self.cycles = 0
+        self._checkpoints.clear()

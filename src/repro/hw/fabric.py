@@ -1,0 +1,113 @@
+"""The reconfigurable fabric: static (Shell) and dynamic (user) regions.
+
+AWS F1 configures each FPGA with two partial bitstreams -- the CSP's Shell in
+a static region and the user accelerator in a reconfigurable region (Section
+2.3).  The fabric model tracks which design occupies which region, enforces
+the region's resource budget, and lets the Security Kernel perform partial
+reconfiguration of the user region without touching the Shell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import FabricError
+from repro.hw.bitstream import Bitstream
+
+
+@dataclass(frozen=True)
+class FabricResources:
+    """Resource totals for a device or a region (Table 1 reports percentages of these)."""
+
+    luts: int
+    registers: int
+    bram_kb: int
+    uram_kb: int = 0
+
+    @property
+    def on_chip_memory_bytes(self) -> int:
+        return (self.bram_kb + self.uram_kb) * 1024
+
+    def scaled(self, fraction: float) -> "FabricResources":
+        """Return a copy with every resource scaled by ``fraction``."""
+        return FabricResources(
+            luts=int(self.luts * fraction),
+            registers=int(self.registers * fraction),
+            bram_kb=int(self.bram_kb * fraction),
+            uram_kb=int(self.uram_kb * fraction),
+        )
+
+
+@dataclass
+class FabricRegion:
+    """One spatially-isolated region of the fabric."""
+
+    name: str
+    resources: FabricResources
+    static: bool = False
+    loaded_design: Optional[Bitstream] = None
+    load_count: int = 0
+
+    @property
+    def is_programmed(self) -> bool:
+        return self.loaded_design is not None
+
+
+class Fabric:
+    """The whole programmable fabric, divided into named regions."""
+
+    def __init__(self, total_resources: FabricResources):
+        self.total_resources = total_resources
+        self._regions: dict[str, FabricRegion] = {}
+
+    def add_region(
+        self, name: str, resources: FabricResources, static: bool = False
+    ) -> FabricRegion:
+        """Carve out a named region with its own resource budget."""
+        if name in self._regions:
+            raise FabricError(f"fabric region {name!r} already exists")
+        region = FabricRegion(name=name, resources=resources, static=static)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> FabricRegion:
+        """Look up a region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise FabricError(f"no fabric region named {name!r}") from None
+
+    @property
+    def regions(self) -> dict[str, FabricRegion]:
+        return dict(self._regions)
+
+    def program_region(self, name: str, bitstream: Bitstream, force: bool = False) -> None:
+        """Program a plaintext bitstream into a region (partial reconfiguration).
+
+        Static regions may only be programmed once (the Shell is persistent);
+        dynamic regions may be reprogrammed.  The bitstream's declared resource
+        usage must fit the region budget.
+        """
+        region = self.region(name)
+        if region.static and region.is_programmed and not force:
+            raise FabricError(f"static region {name!r} is already programmed")
+        usage = bitstream.resources or {}
+        if usage.get("luts", 0) > region.resources.luts:
+            raise FabricError(
+                f"design {bitstream.accelerator_name!r} needs {usage['luts']} LUTs, "
+                f"region {name!r} has {region.resources.luts}"
+            )
+        if usage.get("registers", 0) > region.resources.registers:
+            raise FabricError(
+                f"design {bitstream.accelerator_name!r} exceeds register budget of region {name!r}"
+            )
+        region.loaded_design = bitstream
+        region.load_count += 1
+
+    def clear_region(self, name: str) -> None:
+        """Erase the design loaded in a dynamic region."""
+        region = self.region(name)
+        if region.static:
+            raise FabricError("the static Shell region cannot be cleared at runtime")
+        region.loaded_design = None

@@ -1,0 +1,100 @@
+"""One-time-programmable key storage: e-fuses and battery-backed RAM (BBRAM).
+
+Section 2.2 of the paper: the Security Processor Block has access to two
+pieces of information embedded in secure, on-chip, non-volatile storage -- an
+AES key and the hash of a public asymmetric key.  This module models that
+storage with the two properties that matter for the protocol:
+
+* writes are one-time (a second programming attempt is rejected), and
+* reads are only possible for the SPB (callers must present the SPB's access
+  token), so no soft logic or host software can ever dump the device key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FuseError
+
+SPB_ACCESS_TOKEN = "security-processor-block"
+
+
+@dataclass
+class FuseBank:
+    """A single named one-time-programmable fuse slot."""
+
+    name: str
+    _value: bytes | None = None
+    _locked: bool = False
+
+    def program(self, value: bytes) -> None:
+        """Burn a value into the fuse bank; only possible once."""
+        if self._locked:
+            raise FuseError(f"fuse bank {self.name!r} has already been programmed")
+        if not value:
+            raise FuseError("cannot program an empty value into a fuse bank")
+        self._value = bytes(value)
+        self._locked = True
+
+    def read(self, access_token: str) -> bytes:
+        """Read the fuse value; only the SPB's access token is accepted."""
+        if access_token != SPB_ACCESS_TOKEN:
+            raise FuseError(
+                f"access to fuse bank {self.name!r} denied for {access_token!r}"
+            )
+        if self._value is None:
+            raise FuseError(f"fuse bank {self.name!r} has not been programmed")
+        return self._value
+
+    @property
+    def is_programmed(self) -> bool:
+        return self._locked
+
+
+@dataclass
+class KeyFuses:
+    """The FPGA's secure key storage: AES device key fuses + public-key-hash fuses.
+
+    An optional BBRAM slot is modelled as well (Xilinx devices allow the AES
+    key to live in BBRAM instead of e-fuses); functionally both behave the
+    same here, except BBRAM can be zeroized on a tamper event.
+    """
+
+    aes_key_fuse: FuseBank = field(default_factory=lambda: FuseBank("aes-device-key"))
+    public_key_hash_fuse: FuseBank = field(
+        default_factory=lambda: FuseBank("public-key-hash")
+    )
+    bbram: FuseBank = field(default_factory=lambda: FuseBank("bbram-aes-key"))
+    use_bbram: bool = False
+    _zeroized: bool = False
+
+    def program_aes_key(self, key: bytes) -> None:
+        """Burn the AES device key (manufacturing step 1 in Figure 2)."""
+        if self.use_bbram:
+            self.bbram.program(key)
+        else:
+            self.aes_key_fuse.program(key)
+
+    def program_public_key_hash(self, key_hash: bytes) -> None:
+        """Burn the hash of the developer/manufacturer public key."""
+        self.public_key_hash_fuse.program(key_hash)
+
+    def read_aes_key(self, access_token: str) -> bytes:
+        """Read the AES device key (SPB only); fails after zeroization."""
+        if self._zeroized:
+            raise FuseError("key storage has been zeroized after a tamper event")
+        bank = self.bbram if self.use_bbram else self.aes_key_fuse
+        return bank.read(access_token)
+
+    def read_public_key_hash(self, access_token: str) -> bytes:
+        """Read the programmed public-key hash (SPB only)."""
+        return self.public_key_hash_fuse.read(access_token)
+
+    def zeroize(self) -> None:
+        """Erase BBRAM-held keys in response to tamper detection."""
+        self._zeroized = True
+
+    @property
+    def is_provisioned(self) -> bool:
+        bank = self.bbram if self.use_bbram else self.aes_key_fuse
+        return bank.is_programmed

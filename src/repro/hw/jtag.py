@@ -1,0 +1,88 @@
+"""JTAG / ICAP programming and debug ports with tamper monitoring.
+
+The Security Kernel "continuously checks existing hardware monitors ... (e.g.
+JTAG and programming ports)" (Section 3).  Each sensitive port is modelled as
+a :class:`DebugPort` that records access attempts; the Security Kernel polls
+the monitor and treats any unexpected access as a tamper event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TamperError
+
+
+@dataclass
+class AccessAttempt:
+    """One recorded attempt to use a sensitive port."""
+
+    actor: str
+    operation: str
+    cycle: int = 0
+
+
+@dataclass
+class DebugPort:
+    """A JTAG/ICAP-style port that can be locked and audited."""
+
+    name: str
+    locked: bool = True
+    attempts: list = field(default_factory=list)
+
+    def attempt_access(self, actor: str, operation: str = "connect", cycle: int = 0) -> bool:
+        """Record an access attempt; returns True only if the port is unlocked."""
+        self.attempts.append(AccessAttempt(actor=actor, operation=operation, cycle=cycle))
+        return not self.locked
+
+    def lock(self) -> None:
+        self.locked = True
+
+    def unlock(self, actor: str) -> None:
+        """Unlock the port (only legitimate during manufacturing / secure provisioning)."""
+        if actor != "manufacturer":
+            raise TamperError(f"{actor!r} may not unlock debug port {self.name!r}")
+        self.locked = False
+
+
+class TamperMonitor:
+    """Aggregates all sensitive ports and answers the Security Kernel's polls."""
+
+    def __init__(self) -> None:
+        self.ports: dict[str, DebugPort] = {}
+        self._acknowledged = 0
+
+    def add_port(self, name: str, locked: bool = True) -> DebugPort:
+        if name in self.ports:
+            raise TamperError(f"debug port {name!r} already registered")
+        port = DebugPort(name=name, locked=locked)
+        self.ports[name] = port
+        return port
+
+    def port(self, name: str) -> DebugPort:
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise TamperError(f"no debug port named {name!r}") from None
+
+    def pending_events(self) -> list:
+        """All access attempts that have not been acknowledged yet."""
+        events = []
+        for port in self.ports.values():
+            events.extend(port.attempts)
+        return events[self._acknowledged :]
+
+    def acknowledge(self) -> list:
+        """Return pending events and mark them as seen."""
+        events = self.pending_events()
+        self._acknowledged += len(events)
+        return events
+
+    def assert_untampered(self) -> None:
+        """Raise :class:`TamperError` if any unacknowledged access attempt exists."""
+        events = self.pending_events()
+        if events:
+            first = events[0]
+            raise TamperError(
+                f"tamper event: {first.actor!r} attempted {first.operation!r}"
+            )

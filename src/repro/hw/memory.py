@@ -1,0 +1,207 @@
+"""Memory models: off-chip device DRAM and on-chip BRAM/UltraRAM.
+
+The Shield's whole purpose is to treat device DRAM as untrusted -- the
+adversary can read and modify it at will (physical bus attacks or interception
+through the Shell).  :class:`DeviceMemory` therefore exposes, besides the
+normal read/write path, explicit ``tamper_*`` methods that the attack library
+uses to model spoofing, splicing, and replay.
+
+:class:`OnChipMemory` models the trusted BRAM/UltraRAM budget inside the
+reconfigurable fabric.  The Shield's plaintext buffers and integrity counters
+must fit within it; allocations are tracked so the area model can report
+on-chip memory usage (Table 1's "OCM Variable" row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CapacityError, MemoryAccessError
+
+_PAGE_SIZE = 4096
+
+
+@dataclass
+class MemoryStats:
+    """Traffic counters used by the timing model and by tests."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record_read(self, size: int) -> None:
+        self.reads += 1
+        self.bytes_read += size
+
+    def record_write(self, size: int) -> None:
+        self.writes += 1
+        self.bytes_written += size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+class DeviceMemory:
+    """Byte-addressable off-chip DRAM, stored sparsely in 4 KiB pages.
+
+    The AWS F1 profile advertises 64 GiB of DDR4; a sparse page map lets the
+    model advertise that full address space without allocating it.
+    Uninitialized bytes read as zero.
+    """
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0:
+            raise MemoryAccessError("device memory size must be positive")
+        self.size_bytes = size_bytes
+        self._pages: dict[int, bytearray] = {}
+        self.stats = MemoryStats()
+
+    # -- bounds helpers ------------------------------------------------------
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size_bytes:
+            raise MemoryAccessError(
+                f"access [{address:#x}, {address + length:#x}) outside device memory "
+                f"of {self.size_bytes} bytes"
+            )
+
+    def _raw_read(self, address: int, length: int) -> bytes:
+        out = bytearray(length)
+        offset = 0
+        while offset < length:
+            page_index, page_offset = divmod(address + offset, _PAGE_SIZE)
+            chunk = min(length - offset, _PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is not None:
+                out[offset : offset + chunk] = page[page_offset : page_offset + chunk]
+            offset += chunk
+        return bytes(out)
+
+    def _raw_write(self, address: int, data: bytes) -> None:
+        offset = 0
+        length = len(data)
+        while offset < length:
+            page_index, page_offset = divmod(address + offset, _PAGE_SIZE)
+            chunk = min(length - offset, _PAGE_SIZE - page_offset)
+            page = self._pages.get(page_index)
+            if page is None:
+                page = bytearray(_PAGE_SIZE)
+                self._pages[page_index] = page
+            page[page_offset : page_offset + chunk] = data[offset : offset + chunk]
+            offset += chunk
+
+    # -- the normal (accounted) access path ----------------------------------
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes, counting the access in :attr:`stats`."""
+        self._check_range(address, length)
+        self.stats.record_read(length)
+        return self._raw_read(address, length)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data``, counting the access in :attr:`stats`."""
+        self._check_range(address, len(data))
+        self.stats.record_write(len(data))
+        self._raw_write(address, bytes(data))
+
+    # -- the adversary's access path (not accounted as accelerator traffic) ---
+
+    def tamper_read(self, address: int, length: int) -> bytes:
+        """Adversarial snoop of raw memory contents (physical/Shell attack)."""
+        self._check_range(address, length)
+        return self._raw_read(address, length)
+
+    def tamper_write(self, address: int, data: bytes) -> None:
+        """Adversarial modification of raw memory contents."""
+        self._check_range(address, len(data))
+        self._raw_write(address, bytes(data))
+
+    @property
+    def allocated_pages(self) -> int:
+        """Number of 4 KiB pages actually backed by storage."""
+        return len(self._pages)
+
+
+@dataclass
+class OnChipAllocation:
+    """A named slice of on-chip memory handed to a Shield component."""
+
+    name: str
+    size_bytes: int
+    data: bytearray = field(repr=False, default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.data:
+            self.data = bytearray(self.size_bytes)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > self.size_bytes:
+            raise MemoryAccessError(
+                f"on-chip read outside allocation {self.name!r}"
+            )
+        return bytes(self.data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > self.size_bytes:
+            raise MemoryAccessError(
+                f"on-chip write outside allocation {self.name!r}"
+            )
+        self.data[offset : offset + len(data)] = data
+
+
+class OnChipMemory:
+    """The FPGA's trusted BRAM/UltraRAM pool with a hard capacity budget."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise CapacityError("on-chip memory capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._allocations: dict[str, OnChipAllocation] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(a.size_bytes for a in self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocate(self, name: str, size_bytes: int) -> OnChipAllocation:
+        """Reserve ``size_bytes`` under ``name``; raises :class:`CapacityError` if it does not fit."""
+        if size_bytes <= 0:
+            raise CapacityError("on-chip allocations must be positive")
+        if name in self._allocations:
+            raise CapacityError(f"on-chip allocation {name!r} already exists")
+        if size_bytes > self.free_bytes:
+            raise CapacityError(
+                f"on-chip allocation {name!r} of {size_bytes} bytes exceeds the "
+                f"remaining {self.free_bytes} bytes"
+            )
+        allocation = OnChipAllocation(name, size_bytes)
+        self._allocations[name] = allocation
+        return allocation
+
+    def free(self, name: str) -> None:
+        """Release a previous allocation."""
+        if name not in self._allocations:
+            raise CapacityError(f"no on-chip allocation named {name!r}")
+        del self._allocations[name]
+
+    def allocation(self, name: str) -> OnChipAllocation:
+        """Look up an existing allocation by name."""
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise CapacityError(f"no on-chip allocation named {name!r}") from None
+
+    def utilization(self) -> float:
+        """Fraction of the on-chip budget currently allocated."""
+        return self.used_bytes / self.capacity_bytes

@@ -1,0 +1,121 @@
+"""The CSP's Shell: the untrusted "operating system" of the cloud FPGA.
+
+The Shell is static logic owned by the cloud provider.  It virtualizes the
+board peripherals and is the *only* way user logic reaches the outside world:
+an AXI4-Lite register interface mastered by the host, an AXI4 memory interface
+to device DRAM, and a DMA engine the host uses to move bulk data.  ShEF's
+threat model explicitly allows the Shell to be malicious, so every path
+through this class supports interposers/taps that the attack library uses to
+snoop or corrupt traffic.  Whatever is connected behind the Shell (the Shield,
+in a ShEF deployment) must assume all of it is hostile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ShieldError
+from repro.hw.axi import (
+    AxiBurst,
+    AxiLiteTransaction,
+    AxiPort,
+    BurstKind,
+    memory_backed_handler,
+)
+from repro.hw.memory import DeviceMemory
+
+
+@dataclass
+class ShellStats:
+    """Traffic counters on the Shell's external interfaces."""
+
+    register_reads: int = 0
+    register_writes: int = 0
+    dma_bytes_in: int = 0
+    dma_bytes_out: int = 0
+
+
+class Shell:
+    """The untrusted Shell connecting host, device memory, and user logic."""
+
+    def __init__(self, device_memory: DeviceMemory, name: str = "aws-f1-shell"):
+        self.name = name
+        self.device_memory = device_memory
+        self.stats = ShellStats()
+        # The memory port is what user logic (Shield or bare accelerator)
+        # drives to reach DRAM.
+        self.memory_port = AxiPort(
+            name=f"{name}.memory", slave_handler=memory_backed_handler(device_memory)
+        )
+        # The register slave is installed by whatever user logic is loaded.
+        self._register_slave: Optional[Callable[[AxiLiteTransaction], bytes]] = None
+        self._register_tap: Optional[Callable[[AxiLiteTransaction], None]] = None
+        self._dma_tap: Optional[Callable[[str, int, bytes], None]] = None
+
+    # -- user-logic side -------------------------------------------------------
+
+    def connect_register_slave(
+        self, handler: Callable[[AxiLiteTransaction], bytes]
+    ) -> None:
+        """Attach the logic that services host register accesses (the Shield)."""
+        self._register_slave = handler
+
+    def disconnect_user_logic(self) -> None:
+        """Detach user logic (partial reconfiguration of the user region)."""
+        self._register_slave = None
+
+    # -- host side --------------------------------------------------------------
+
+    def host_register_write(self, address: int, data: bytes) -> None:
+        """Host program writes a 32-bit register through AXI4-Lite."""
+        txn = AxiLiteTransaction(BurstKind.WRITE, address, bytes(data))
+        self.stats.register_writes += 1
+        if self._register_tap is not None:
+            self._register_tap(txn)
+        if self._register_slave is None:
+            raise ShieldError("no user logic is connected to the Shell register port")
+        self._register_slave(txn)
+
+    def host_register_read(self, address: int) -> bytes:
+        """Host program reads a 32-bit register through AXI4-Lite."""
+        txn = AxiLiteTransaction(BurstKind.READ, address)
+        self.stats.register_reads += 1
+        if self._register_tap is not None:
+            self._register_tap(txn)
+        if self._register_slave is None:
+            raise ShieldError("no user logic is connected to the Shell register port")
+        return self._register_slave(txn)
+
+    def host_dma_write(self, address: int, data: bytes) -> None:
+        """Host-initiated DMA into device memory (used to stage encrypted inputs)."""
+        if self._dma_tap is not None:
+            self._dma_tap("write", address, bytes(data))
+        self.stats.dma_bytes_in += len(data)
+        self.device_memory.write(address, data)
+
+    def host_dma_read(self, address: int, length: int) -> bytes:
+        """Host-initiated DMA out of device memory (used to fetch encrypted outputs)."""
+        data = self.device_memory.read(address, length)
+        if self._dma_tap is not None:
+            self._dma_tap("read", address, data)
+        self.stats.dma_bytes_out += length
+        return data
+
+    # -- adversary hooks ---------------------------------------------------------
+
+    def install_memory_interposer(
+        self, interposer: Callable[[AxiBurst], AxiBurst]
+    ) -> None:
+        """A malicious Shell build can observe/alter every memory burst."""
+        self.memory_port.interposer = interposer
+
+    def install_register_tap(
+        self, tap: Callable[[AxiLiteTransaction], None]
+    ) -> None:
+        """A malicious Shell build can observe every register access."""
+        self._register_tap = tap
+
+    def install_dma_tap(self, tap: Callable[[str, int, bytes], None]) -> None:
+        """A malicious Shell build can observe every DMA transfer."""
+        self._dma_tap = tap

@@ -1,0 +1,165 @@
+"""The Security Processor Block (SPB), its BootROM, and the boot medium.
+
+Xilinx and Intel FPGAs embed redundant hardened processors that execute from
+BootROM and programmable firmware and have exclusive access to the key fuses
+(Section 2.2).  ShEF builds its chain of trust on exactly that hardware, so
+the model keeps the two properties the protocols rely on:
+
+* only the SPB can read the AES device key out of the fuses, and
+* the BootROM will only hand control to firmware that decrypts and
+  authenticates correctly under that key.
+
+The firmware's *logic* (measuring the Security Kernel, deriving the
+Attestation Key) lives in :mod:`repro.boot.firmware`; this module only models
+the hardware that loads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.aes import AES
+from repro.crypto.kdf import derive_subkey
+from repro.crypto.mac import aes_cmac, constant_time_equal
+from repro.crypto.modes import ctr_transform
+from repro.errors import BootError, DeviceError
+from repro.hw.fuses import SPB_ACCESS_TOKEN, KeyFuses
+from repro.hw.puf import Puf
+
+FIRMWARE_IV = b"spb-firmware"  # 12 bytes, fixed: one firmware image per device key.
+
+
+class BootMedium:
+    """External non-volatile storage (flash / SD) holding boot artifacts.
+
+    Everything on the boot medium is attacker-writable -- its contents are
+    only trusted after decryption/measurement by the SPB or firmware.
+    """
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def store(self, name: str, blob: bytes) -> None:
+        """Write (or overwrite) a named blob."""
+        self._blobs[name] = bytes(blob)
+
+    def load(self, name: str) -> bytes:
+        """Read a named blob; raises :class:`BootError` if missing."""
+        try:
+            return self._blobs[name]
+        except KeyError:
+            raise BootError(f"boot medium has no blob named {name!r}") from None
+
+    def tamper(self, name: str, blob: bytes) -> None:
+        """Adversarial overwrite (alias of :meth:`store`, kept explicit for tests)."""
+        self._blobs[name] = bytes(blob)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blobs
+
+
+def seal_firmware_image(firmware_payload: bytes, aes_device_key: bytes) -> bytes:
+    """Encrypt + authenticate a firmware payload under the AES device key.
+
+    This is the Manufacturer's step 2 in Figure 2: the firmware (which embeds
+    the private device key) is encrypted with the AES device key so it carries
+    the same level of trust.
+    """
+    enc_key = derive_subkey(aes_device_key, "spb-firmware-encrypt", len(aes_device_key))
+    mac_key = derive_subkey(aes_device_key, "spb-firmware-mac", 16)
+    ciphertext = ctr_transform(AES(enc_key), FIRMWARE_IV, firmware_payload)
+    tag = aes_cmac(mac_key, FIRMWARE_IV + ciphertext)
+    return tag + ciphertext
+
+
+def unseal_firmware_image(sealed: bytes, aes_device_key: bytes) -> bytes:
+    """Decrypt + authenticate a sealed firmware image (BootROM's job)."""
+    if len(sealed) < 16:
+        raise BootError("sealed firmware image is too short")
+    tag, ciphertext = sealed[:16], sealed[16:]
+    enc_key = derive_subkey(aes_device_key, "spb-firmware-encrypt", len(aes_device_key))
+    mac_key = derive_subkey(aes_device_key, "spb-firmware-mac", 16)
+    if not constant_time_equal(aes_cmac(mac_key, FIRMWARE_IV + ciphertext), tag):
+        raise BootError("firmware authentication failed: wrong device key or tampering")
+    return ctr_transform(AES(enc_key), FIRMWARE_IV, ciphertext)
+
+
+@dataclass
+class SecurityKernelProcessor:
+    """The dedicated processor that runs the Security Kernel.
+
+    On the Ultra96 this is a hardened Cortex-R5 with private on-chip memory;
+    on devices without a spare hard core it is a soft MicroBlaze/Nios loaded
+    from a static bitstream (whose hash is then included in the measurement).
+    """
+
+    kind: str = "cortex-r5"
+    private_memory: dict = field(default_factory=dict)
+    running_binary_hash: Optional[bytes] = None
+
+    @property
+    def is_soft(self) -> bool:
+        return self.kind not in ("cortex-r5", "hard-cpu")
+
+    def load(self, binary_hash: bytes, private_data: dict) -> None:
+        """Load a measured binary and place secrets into private memory."""
+        self.running_binary_hash = binary_hash
+        self.private_memory = dict(private_data)
+
+    def reset(self) -> None:
+        self.running_binary_hash = None
+        self.private_memory = {}
+
+
+class SecurityProcessorBlock:
+    """The SPB: BootROM + exclusive fuse access + firmware loading."""
+
+    def __init__(self, fuses: KeyFuses, puf: Optional[Puf] = None):
+        self.fuses = fuses
+        self.puf = puf
+        self.boot_count = 0
+
+    # -- key access (SPB-internal only) --------------------------------------
+
+    def _device_aes_key(self) -> bytes:
+        key = self.fuses.read_aes_key(SPB_ACCESS_TOKEN)
+        if self.puf is not None:
+            # When the PUF is enabled the fuses store a wrapped key; only this
+            # physical device can unwrap it.
+            key = self.puf.unwrap_key(key)
+        return key
+
+    # -- BootROM --------------------------------------------------------------
+
+    def boot_rom_load_firmware(self, boot_medium: BootMedium) -> bytes:
+        """Execute the BootROM: fetch, decrypt, and authenticate the SPB firmware.
+
+        Returns the plaintext firmware payload (which embeds the private
+        device key) -- the caller hands it to :class:`repro.boot.firmware.SpbFirmware`.
+        """
+        if not self.fuses.is_provisioned:
+            raise BootError("device has no AES device key provisioned")
+        sealed = boot_medium.load("spb_firmware")
+        payload = unseal_firmware_image(sealed, self._device_aes_key())
+        self.boot_count += 1
+        return payload
+
+    # -- crypto services exposed to firmware over the internal bus ------------
+
+    def encrypt_with_device_key(self, plaintext: bytes, context: str) -> bytes:
+        """Seal data under the device key (used to persist firmware state)."""
+        key = derive_subkey(self._device_aes_key(), f"spb-seal-{context}", 32)
+        cipher = AES(key)
+        return ctr_transform(cipher, b"\x00" * 12, plaintext)
+
+    def decrypt_with_device_key(self, ciphertext: bytes, context: str) -> bytes:
+        """Unseal data sealed by :meth:`encrypt_with_device_key`."""
+        return self.encrypt_with_device_key(ciphertext, context)
+
+    def assert_exclusive_crypto_access(self, actor: str) -> None:
+        """Only the SPB firmware and BootROM may drive the hardware crypto blocks."""
+        if actor not in ("bootrom", "spb-firmware"):
+            raise DeviceError(
+                f"{actor!r} attempted to use SPB crypto hardware directly"
+            )

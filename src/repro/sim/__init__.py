@@ -1,0 +1,51 @@
+"""Experiment harness: functional and timing simulators plus per-figure experiments."""
+
+from repro.sim.experiments import (
+    FIGURE5_SIZES_KB,
+    FIGURE6_CONFIGS,
+    TABLE2_DESIGNS,
+    ablation_buffer_size,
+    ablation_chunk_size,
+    ablation_replay_protection,
+    boot_latency_experiment,
+    figure5_experiment,
+    figure6_experiment,
+    matmul_companion_experiment,
+    table1_experiment,
+    table2_experiment,
+    table3_experiment,
+)
+from repro.sim.reporting import format_table, print_experiment, render_experiment
+from repro.sim.results import ExperimentResult, FunctionalRecord, TimingRecord
+from repro.sim.simulator import (
+    FunctionalSimulator,
+    ProvisionedTestShield,
+    TimingSimulator,
+    build_test_shield,
+)
+
+__all__ = [
+    "FIGURE5_SIZES_KB",
+    "FIGURE6_CONFIGS",
+    "TABLE2_DESIGNS",
+    "ablation_buffer_size",
+    "ablation_chunk_size",
+    "ablation_replay_protection",
+    "boot_latency_experiment",
+    "figure5_experiment",
+    "figure6_experiment",
+    "matmul_companion_experiment",
+    "table1_experiment",
+    "table2_experiment",
+    "table3_experiment",
+    "format_table",
+    "print_experiment",
+    "render_experiment",
+    "ExperimentResult",
+    "FunctionalRecord",
+    "TimingRecord",
+    "FunctionalSimulator",
+    "ProvisionedTestShield",
+    "TimingSimulator",
+    "build_test_shield",
+]

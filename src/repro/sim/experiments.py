@@ -1,0 +1,360 @@
+"""One entry point per table and figure of the paper's evaluation.
+
+Each function returns an :class:`~repro.sim.results.ExperimentResult` whose
+rows mirror the rows/series of the corresponding table or figure.  The
+benchmark suite under ``benchmarks/`` calls these functions and prints them
+with :mod:`repro.sim.reporting`; ``EXPERIMENTS.md`` records the paper-reported
+values next to the model's output.
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.affine import AffineTransformAccelerator
+from repro.accelerators.bitcoin import BitcoinAccelerator
+from repro.accelerators.convolution import ConvolutionAccelerator
+from repro.accelerators.digit_recognition import DigitRecognitionAccelerator
+from repro.accelerators.dnnweaver import DnnWeaverAccelerator
+from repro.accelerators.matmul import MatMulAccelerator
+from repro.accelerators.sdp import SdpStorageNodeAccelerator
+from repro.accelerators.vector_add import VectorAddAccelerator
+from repro.boot.process import F1_BITSTREAM_LOAD_SECONDS, TYPICAL_VM_BOOT_SECONDS
+from repro.core.area import shield_utilization, table1_rows
+from repro.core.merkle import merkle_extra_dram_bytes
+from repro.core.timing import TimingModel
+from repro.hw.board import ULTRA96_PROFILE
+from repro.sim.results import ExperimentResult
+from repro.sim.simulator import TimingSimulator
+
+# The four AES-engine configurations swept in Figure 6.
+FIGURE6_CONFIGS = (
+    ("AES-128/16x", dict(aes_key_bits=128, sbox_parallelism=16)),
+    ("AES-256/16x", dict(aes_key_bits=256, sbox_parallelism=16)),
+    ("AES-128/4x", dict(aes_key_bits=128, sbox_parallelism=4)),
+    ("AES-256/4x", dict(aes_key_bits=256, sbox_parallelism=4)),
+)
+
+# Figure 5 sweeps the input vector size from 8 KB to 80 MB (log scale).
+FIGURE5_SIZES_KB = (8, 80, 800, 8_000, 80_000)
+
+# Table 2's five SDP Shield designs: (#AES engines, S-box parallelism, MAC, #MAC engines).
+TABLE2_DESIGNS = (
+    ("4x Eng / 4x / HMAC", dict(num_aes_engines=4, sbox_parallelism=4, mac_algorithm="HMAC", num_mac_engines=1)),
+    ("4x Eng / 16x / HMAC", dict(num_aes_engines=4, sbox_parallelism=16, mac_algorithm="HMAC", num_mac_engines=1)),
+    ("4x Eng / 16x / PMAC", dict(num_aes_engines=4, sbox_parallelism=16, mac_algorithm="PMAC", num_mac_engines=4)),
+    ("8x Eng / 16x / PMAC", dict(num_aes_engines=8, sbox_parallelism=16, mac_algorithm="PMAC", num_mac_engines=8)),
+    ("16x Eng / 16x / PMAC", dict(num_aes_engines=16, sbox_parallelism=16, mac_algorithm="PMAC", num_mac_engines=16)),
+)
+
+_FIGURE6_ACCELERATORS = (
+    ("convolution", ConvolutionAccelerator, "STR (batched)"),
+    ("digit_recognition", DigitRecognitionAccelerator, "STR"),
+    ("affine", AffineTransformAccelerator, "RA"),
+    ("dnnweaver", DnnWeaverAccelerator, "STR+RA"),
+    ("bitcoin", BitcoinAccelerator, "REG"),
+)
+
+
+def _paper_config(accelerator, **variant):
+    """The paper-scale Shield config for an accelerator (falls back to the default)."""
+    if hasattr(accelerator, "paper_shield_config"):
+        return accelerator.paper_shield_config(**variant)
+    return accelerator.build_shield_config(**variant)
+
+
+# ---------------------------------------------------------------------------
+# Section 6.1: secure-boot latency.
+# ---------------------------------------------------------------------------
+
+
+def boot_latency_experiment() -> ExperimentResult:
+    """End-to-end secure-boot latency on the Ultra96 profile vs. the paper's references."""
+    from repro.boot.manufacturer import Manufacturer
+    from repro.boot.process import install_security_kernel, perform_secure_boot
+    from repro.hw.board import BoardModel, make_board
+
+    board = make_board(BoardModel.ULTRA96, serial="ultra96-boot-bench")
+    Manufacturer(seed=3).provision_device(board)
+    install_security_kernel(board)
+    boot = perform_secure_boot(board)
+
+    result = ExperimentResult(
+        experiment_id="section-6.1",
+        description="Secure boot latency, power-on to bitstream loading (Ultra96 profile)",
+    )
+    for phase, seconds in boot.phase_seconds.items():
+        result.add_row(phase=phase, seconds=seconds)
+    result.metadata = {
+        "total_seconds": boot.total_seconds,
+        "paper_total_seconds": 5.1,
+        "vm_boot_reference_seconds": TYPICAL_VM_BOOT_SECONDS,
+        "f1_bitstream_load_reference_seconds": F1_BITSTREAM_LOAD_SECONDS,
+        "ultra96_clock_hz": ULTRA96_PROFILE.clock_hz,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 1: Shield component utilization.
+# ---------------------------------------------------------------------------
+
+
+def table1_experiment() -> ExperimentResult:
+    """Per-component Shield resource usage (reproduces Table 1 directly)."""
+    result = ExperimentResult(
+        experiment_id="table-1",
+        description="Shield component utilization on AWS F1",
+    )
+    for name, row in table1_rows().items():
+        result.add_row(
+            component=name,
+            bram=row["BRAM"],
+            lut=row["LUT"],
+            reg=row["REG"],
+            lut_percent=row["utilization"]["LUT"],
+            reg_percent=row["utilization"]["REG"],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: vector-add throughput overhead vs input size.
+# ---------------------------------------------------------------------------
+
+
+def figure5_experiment(sizes_kb=FIGURE5_SIZES_KB) -> ExperimentResult:
+    """Normalized vector-add execution time vs vector size for AES/4x and AES/16x."""
+    simulator = TimingSimulator()
+    result = ExperimentResult(
+        experiment_id="figure-5",
+        description="Vector add throughput overhead across Shield configurations",
+    )
+    for label, sbox in (("AES/4x", 4), ("AES/16x", 16)):
+        accelerator = VectorAddAccelerator()
+        config = accelerator.build_shield_config(aes_key_bits=128, sbox_parallelism=sbox)
+        for size_kb in sizes_kb:
+            profile = accelerator.profile(vector_bytes=size_kb * 1024)
+            record = simulator.run(profile, config, label)
+            result.add_row(
+                configuration=label,
+                input_kb=size_kb,
+                normalized_time=record.normalized_time,
+            )
+    return result
+
+
+def matmul_companion_experiment(dimension: int = 512) -> ExperimentResult:
+    """The Section 6.2.2 remark: matmul overhead stays near 1.26x for AES/4x."""
+    simulator = TimingSimulator()
+    accelerator = MatMulAccelerator(dimension=dimension)
+    result = ExperimentResult(
+        experiment_id="section-6.2.2-matmul",
+        description="Matrix multiply overhead (compute hides encryption latency)",
+    )
+    for label, sbox in (("AES/4x", 4), ("AES/16x", 16)):
+        config = accelerator.build_shield_config(aes_key_bits=128, sbox_parallelism=sbox)
+        record = simulator.run(accelerator.profile(dimension), config, label)
+        result.add_row(configuration=label, normalized_time=record.normalized_time)
+    result.metadata["paper_max_overhead"] = 1.26
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 2: SDP overhead across Shield designs.
+# ---------------------------------------------------------------------------
+
+
+def table2_experiment() -> ExperimentResult:
+    """SDP steady-state overhead for the five engine configurations of Table 2."""
+    simulator = TimingSimulator()
+    accelerator = SdpStorageNodeAccelerator()
+    profile = accelerator.profile()
+    paper_percent = (298, 297, 59, 20, 20)
+    result = ExperimentResult(
+        experiment_id="table-2",
+        description="SDP performance overhead across Shield designs (1 MB files, 4 KB auth blocks)",
+    )
+    for (label, variant), paper in zip(TABLE2_DESIGNS, paper_percent):
+        config = accelerator.build_shield_config(aes_key_bits=128, **variant)
+        record = simulator.run(profile, config, label)
+        result.add_row(
+            design=label,
+            overhead_percent=record.overhead_percent,
+            paper_overhead_percent=paper,
+        )
+    sdp_area = shield_utilization(
+        accelerator.build_shield_config(
+            aes_key_bits=128, num_aes_engines=8, sbox_parallelism=16,
+            mac_algorithm="PMAC", num_mac_engines=8,
+        )
+    )
+    result.metadata["sdp_area_percent"] = sdp_area
+    result.metadata["paper_sdp_area_percent"] = {"BRAM": 4.3, "LUT": 5.0, "REG": 2.5}
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: per-accelerator overheads across AES configurations.
+# ---------------------------------------------------------------------------
+
+
+def figure6_experiment() -> ExperimentResult:
+    """Normalized execution time of the five Figure 6 accelerators."""
+    simulator = TimingSimulator()
+    result = ExperimentResult(
+        experiment_id="figure-6",
+        description="Execution time of workloads across Shield configurations",
+    )
+    for name, accelerator_cls, characteristics in _FIGURE6_ACCELERATORS:
+        accelerator = accelerator_cls()
+        profile = accelerator.profile()
+        for label, variant in FIGURE6_CONFIGS:
+            config = _paper_config(accelerator, **variant)
+            record = simulator.run(profile, config, label)
+            result.add_row(
+                workload=name,
+                access=characteristics,
+                configuration=label,
+                normalized_time=record.normalized_time,
+            )
+        if name == "dnnweaver":
+            # The PMAC optimization the paper applies on top of AES-128/16x.
+            config = accelerator.build_shield_config(
+                aes_key_bits=128, sbox_parallelism=16, pmac_weights=True
+            )
+            pmac_profile = accelerator.profile(pmac_weights=True)
+            record = simulator.run(pmac_profile, config, "AES-128/16x-PMAC")
+            result.add_row(
+                workload=name,
+                access=characteristics,
+                configuration="AES-128/16x-PMAC",
+                normalized_time=record.normalized_time,
+            )
+    result.metadata["paper_ranges"] = {
+        "convolution": (1.20, 1.35),
+        "digit_recognition": (1.85, 3.15),
+        "affine": (1.41, 2.22),
+        "dnnweaver": (3.20, 3.83),
+        "dnnweaver_pmac": 2.31,
+        "bitcoin": (1.0, 1.05),
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 3: inclusive resource utilization of the largest Shield configurations.
+# ---------------------------------------------------------------------------
+
+
+def table3_experiment() -> ExperimentResult:
+    """Per-accelerator Shield area for the largest (AES/16x) configuration."""
+    paper = {
+        "convolution": {"BRAM": 2.9, "LUT": 11.0, "REG": 5.2},
+        "digit_recognition": {"BRAM": 0.71, "LUT": 3.3, "REG": 1.4},
+        "affine": {"BRAM": 2.1, "LUT": 11.0, "REG": 5.2},
+        "dnnweaver": {"BRAM": 3.1, "LUT": 7.1, "REG": 3.5},
+        "bitcoin": {"BRAM": 0.0, "LUT": 1.4, "REG": 0.42},
+    }
+    result = ExperimentResult(
+        experiment_id="table-3",
+        description="Inclusive Shield resource utilization for the largest configuration",
+    )
+    for name, accelerator_cls, _ in _FIGURE6_ACCELERATORS:
+        accelerator = accelerator_cls()
+        config = _paper_config(accelerator, aes_key_bits=128, sbox_parallelism=16)
+        utilization = shield_utilization(config)
+        result.add_row(
+            workload=name,
+            bram_percent=utilization["BRAM"],
+            lut_percent=utilization["LUT"],
+            reg_percent=utilization["REG"],
+            paper_bram_percent=paper[name]["BRAM"],
+            paper_lut_percent=paper[name]["LUT"],
+            paper_reg_percent=paper[name]["REG"],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations called out in DESIGN.md.
+# ---------------------------------------------------------------------------
+
+
+def ablation_replay_protection(num_chunks: int = 16_384) -> ExperimentResult:
+    """ShEF's on-chip counters vs the Bonsai Merkle baseline (extra DRAM bytes per access)."""
+    result = ExperimentResult(
+        experiment_id="ablation-replay",
+        description="Replay protection: on-chip counters vs Bonsai Merkle tree",
+    )
+    result.add_row(scheme="shef_counters", extra_dram_bytes_per_access=0.0,
+                   on_chip_bytes=4 * num_chunks)
+    for arity in (4, 8, 16):
+        result.add_row(
+            scheme=f"merkle_arity_{arity}",
+            extra_dram_bytes_per_access=merkle_extra_dram_bytes(num_chunks, arity=arity),
+            on_chip_bytes=32,
+        )
+    return result
+
+
+def ablation_chunk_size(chunk_sizes=(64, 256, 512, 1024, 4096, 16384)) -> ExperimentResult:
+    """Effect of C_mem on DNNWeaver-style streaming traffic (tag overhead vs MAC latency)."""
+    simulator = TimingSimulator()
+    result = ExperimentResult(
+        experiment_id="ablation-chunk-size",
+        description="Chunk size (C_mem) sweep for the DNNWeaver weight stream",
+    )
+    for chunk in chunk_sizes:
+        accelerator = DnnWeaverAccelerator()
+        config = accelerator.build_shield_config(aes_key_bits=128, sbox_parallelism=16)
+        # Rebuild the weights region with the swept chunk size.
+        regions = []
+        for region in config.regions:
+            if region.name == "weights":
+                regions.append(
+                    type(region)(
+                        name=region.name, base_address=region.base_address,
+                        size_bytes=-(-region.size_bytes // chunk) * chunk,
+                        chunk_size=chunk, engine_set=region.engine_set,
+                        access_pattern=region.access_pattern,
+                    )
+                )
+            else:
+                regions.append(region)
+        config.regions = regions
+        config.tag_base_address = None
+        profile = accelerator.profile()
+        record = simulator.run(profile, config, f"cmem-{chunk}")
+        result.add_row(chunk_size=chunk, normalized_time=record.normalized_time)
+    return result
+
+
+def ablation_buffer_size(buffer_sizes=(0, 4096, 16384, 65536, 262144)) -> ExperimentResult:
+    """Effect of the on-chip buffer on the DNNWeaver feature-map region."""
+    simulator = TimingSimulator()
+    result = ExperimentResult(
+        experiment_id="ablation-buffer",
+        description="On-chip buffer sweep for the DNNWeaver feature-map engine set",
+    )
+    for buffer_bytes in buffer_sizes:
+        accelerator = DnnWeaverAccelerator()
+        config = accelerator.build_shield_config(aes_key_bits=128, sbox_parallelism=16)
+        engine_sets = []
+        for engine_set in config.engine_sets:
+            if engine_set.name == "fmaps":
+                engine_sets.append(
+                    type(engine_set)(
+                        name=engine_set.name, num_aes_engines=engine_set.num_aes_engines,
+                        sbox_parallelism=engine_set.sbox_parallelism,
+                        aes_key_bits=engine_set.aes_key_bits,
+                        mac_algorithm=engine_set.mac_algorithm,
+                        num_mac_engines=engine_set.num_mac_engines,
+                        buffer_bytes=buffer_bytes,
+                    )
+                )
+            else:
+                engine_sets.append(engine_set)
+        config.engine_sets = engine_sets
+        profile = accelerator.profile()
+        record = simulator.run(profile, config, f"buffer-{buffer_bytes}")
+        result.add_row(buffer_bytes=buffer_bytes, normalized_time=record.normalized_time)
+    return result

@@ -1,0 +1,56 @@
+"""Export experiment results to CSV/JSON for plotting outside the harness."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.sim.results import ExperimentResult
+
+
+def experiment_to_csv(result: ExperimentResult) -> str:
+    """Render an experiment's rows as CSV text (header from the first row)."""
+    if not result.rows:
+        return ""
+    buffer = io.StringIO()
+    columns = list(result.rows[0].keys())
+    writer = csv.DictWriter(buffer, fieldnames=columns)
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({key: row.get(key, "") for key in columns})
+    return buffer.getvalue()
+
+
+def experiment_to_json(result: ExperimentResult) -> str:
+    """Render an experiment (rows + metadata) as a JSON document."""
+    return json.dumps(
+        {
+            "experiment_id": result.experiment_id,
+            "description": result.description,
+            "rows": result.rows,
+            "metadata": _jsonable(result.metadata),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def write_experiment(result: ExperimentResult, path: str) -> None:
+    """Write an experiment to ``path`` (.csv or .json by extension)."""
+    if path.endswith(".json"):
+        payload = experiment_to_json(result)
+    else:
+        payload = experiment_to_csv(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    return value

@@ -1,0 +1,49 @@
+"""Plain-text rendering of experiment results (the rows the paper reports)."""
+
+from __future__ import annotations
+
+from repro.sim.results import ExperimentResult
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get sensible precision, everything else str()."""
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: list, columns: list | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0].keys())
+    rendered = [[format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render a full experiment: title, rows, and metadata footnotes."""
+    lines = [f"== {result.experiment_id}: {result.description} =="]
+    lines.append(format_table(result.rows))
+    if result.metadata:
+        lines.append("")
+        for key, value in result.metadata.items():
+            lines.append(f"  {key}: {format_value(value) if not isinstance(value, dict) else value}")
+    return "\n".join(lines)
+
+
+def print_experiment(result: ExperimentResult) -> None:
+    """Print an experiment to stdout (used by the benchmark harness)."""
+    print()
+    print(render_experiment(result))

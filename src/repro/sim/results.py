@@ -1,0 +1,51 @@
+"""Result records produced by the simulation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """Baseline-vs-shielded timing for one workload under one Shield configuration."""
+
+    workload: str
+    configuration: str
+    baseline_cycles: float
+    shielded_cycles: float
+
+    @property
+    def normalized_time(self) -> float:
+        """Shielded execution time normalized to the insecure baseline (>= ~1)."""
+        return self.shielded_cycles / self.baseline_cycles
+
+    @property
+    def overhead_percent(self) -> float:
+        """Overhead as a percentage (the Table 2 convention)."""
+        return 100.0 * (self.normalized_time - 1.0)
+
+
+@dataclass(frozen=True)
+class FunctionalRecord:
+    """Outcome of a functional baseline-vs-shielded comparison."""
+
+    workload: str
+    outputs_match: bool
+    baseline_bytes_read: int
+    baseline_bytes_written: int
+    shield_dram_bytes_read: int
+    shield_dram_bytes_written: int
+    buffer_hit_rate: float
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment (one table or figure) and its rows/series."""
+
+    experiment_id: str
+    description: str
+    rows: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add_row(self, **fields) -> None:
+        self.rows.append(dict(fields))

@@ -1,0 +1,178 @@
+"""Simulation harnesses: functional (bit-exact) and analytical (timing).
+
+Two complementary harnesses drive the experiments:
+
+* :class:`FunctionalSimulator` runs an accelerator model twice -- once against
+  bare device memory and once behind a fully provisioned Shield -- and checks
+  that the outputs are identical while collecting Shield statistics.  This is
+  the correctness backbone of the test suite and examples.
+* :class:`TimingSimulator` evaluates the calibrated analytical model over a
+  workload profile and a Shield configuration, producing the normalized
+  execution times reported in Figures 5-6 and Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.accelerators.base import DirectMemoryAdapter, ShieldMemoryAdapter
+from repro.attestation.data_owner import DataOwner
+from repro.core.config import ShieldConfig
+from repro.core.shield import Shield
+from repro.core.timing import TimingModel, WorkloadProfile
+from repro.crypto.rsa import RsaPrivateKey
+from repro.hw.board import BoardModel, FpgaBoard, make_board
+from repro.sim.results import FunctionalRecord, TimingRecord
+
+
+@lru_cache(maxsize=1)
+def _test_shield_private_key() -> RsaPrivateKey:
+    """A deterministic Shield Encryption Key shared by lightweight harness runs.
+
+    Generating RSA keys is by far the slowest primitive in pure Python, so the
+    functional harness derives one fixed key per process; the full workflow
+    (:func:`repro.workflow.deploy_accelerator`) still exercises per-vendor keys.
+    """
+    return RsaPrivateKey.from_seed(b"shef-functional-harness", bits=1024)
+
+
+@dataclass
+class ProvisionedTestShield:
+    """A board + Shield + Data Owner trio ready for functional runs."""
+
+    board: FpgaBoard
+    shield: Shield
+    data_owner: DataOwner
+    shield_config: ShieldConfig
+
+    @property
+    def shield_memory(self) -> ShieldMemoryAdapter:
+        return ShieldMemoryAdapter(self.shield)
+
+
+def build_test_shield(
+    shield_config: ShieldConfig,
+    board_model: BoardModel | str = BoardModel.AWS_F1,
+    owner_seed: int = 11,
+) -> ProvisionedTestShield:
+    """Stand up a provisioned Shield without the full boot/attestation ceremony.
+
+    Used by tests and the functional simulator where the subject under test is
+    the Shield datapath itself; the end-to-end ceremony is covered separately
+    by the workflow tests.
+    """
+    shield_config.validate()
+    board = make_board(board_model)
+    private_key = _test_shield_private_key()
+    shield = Shield(shield_config, board.shell, board.on_chip_memory, private_key)
+    data_owner = DataOwner(seed=owner_seed)
+    data_owner.generate_data_key(shield_config.shield_id)
+    load_key = data_owner.wrap_load_key(
+        private_key.public_key.encode(), shield_config.shield_id
+    )
+    shield.provision_load_key(load_key.wrapped_key)
+    return ProvisionedTestShield(
+        board=board, shield=shield, data_owner=data_owner, shield_config=shield_config
+    )
+
+
+class FunctionalSimulator:
+    """Runs accelerators with and without the Shield and compares results."""
+
+    def __init__(self, board_model: BoardModel | str = BoardModel.AWS_F1):
+        self.board_model = board_model
+
+    def stage_shielded_inputs(self, harness: ProvisionedTestShield, inputs: dict) -> None:
+        """Seal inputs with the Data Encryption Key and DMA them into device DRAM."""
+        for region_name, plaintext in inputs.items():
+            staged = harness.data_owner.seal_input(
+                harness.shield_config,
+                region_name,
+                plaintext,
+                shield_id=harness.shield_config.shield_id,
+            )
+            region = harness.shield_config.region(region_name)
+            harness.board.shell.host_dma_write(region.base_address, staged.flat_ciphertext())
+            for chunk in staged.sealed_chunks:
+                harness.board.shell.host_dma_write(
+                    harness.shield_config.tag_address(region, chunk.chunk_index), chunk.tag
+                )
+
+    def run_comparison(self, accelerator, shield_config: ShieldConfig | None = None, **params):
+        """Run baseline and shielded executions; return (record, baseline, shielded)."""
+        shield_config = shield_config or accelerator.build_shield_config()
+
+        # Baseline: plaintext inputs in a fresh device memory, direct access.
+        baseline_board = make_board(self.board_model)
+        baseline_memory = DirectMemoryAdapter(baseline_board.device_memory)
+        inputs = accelerator.prepare_inputs(**{k: v for k, v in params.items() if k == "seed"})
+        for region_name, plaintext in inputs.items():
+            baseline_board.device_memory.write(
+                shield_config.region(region_name).base_address
+                if shield_config.regions
+                else 0,
+                plaintext,
+            )
+        baseline_result = accelerator.run(baseline_memory, **params)
+
+        # Shielded: sealed inputs, Shield-mediated access.
+        harness = build_test_shield(shield_config, self.board_model)
+        self.stage_shielded_inputs(harness, inputs)
+        shielded_result = accelerator.run(harness.shield_memory, **params)
+        harness.shield.flush()
+
+        stats = harness.shield.stats()
+        outputs_match = self._outputs_equal(baseline_result.outputs, shielded_result.outputs)
+        hit_total = stats.buffer_hits + stats.buffer_misses
+        record = FunctionalRecord(
+            workload=accelerator.name,
+            outputs_match=outputs_match,
+            baseline_bytes_read=baseline_result.bytes_read,
+            baseline_bytes_written=baseline_result.bytes_written,
+            shield_dram_bytes_read=stats.dram_bytes_read,
+            shield_dram_bytes_written=stats.dram_bytes_written,
+            buffer_hit_rate=stats.buffer_hits / hit_total if hit_total else 0.0,
+        )
+        return record, baseline_result, shielded_result
+
+    @staticmethod
+    def _outputs_equal(a: dict, b: dict) -> bool:
+        import numpy as np
+
+        if a.keys() != b.keys():
+            return False
+        for key in a:
+            left, right = a[key], b[key]
+            if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+                if not np.array_equal(np.asarray(left), np.asarray(right)):
+                    return False
+            elif isinstance(left, dict) and isinstance(right, dict):
+                if not FunctionalSimulator._outputs_equal(left, right):
+                    return False
+            elif left != right:
+                return False
+        return True
+
+
+class TimingSimulator:
+    """Evaluates the analytical timing model for workload/configuration pairs."""
+
+    def __init__(self, model: TimingModel | None = None):
+        self.model = model or TimingModel()
+
+    def run(
+        self, profile: WorkloadProfile, shield_config: ShieldConfig, configuration_label: str
+    ) -> TimingRecord:
+        baseline = self.model.baseline(profile).total_cycles
+        shielded = self.model.shielded(profile, shield_config).total_cycles
+        return TimingRecord(
+            workload=profile.name,
+            configuration=configuration_label,
+            baseline_cycles=baseline,
+            shielded_cycles=shielded,
+        )
+
+    def sweep(self, profiles_and_configs) -> list:
+        """Run a list of (profile, config, label) tuples."""
+        return [self.run(profile, config, label) for profile, config, label in profiles_and_configs]

@@ -1,0 +1,143 @@
+"""The end-to-end ShEF workflow (Figure 2, steps 1-11).
+
+``deploy_accelerator`` wires together every party and phase of the framework:
+
+1.  the Manufacturer provisions the board (device keys, sealed firmware, CA),
+2.  the IP Vendor packages the accelerator with its Shield configuration and
+    encrypts the bitstream,
+3.  the Data Owner rents the board; the CSP's driver resets it and runs secure
+    boot, producing a running Security Kernel,
+4.  the kernel launches the Shell and receives the staged encrypted bitstream,
+5.  remote attestation runs over an untrusted host channel; the kernel obtains
+    the Bitstream Key and the Data Owner obtains the Load Key,
+6.  the kernel decrypts and loads the accelerator, the Shield comes up, and
+    the host runtime delivers the Load Key so the datapath goes live.
+
+The returned :class:`Deployment` exposes every actor so examples, tests, and
+benchmarks can continue the story (stage data, run the accelerator, attack the
+system, measure latency) without repeating the ceremony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.attestation.channel import HostProxiedChannel
+from repro.attestation.data_owner import DataOwner
+from repro.attestation.ip_vendor import IpVendor, PackagedAccelerator
+from repro.attestation.protocol import AttestationOutcome, run_remote_attestation
+from repro.boot.manufacturer import Manufacturer, ProvisionedDevice
+from repro.boot.process import SecureBootResult
+from repro.boot.security_kernel import SecurityKernel
+from repro.core.config import ShieldConfig
+from repro.core.shield import Shield
+from repro.crypto.rsa import RsaPrivateKey
+from repro.host.driver import FpgaDriver
+from repro.host.runtime import ShefHostRuntime
+from repro.hw.board import BoardModel, FpgaBoard, make_board
+
+
+@dataclass
+class Deployment:
+    """Everything a fully deployed ShEF accelerator consists of."""
+
+    board: FpgaBoard
+    manufacturer: Manufacturer
+    provisioned_device: ProvisionedDevice
+    ip_vendor: IpVendor
+    data_owner: DataOwner
+    driver: FpgaDriver
+    security_kernel: SecurityKernel
+    boot_result: SecureBootResult
+    package: PackagedAccelerator
+    attestation: AttestationOutcome
+    shield: Shield
+    shield_config: ShieldConfig
+    host_runtime: ShefHostRuntime
+    channel: HostProxiedChannel
+    phase_seconds: dict = field(default_factory=dict)
+
+    @property
+    def total_deploy_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+
+def deploy_accelerator(
+    accelerator_name: str,
+    shield_config: ShieldConfig,
+    accelerator_spec: Optional[dict] = None,
+    board_model: BoardModel | str = BoardModel.AWS_F1,
+    board_serial: str = "fpga-0001",
+    vendor_name: str = "shef-ip-vendor",
+    owner_name: str = "shef-data-owner",
+    channel: Optional[HostProxiedChannel] = None,
+    manufacturer: Optional[Manufacturer] = None,
+    ip_vendor: Optional[IpVendor] = None,
+) -> Deployment:
+    """Run the complete Figure 2 workflow and return the live deployment."""
+    shield_config.validate()
+    accelerator_spec = dict(accelerator_spec or {"kind": accelerator_name})
+
+    # Steps 1-2: manufacturing.
+    board = make_board(board_model, serial=board_serial)
+    manufacturer = manufacturer or Manufacturer()
+    provisioned = manufacturer.provision_device(board)
+
+    # Steps 3-4: accelerator development and packaging.
+    ip_vendor = ip_vendor or IpVendor(vendor_name)
+    package = ip_vendor.package_accelerator(
+        accelerator_name, accelerator_spec, shield_config.to_dict()
+    )
+
+    # Steps 5-7: deployment, reset, and secure boot.
+    driver = FpgaDriver(board)
+    boot_result = driver.reset_and_boot()
+    kernel = driver.security_kernel
+    ip_vendor.trust_security_kernel(kernel.kernel_hash)
+    driver.load_shell()
+    driver.stage_accelerator(package.encrypted_bitstream)
+
+    # Step 8: remote attestation over the untrusted host channel.
+    data_owner = DataOwner(owner_name)
+    channel = channel or HostProxiedChannel()
+    attestation = run_remote_attestation(
+        ip_vendor,
+        data_owner,
+        kernel,
+        accelerator_name,
+        provisioned.device_certificate,
+        manufacturer.certificate_authority.root_public_key,
+        channel=channel,
+        shield_id=shield_config.shield_id,
+    )
+
+    # Steps 9-10: bitstream decryption, accelerator + Shield loading.
+    loaded_bitstream = driver.load_accelerator()
+    loaded_config = ShieldConfig.from_dict(loaded_bitstream.shield_config)
+    shield_private_key = RsaPrivateKey.decode(loaded_bitstream.shield_private_key_blob)
+    shield = Shield(loaded_config, board.shell, board.on_chip_memory, shield_private_key)
+
+    # Step 11: the host runtime forwards the Load Key; the Shield goes live.
+    host_runtime = ShefHostRuntime(board.shell, loaded_config)
+    host_runtime.deliver_load_key(shield, attestation.load_key)
+
+    phase_seconds = dict(boot_result.phase_seconds)
+    phase_seconds["attestation"] = 0.4  # network round trips, modelled constant
+    return Deployment(
+        board=board,
+        manufacturer=manufacturer,
+        provisioned_device=provisioned,
+        ip_vendor=ip_vendor,
+        data_owner=data_owner,
+        driver=driver,
+        security_kernel=kernel,
+        boot_result=boot_result,
+        package=package,
+        attestation=attestation,
+        shield=shield,
+        shield_config=loaded_config,
+        host_runtime=host_runtime,
+        channel=channel,
+        phase_seconds=phase_seconds,
+    )

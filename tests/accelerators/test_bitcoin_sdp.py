@@ -1,0 +1,146 @@
+"""Workload-specific behaviour tests for the Bitcoin miner and the SDP storage node."""
+
+import pytest
+
+from repro.accelerators.base import DirectMemoryAdapter
+from repro.accelerators.bitcoin import (
+    HEADER_PREFIX_BYTES,
+    BitcoinAccelerator,
+    double_sha256,
+    leading_zero_bits,
+)
+from repro.accelerators.sdp import SdpStorageNodeAccelerator
+from repro.crypto.hashes import sha256
+from repro.errors import SimulationError
+from repro.hw.memory import DeviceMemory
+from repro.sim.simulator import build_test_shield
+
+
+def test_double_sha256_definition():
+    assert double_sha256(b"block") == sha256(sha256(b"block"))
+
+
+def test_leading_zero_bits():
+    assert leading_zero_bits(b"\x00\x00\xff") == 16
+    assert leading_zero_bits(b"\x80") == 0
+    assert leading_zero_bits(b"\x01") == 7
+    assert leading_zero_bits(b"\x00" * 4) == 32
+
+
+def test_mining_finds_valid_nonce():
+    miner = BitcoinAccelerator(difficulty_bits=10)
+    header = bytes(range(HEADER_PREFIX_BYTES))
+    result = miner.mine(header)
+    assert leading_zero_bits(result.digest) >= 10
+    assert result.digest == double_sha256(header + result.nonce.to_bytes(4, "little"))
+    assert result.attempts == result.nonce + 1
+
+
+def test_mining_is_deterministic():
+    miner = BitcoinAccelerator(difficulty_bits=8)
+    header = b"\x42" * HEADER_PREFIX_BYTES
+    assert miner.mine(header).nonce == miner.mine(header).nonce
+
+
+def test_mining_validates_inputs():
+    with pytest.raises(SimulationError):
+        BitcoinAccelerator(difficulty_bits=0)
+    with pytest.raises(SimulationError):
+        BitcoinAccelerator(difficulty_bits=8).mine(b"short header")
+    with pytest.raises(SimulationError):
+        BitcoinAccelerator(difficulty_bits=60, max_attempts=10).mine(
+            b"\x00" * HEADER_PREFIX_BYTES
+        )
+
+
+def test_bitcoin_run_uses_no_memory():
+    miner = BitcoinAccelerator(difficulty_bits=8)
+    memory = DeviceMemory(1 << 16)
+    result = miner.run(DirectMemoryAdapter(memory), header_prefix=b"\x01" * HEADER_PREFIX_BYTES)
+    assert memory.stats.total_bytes == 0
+    assert result.outputs["attempts"] >= 1
+
+
+def test_bitcoin_via_shielded_registers():
+    miner = BitcoinAccelerator(difficulty_bits=8)
+    harness = build_test_shield(miner.build_shield_config())
+    register_file = harness.shield.register_file
+    client = harness.data_owner.register_channel(
+        harness.shield_config, shield_id=harness.shield_config.shield_id
+    )
+    header = bytes((i * 5 + 1) % 256 for i in range(HEADER_PREFIX_BYTES))
+    # The Data Owner pushes the header through sealed register writes.
+    from repro.core.register_interface import STATUS_OK
+    from repro.host.runtime import ShefHostRuntime
+
+    runtime = ShefHostRuntime(harness.board.shell, harness.shield_config)
+    for index in range(HEADER_PREFIX_BYTES // 4):
+        status = runtime.send_register_command(
+            client.seal_write(index, header[index * 4 : index * 4 + 4])
+        )
+        assert status == STATUS_OK
+    result = miner.run_via_registers(register_file, client, header)
+    assert leading_zero_bits(result.digest) >= 8
+    assert register_file.read_register(30) == result.nonce.to_bytes(4, "big")
+
+
+# -- SDP ------------------------------------------------------------------------------
+
+
+def test_sdp_put_get_roundtrip():
+    node = SdpStorageNodeAccelerator(storage_bytes=64 * 1024, tls_bytes=32 * 1024, auth_block=1024)
+    memory = DirectMemoryAdapter(DeviceMemory(1 << 20))
+    node.provision_user("alice", ["report.pdf"])
+    node.put(memory, "alice", "report.pdf", b"confidential report" * 100)
+    assert node.get(memory, "alice", "report.pdf") == b"confidential report" * 100
+    assert node.log.puts == 1 and node.log.gets == 1
+
+
+def test_sdp_access_policy_enforced():
+    node = SdpStorageNodeAccelerator(auth_block=1024)
+    memory = DirectMemoryAdapter(DeviceMemory(1 << 20))
+    node.provision_user("alice", ["a.txt"])
+    node.put(memory, "alice", "a.txt", b"alice data")
+    with pytest.raises(SimulationError):
+        node.get(memory, "bob", "a.txt")
+    with pytest.raises(SimulationError):
+        node.put(memory, "bob", "b.txt", b"bob data")
+    assert node.log.denied == 2
+
+
+def test_sdp_missing_file_and_capacity():
+    node = SdpStorageNodeAccelerator(storage_bytes=4096, tls_bytes=4096, auth_block=4096)
+    memory = DirectMemoryAdapter(DeviceMemory(1 << 20))
+    node.provision_user("alice", ["a", "b"])
+    with pytest.raises(SimulationError):
+        node.get(memory, "alice", "a")
+    node.put(memory, "alice", "a", b"x" * 100)
+    with pytest.raises(SimulationError):
+        node.put(memory, "alice", "b", b"y" * 100)  # storage full (one 4 KB block)
+
+
+def test_sdp_functional_equivalence_behind_shield():
+    from repro.sim.simulator import FunctionalSimulator
+
+    simulator = FunctionalSimulator()
+    record, baseline, shielded = simulator.run_comparison(
+        SdpStorageNodeAccelerator(storage_bytes=64 * 1024, tls_bytes=16 * 1024, auth_block=1024),
+        users=2, files_per_user=1, file_bytes=3000, seed=9,
+    )
+    assert record.outputs_match
+    assert shielded.outputs["served"] == shielded.outputs["expected"]
+
+
+def test_sdp_served_files_are_ciphertext_in_dram():
+    node = SdpStorageNodeAccelerator(storage_bytes=64 * 1024, tls_bytes=16 * 1024, auth_block=1024)
+    harness = build_test_shield(node.build_shield_config(buffer_bytes=2048))
+    from repro.accelerators.base import ShieldMemoryAdapter
+
+    memory = ShieldMemoryAdapter(harness.shield)
+    node.provision_user("alice", ["secret.bin"])
+    payload = b"PATIENT-GENOME-DATA" * 50
+    node.put(memory, "alice", "secret.bin", payload)
+    node.get(memory, "alice", "secret.bin")
+    harness.shield.flush()
+    raw = harness.board.device_memory.tamper_read(0, node.storage_bytes + node.tls_bytes)
+    assert b"PATIENT-GENOME-DATA" not in raw

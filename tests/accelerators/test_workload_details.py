@@ -1,0 +1,139 @@
+"""Workload-specific unit tests for the remaining accelerator models."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.affine import AffineTransformAccelerator
+from repro.accelerators.base import DirectMemoryAdapter
+from repro.accelerators.convolution import ConvolutionAccelerator
+from repro.accelerators.digit_recognition import DigitRecognitionAccelerator
+from repro.accelerators.dnnweaver import DnnWeaverAccelerator
+from repro.accelerators.matmul import MatMulAccelerator
+from repro.accelerators.vector_add import VectorAddAccelerator
+from repro.hw.memory import DeviceMemory
+
+
+def run_direct(accelerator, seed=0, **params):
+    memory = DeviceMemory(1 << 26)
+    adapter = DirectMemoryAdapter(memory)
+    config = accelerator.build_shield_config()
+    for region_name, plaintext in accelerator.prepare_inputs(seed=seed).items():
+        memory.write(config.region(region_name).base_address, plaintext)
+    return accelerator.run(adapter, **params)
+
+
+def test_vector_add_computes_sums():
+    accelerator = VectorAddAccelerator(vector_bytes=8192)
+    inputs = accelerator.prepare_inputs(seed=3)
+    result = run_direct(accelerator, seed=3)
+    for part in range(4):
+        a = np.frombuffer(inputs[f"a{part}"], dtype=np.int32)
+        b = np.frombuffer(inputs[f"b{part}"], dtype=np.int32)
+        assert np.array_equal(result.outputs[f"c{part}"], a + b)
+
+
+def test_vector_add_regions_are_contiguous_and_disjoint():
+    accelerator = VectorAddAccelerator(vector_bytes=16384)
+    config = accelerator.build_shield_config()
+    ordered = sorted(config.regions, key=lambda r: r.base_address)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert earlier.end_address == later.base_address
+
+
+def test_matmul_matches_numpy():
+    accelerator = MatMulAccelerator(dimension=16)
+    inputs = accelerator.prepare_inputs(seed=4)
+    result = run_direct(accelerator, seed=4)
+    n = 16
+    a = np.frombuffer(inputs["a"][: n * n * 4], dtype=np.int32).reshape(n, n)
+    b = np.frombuffer(inputs["b"][: n * n * 4], dtype=np.int32).reshape(n, n)
+    assert np.array_equal(result.outputs["c"], (a @ b).astype(np.int32))
+
+
+def test_matmul_geometry_rounds_to_chunks():
+    accelerator = MatMulAccelerator(dimension=10)
+    assert accelerator.matrix_bytes % 512 == 0
+    assert accelerator.matrix_bytes >= 10 * 10 * 4
+
+
+def test_convolution_identity_filter_preserves_input():
+    accelerator = ConvolutionAccelerator(
+        input_size=5, input_channels=1, filter_size=3, output_channels=1, batch=1
+    )
+    inputs = np.arange(25, dtype=np.int32).reshape(1, 5, 5, 1)
+    weights = np.zeros((1, 3, 3, 1), dtype=np.int32)
+    weights[0, 1, 1, 0] = 1  # identity kernel
+    memory = DeviceMemory(1 << 20)
+    memory.write(accelerator.region_base("inputs"),
+                 inputs.tobytes() + b"\x00" * (accelerator.input_bytes - inputs.nbytes))
+    memory.write(accelerator.region_base("weights"),
+                 weights.tobytes() + b"\x00" * (accelerator.weight_bytes - weights.nbytes))
+    result = accelerator.run(DirectMemoryAdapter(memory))
+    assert np.array_equal(result.outputs["feature_map"][0, :, :, 0], inputs[0, :, :, 0])
+
+
+def test_convolution_profile_paper_scale_traffic():
+    profile = ConvolutionAccelerator().profile(paper_scale=True)
+    # 16-image batch of 27x27x96 inputs and 27x27x256 outputs, 32-bit values.
+    assert profile.total_bytes > 10 * 1024 * 1024
+    assert profile.compute_cycles > 0
+
+
+def test_digit_recognition_predicts_exact_match_label():
+    accelerator = DigitRecognitionAccelerator(training_digits=64, test_digits=1)
+    inputs = accelerator.prepare_inputs(seed=5)
+    training = np.frombuffer(inputs["training"][: 64 * 32], dtype=np.uint64).reshape(64, 4)
+    labels = np.frombuffer(inputs["labels"][: 64 * 4], dtype=np.int32)
+    # Make the single test digit identical to training digit 17.
+    test_digit = training[17:18].copy()
+    inputs["tests"] = accelerator._pad(test_digit.tobytes(), accelerator.test_bytes)
+    memory = DeviceMemory(1 << 22)
+    config = accelerator.build_shield_config()
+    for region_name, plaintext in inputs.items():
+        memory.write(config.region(region_name).base_address, plaintext)
+    result = accelerator.run(DirectMemoryAdapter(memory))
+    assert result.outputs["predictions"][0] == labels[17]
+
+
+def test_affine_identity_transform_is_lossless():
+    accelerator = AffineTransformAccelerator(image_size=16)
+    inputs = accelerator.prepare_inputs(seed=6)
+    memory = DeviceMemory(1 << 20)
+    memory.write(accelerator.region_base("source"), inputs["source"])
+    result = accelerator.run(DirectMemoryAdapter(memory), angle_degrees=0.0, scale=1.0)
+    source = np.frombuffer(inputs["source"][: 16 * 16], dtype=np.uint8).reshape(16, 16)
+    assert np.array_equal(result.outputs["image"], source)
+
+
+def test_affine_rotation_changes_image_but_is_deterministic():
+    accelerator = AffineTransformAccelerator(image_size=32)
+    first = run_direct(accelerator, seed=7, angle_degrees=20.0)
+    second = run_direct(accelerator, seed=7, angle_degrees=20.0)
+    assert np.array_equal(first.outputs["image"], second.outputs["image"])
+    untransformed = run_direct(accelerator, seed=7, angle_degrees=0.0, scale=1.0)
+    assert not np.array_equal(first.outputs["image"], untransformed.outputs["image"])
+
+
+def test_dnnweaver_prediction_is_argmax_of_logits():
+    accelerator = DnnWeaverAccelerator(input_size=8, conv_channels=(2, 2), fc_units=6, classes=4)
+    result = run_direct(accelerator, seed=8)
+    logits = result.outputs["logits"]
+    assert result.outputs["prediction"] == int(np.argmax(logits))
+    assert logits.shape == (4,)
+
+
+def test_dnnweaver_weight_region_sized_for_all_layers():
+    accelerator = DnnWeaverAccelerator(input_size=16, conv_channels=(4, 8), fc_units=32, classes=10)
+    dims = accelerator._layer_dims()
+    raw = sum(int(np.prod(dims[key])) for key in ("conv1_w", "conv2_w", "fc1_w", "fc2_w")) * 4
+    assert accelerator.weight_bytes >= raw
+    assert accelerator.weight_bytes % 4096 == 0
+
+
+def test_profiles_distinguish_access_patterns():
+    affine_profile = AffineTransformAccelerator().profile()
+    conv_profile = ConvolutionAccelerator().profile()
+    assert any(r.access_pattern == "random" for r in affine_profile.regions)
+    assert all(r.access_pattern == "streaming" for r in conv_profile.regions)
+    dnn_profile = DnnWeaverAccelerator().profile()
+    assert any(r.serialized_mac for r in dnn_profile.regions)

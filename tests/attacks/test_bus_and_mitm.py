@@ -1,0 +1,165 @@
+"""Malicious-Shell (bus) attacks and attestation man-in-the-middle attacks."""
+
+import pytest
+
+from repro.attacks.bus_attacks import SnoopingShellAttack, TamperingShellAttack
+from repro.attacks.mitm import (
+    ReplayRecorder,
+    corrupt_report_hook,
+    drop_key_delivery_hook,
+    redirect_load_key_hook,
+    swap_bitstream_hash_hook,
+)
+from repro.attestation.channel import HostProxiedChannel
+from repro.attestation.data_owner import DataOwner
+from repro.attestation.ip_vendor import IpVendor
+from repro.attestation.protocol import run_remote_attestation
+from repro.boot.manufacturer import Manufacturer
+from repro.boot.process import install_security_kernel, perform_secure_boot
+from repro.errors import AttestationError, IntegrityError, ProtocolError
+from repro.hw.bitstream import Bitstream
+from repro.hw.board import BoardModel, make_board
+from tests.conftest import make_small_shield_config
+
+
+# -- malicious Shell ---------------------------------------------------------------
+
+
+def test_snooping_shell_sees_only_ciphertext(provisioned_shield):
+    harness = provisioned_shield
+    attack = SnoopingShellAttack(harness.board.shell)
+    config = harness.shield_config
+    secret = b"SOCIAL-SECURITY-NUMBERS!" * 32  # 3 full chunks
+    # Data Owner seals, host DMAs, Shield decrypts for the accelerator, then
+    # the accelerator writes results back out through the Shield.
+    staged = harness.data_owner.seal_input(config, "input", secret, shield_id=config.shield_id)
+    region = config.region("input")
+    harness.board.shell.host_dma_write(region.base_address, staged.flat_ciphertext())
+    for chunk in staged.sealed_chunks:
+        harness.board.shell.host_dma_write(config.tag_address(region, chunk.chunk_index), chunk.tag)
+    recovered = harness.shield.memory_read(0, len(secret))
+    assert recovered == secret
+    harness.shield.memory_write(4096, recovered[:256])
+    harness.shield.flush()
+    # The malicious Shell observed DMA, register, and memory traffic -- none of
+    # it contains the plaintext.
+    assert len(attack.records) > 0
+    assert not attack.saw_plaintext([secret, secret[:64], b"SOCIAL-SECURITY"])
+
+
+def test_tampering_shell_detected_on_readback(provisioned_shield):
+    harness = provisioned_shield
+    attack = TamperingShellAttack(
+        harness.board.shell, target_base=4096, target_size=4096
+    )
+    attack.install()
+    harness.shield.memory_write(4096, b"\x42" * 256)
+    harness.shield.flush()  # the Shell corrupts the ciphertext write in flight
+    assert attack.tampered_bursts > 0
+    harness.shield.pipeline("output").buffer.invalidate()
+    with pytest.raises(IntegrityError):
+        harness.shield.memory_read(4096, 256)
+
+
+# -- attestation MITM ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def mitm_world():
+    board = make_board(BoardModel.AWS_F1, serial="fpga-mitm")
+    manufacturer = Manufacturer(seed=71)
+    provisioned = manufacturer.provision_device(board)
+    install_security_kernel(board)
+    kernel = perform_secure_boot(board).kernel
+    vendor = IpVendor("mitm-vendor", seed=72)
+    vendor.trust_security_kernel(kernel.kernel_hash)
+    config = make_small_shield_config("mitm-shield")
+    package = vendor.package_accelerator("victim", {"kind": "victim"}, config.to_dict())
+    kernel.launch_shell(Bitstream("shell", "csp"))
+    kernel.stage_encrypted_bitstream(package.encrypted_bitstream)
+    return {
+        "manufacturer": manufacturer,
+        "provisioned": provisioned,
+        "kernel": kernel,
+        "vendor": vendor,
+        "package": package,
+        "config": config,
+    }
+
+
+def run_with_hook(world, hook, owner_seed=80):
+    channel = HostProxiedChannel()
+    if hook is not None:
+        channel.install_tamper_hook(hook)
+    return run_remote_attestation(
+        world["vendor"],
+        DataOwner(seed=owner_seed),
+        world["kernel"],
+        "victim",
+        world["provisioned"].device_certificate,
+        world["manufacturer"].certificate_authority.root_public_key,
+        channel=channel,
+        shield_id=world["config"].shield_id,
+    )
+
+
+def test_clean_channel_succeeds(mitm_world):
+    outcome = run_with_hook(mitm_world, None, owner_seed=81)
+    assert outcome.load_key.shield_id == "mitm-shield"
+
+
+def test_corrupted_report_rejected(mitm_world):
+    with pytest.raises(AttestationError):
+        run_with_hook(mitm_world, corrupt_report_hook, owner_seed=82)
+
+
+def test_swapped_bitstream_hash_rejected(mitm_world):
+    hook = swap_bitstream_hash_hook(b"\x99" * 32)
+    with pytest.raises(AttestationError):
+        run_with_hook(mitm_world, hook, owner_seed=83)
+
+
+def test_replayed_stale_report_rejected(mitm_world):
+    recorder = ReplayRecorder()
+    # First run: the attacker records the genuine signed report.
+    channel = HostProxiedChannel()
+    channel.install_tamper_hook(recorder.record_hook)
+    run_remote_attestation(
+        mitm_world["vendor"],
+        DataOwner(seed=84),
+        mitm_world["kernel"],
+        "victim",
+        mitm_world["provisioned"].device_certificate,
+        mitm_world["manufacturer"].certificate_authority.root_public_key,
+        channel=channel,
+        shield_id="mitm-shield",
+    )
+    assert recorder.recorded_report is not None
+    # Second run: the attacker substitutes the stale report; the fresh nonce
+    # inside the vendor's new challenge no longer matches.
+    with pytest.raises(AttestationError, match="nonce|replay"):
+        run_with_hook(mitm_world, recorder.replay_hook, owner_seed=85)
+    assert recorder.replays == 1
+
+
+def test_redirected_load_key_rejected(mitm_world):
+    with pytest.raises(AttestationError, match="redirect"):
+        run_with_hook(mitm_world, redirect_load_key_hook("attacker-shield"), owner_seed=86)
+
+
+def test_dropped_key_delivery_detected(mitm_world):
+    with pytest.raises(ProtocolError):
+        run_with_hook(mitm_world, drop_key_delivery_hook, owner_seed=87)
+
+
+def test_mitm_cannot_learn_bitstream_key(mitm_world):
+    """The Bitstream Key crosses the host sealed under the session key."""
+    observed = []
+
+    def observer(direction, message):
+        observed.append(message)
+        return message
+
+    run_with_hook(mitm_world, observer, owner_seed=88)
+    bitstream_key = mitm_world["vendor"].bitstream_key.material
+    assert all(bitstream_key not in message for message in observed)

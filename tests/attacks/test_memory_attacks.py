@@ -1,0 +1,111 @@
+"""Threat-model tests: spoofing, splicing, and replay on device DRAM."""
+
+import pytest
+
+from repro.attacks.memory_attacks import (
+    corrupt_tag,
+    read_chunk_raw,
+    replay_chunk,
+    snoop_region,
+    splice_chunks,
+    spoof_chunk,
+)
+from repro.errors import IntegrityError
+from tests.conftest import make_small_shield_config
+from repro.sim.simulator import build_test_shield
+
+
+@pytest.fixture()
+def loaded_shield(provisioned_shield):
+    """A provisioned Shield with known plaintext staged in the input region."""
+    harness = provisioned_shield
+    config = harness.shield_config
+    plaintext = bytes((i * 31 + 5) % 256 for i in range(4096))
+    staged = harness.data_owner.seal_input(config, "input", plaintext, shield_id=config.shield_id)
+    region = config.region("input")
+    harness.board.shell.host_dma_write(region.base_address, staged.flat_ciphertext())
+    for chunk in staged.sealed_chunks:
+        harness.board.shell.host_dma_write(config.tag_address(region, chunk.chunk_index), chunk.tag)
+    return harness, plaintext
+
+
+def test_unmodified_memory_reads_fine(loaded_shield):
+    harness, plaintext = loaded_shield
+    assert harness.shield.memory_read(0, 4096) == plaintext
+
+
+def test_spoofed_chunk_detected(loaded_shield):
+    harness, _ = loaded_shield
+    spoof_chunk(harness.board.device_memory, harness.shield_config, "input", chunk_index=2)
+    with pytest.raises(IntegrityError):
+        harness.shield.memory_read(2 * 256, 256)
+    assert harness.shield.stats().integrity_failures == 1
+
+
+def test_corrupted_tag_detected(loaded_shield):
+    harness, _ = loaded_shield
+    corrupt_tag(harness.board.device_memory, harness.shield_config, "input", chunk_index=0)
+    with pytest.raises(IntegrityError):
+        harness.shield.memory_read(0, 64)
+
+
+def test_spliced_chunk_detected(loaded_shield):
+    harness, _ = loaded_shield
+    # Copy chunk 1's perfectly valid (ciphertext, tag) pair over chunk 3.
+    splice_chunks(harness.board.device_memory, harness.shield_config, "input", 1, 3)
+    # Chunk 1 itself still verifies...
+    harness.shield.memory_read(256, 256)
+    # ...but the relocated copy must not.
+    with pytest.raises(IntegrityError):
+        harness.shield.memory_read(3 * 256, 256)
+
+
+def test_untampered_chunks_still_readable_after_attack(loaded_shield):
+    harness, plaintext = loaded_shield
+    spoof_chunk(harness.board.device_memory, harness.shield_config, "input", chunk_index=15)
+    assert harness.shield.memory_read(0, 256) == plaintext[:256]
+
+
+def test_replay_detected_on_protected_region(provisioned_shield):
+    harness = provisioned_shield
+    shield = harness.shield
+    config = harness.shield_config
+    # The accelerator writes version 1 of a chunk, the attacker snapshots it,
+    # the accelerator overwrites it with version 2, and the attacker rolls
+    # DRAM back to the stale snapshot.
+    shield.memory_write(4096, b"\x01" * 256)
+    shield.flush()
+    snapshot = read_chunk_raw(harness.board.device_memory, config, "output", 0)
+    shield.memory_write(4096, b"\x02" * 256)
+    shield.flush()
+    # Invalidate the on-chip copy so the next read really goes to DRAM.
+    shield.pipeline("output").buffer.invalidate()
+    replay_chunk(harness.board.device_memory, config, snapshot)
+    with pytest.raises(IntegrityError):
+        shield.memory_read(4096, 256)
+
+
+def test_replay_not_detected_without_counters():
+    """Negative control: without integrity counters the replay goes unnoticed.
+
+    This is exactly the vulnerability the paper's counters (or a Merkle tree)
+    exist to close, so the unprotected configuration must accept stale data.
+    """
+    config = make_small_shield_config(replay_protected_output=False)
+    harness = build_test_shield(config)
+    shield = harness.shield
+    shield.memory_write(4096, b"\x01" * 256)
+    shield.flush()
+    snapshot = read_chunk_raw(harness.board.device_memory, config, "output", 0)
+    shield.memory_write(4096, b"\x02" * 256)
+    shield.flush()
+    shield.pipeline("output").buffer.invalidate()
+    replay_chunk(harness.board.device_memory, config, snapshot)
+    assert shield.memory_read(4096, 256) == b"\x01" * 256  # stale data accepted
+
+
+def test_snooped_region_is_ciphertext_only(loaded_shield):
+    harness, plaintext = loaded_shield
+    dump = snoop_region(harness.board.device_memory, harness.shield_config, "input")
+    assert plaintext[:64] not in dump
+    assert plaintext not in dump

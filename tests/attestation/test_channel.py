@@ -1,0 +1,64 @@
+"""Untrusted host-proxied channel tests."""
+
+import pytest
+
+from repro.attestation.channel import HostProxiedChannel
+from repro.errors import ProtocolError
+
+
+def test_send_receive_fifo_order():
+    channel = HostProxiedChannel()
+    channel.send("to_device", b"first")
+    channel.send("to_device", b"second")
+    assert channel.receive("to_device") == b"first"
+    assert channel.receive("to_device") == b"second"
+
+
+def test_directions_are_independent():
+    channel = HostProxiedChannel()
+    channel.send("to_device", b"down")
+    channel.send("to_remote", b"up")
+    assert channel.pending("to_device") == 1
+    assert channel.receive("to_remote") == b"up"
+
+
+def test_unknown_direction_rejected():
+    channel = HostProxiedChannel()
+    with pytest.raises(ProtocolError):
+        channel.send("sideways", b"x")
+    with pytest.raises(ProtocolError):
+        channel.receive("sideways")
+
+
+def test_receive_empty_raises():
+    with pytest.raises(ProtocolError):
+        HostProxiedChannel().receive("to_device")
+
+
+def test_tamper_hook_can_modify_and_drop():
+    channel = HostProxiedChannel()
+
+    def hook(direction, message):
+        if message == b"drop me":
+            return None
+        if message == b"change me":
+            return b"changed"
+        return message
+
+    channel.install_tamper_hook(hook)
+    channel.send("to_device", b"drop me")
+    channel.send("to_device", b"change me")
+    channel.send("to_device", b"leave me")
+    assert channel.pending("to_device") == 2
+    assert channel.receive("to_device") == b"changed"
+    assert channel.receive("to_device") == b"leave me"
+    assert channel.stats.dropped == 1
+    assert channel.stats.tampered == 1
+    assert channel.stats.delivered == 2
+
+
+def test_transcript_records_delivered_messages():
+    channel = HostProxiedChannel()
+    channel.send("to_device", b"a")
+    channel.send("to_remote", b"b")
+    assert channel.transcript == [("to_device", b"a"), ("to_remote", b"b")]

@@ -1,0 +1,72 @@
+"""Attestation wire-message serialization tests."""
+
+import pytest
+
+from repro.attestation.messages import (
+    AttestationChallenge,
+    AttestationReport,
+    EncryptedKeyDelivery,
+    LoadKeyDelivery,
+    SignedAttestationReport,
+)
+from repro.errors import ProtocolError
+
+
+def make_report() -> AttestationReport:
+    return AttestationReport(
+        nonce=b"\x01" * 32,
+        encrypted_bitstream_hash=b"\x02" * 32,
+        attestation_public_key=b"\x04" + b"\x03" * 64,
+        kernel_hash=b"\x04" * 32,
+        kernel_certificate_signature=b"\x05" * 64,
+        device_serial="fpga-007",
+    )
+
+
+def test_challenge_roundtrip():
+    challenge = AttestationChallenge(nonce=b"\xaa" * 32, verification_public_key=b"\x04" + b"\xbb" * 64)
+    restored = AttestationChallenge.deserialize(challenge.serialize())
+    assert restored == challenge
+
+
+def test_report_roundtrip():
+    report = make_report()
+    assert AttestationReport.deserialize(report.serialize()) == report
+
+
+def test_report_canonical_bytes_stable():
+    assert make_report().canonical_bytes() == make_report().canonical_bytes()
+
+
+def test_signed_report_roundtrip():
+    signed = SignedAttestationReport(
+        report=make_report(), report_signature=b"\x06" * 64, session_key_signature=b"\x07" * 64
+    )
+    restored = SignedAttestationReport.deserialize(signed.serialize())
+    assert restored.report == signed.report
+    assert restored.report_signature == signed.report_signature
+    assert restored.session_key_signature == signed.session_key_signature
+
+
+def test_key_delivery_roundtrip():
+    delivery = EncryptedKeyDelivery(sealed_payload=b"\x08" * 100)
+    assert EncryptedKeyDelivery.deserialize(delivery.serialize()) == delivery
+
+
+def test_load_key_roundtrip():
+    load_key = LoadKeyDelivery(wrapped_key=b"\x09" * 128, shield_id="shield-7")
+    restored = LoadKeyDelivery.deserialize(load_key.serialize())
+    assert restored == load_key
+
+
+def test_wrong_kind_rejected():
+    challenge = AttestationChallenge(nonce=b"\x01" * 32, verification_public_key=b"\x02" * 65)
+    with pytest.raises(ProtocolError):
+        AttestationReport.deserialize(challenge.serialize())
+    with pytest.raises(ProtocolError):
+        LoadKeyDelivery.deserialize(challenge.serialize())
+
+
+def test_garbage_rejected():
+    with pytest.raises(ProtocolError):
+        AttestationChallenge.deserialize(b"\xff\xfe not json")

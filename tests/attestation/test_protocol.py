@@ -1,0 +1,186 @@
+"""Remote-attestation protocol tests: happy path and every rejection branch.
+
+These tests run the full Figure 3 exchange against a really-booted Security
+Kernel on a provisioned (simulated) board.  They are the core security tests
+of the boot/attestation half of ShEF.
+"""
+
+import pytest
+
+from repro.attestation.channel import HostProxiedChannel
+from repro.attestation.data_owner import DataOwner
+from repro.attestation.ip_vendor import IpVendor
+from repro.attestation.protocol import run_remote_attestation
+from repro.boot.manufacturer import Manufacturer
+from repro.boot.process import install_security_kernel, perform_secure_boot
+from repro.errors import AttestationError, ProtocolError
+from repro.hw.bitstream import Bitstream
+from repro.hw.board import BoardModel, make_board
+from tests.conftest import make_small_shield_config
+
+
+@pytest.fixture(scope="module")
+def attestation_world():
+    """A provisioned board with a booted kernel and a vendor-packaged accelerator."""
+    board = make_board(BoardModel.AWS_F1, serial="fpga-attest")
+    manufacturer = Manufacturer(seed=21)
+    provisioned = manufacturer.provision_device(board)
+    install_security_kernel(board)
+    kernel = perform_secure_boot(board).kernel
+
+    vendor = IpVendor("attest-vendor", seed=22)
+    vendor.trust_security_kernel(kernel.kernel_hash)
+    config = make_small_shield_config("attest-shield")
+    package = vendor.package_accelerator("widget", {"kind": "widget"}, config.to_dict())
+    kernel.launch_shell(Bitstream("shell", "csp"))
+    kernel.stage_encrypted_bitstream(package.encrypted_bitstream)
+    return {
+        "board": board,
+        "manufacturer": manufacturer,
+        "provisioned": provisioned,
+        "kernel": kernel,
+        "vendor": vendor,
+        "package": package,
+        "config": config,
+    }
+
+
+def run_protocol(world, channel=None, owner_seed=31):
+    return run_remote_attestation(
+        world["vendor"],
+        DataOwner(seed=owner_seed),
+        world["kernel"],
+        "widget",
+        world["provisioned"].device_certificate,
+        world["manufacturer"].certificate_authority.root_public_key,
+        channel=channel,
+        shield_id=world["config"].shield_id,
+    )
+
+
+def test_happy_path_provisions_both_keys(attestation_world):
+    outcome = run_protocol(attestation_world)
+    # The kernel received the Bitstream Key: it can now decrypt and load.
+    bitstream = attestation_world["kernel"].load_accelerator()
+    assert bitstream.accelerator_name == "widget"
+    # The Data Owner produced a Load Key bound to the right Shield.
+    assert outcome.load_key.shield_id == attestation_world["config"].shield_id
+    assert outcome.transcript_length == 4
+
+
+def test_report_contains_device_and_kernel_identity(attestation_world):
+    vendor = attestation_world["vendor"]
+    kernel = attestation_world["kernel"]
+    challenge, pending = vendor.begin_attestation("widget")
+    from repro.attestation.messages import AttestationChallenge
+
+    signed = kernel.handle_challenge(AttestationChallenge.deserialize(challenge.serialize()))
+    assert signed.report.kernel_hash == kernel.kernel_hash
+    assert signed.report.device_serial == attestation_world["board"].serial
+    assert signed.report.nonce == pending.nonce
+    assert signed.report.encrypted_bitstream_hash == attestation_world["package"].expected_bitstream_hash
+
+
+def test_unknown_kernel_hash_rejected(attestation_world):
+    strict_vendor = IpVendor("strict-vendor", seed=40)
+    strict_vendor.package_accelerator(
+        "widget", {"kind": "widget"}, attestation_world["config"].to_dict()
+    )
+    # This vendor never whitelisted the kernel hash.
+    with pytest.raises(AttestationError, match="Security Kernel"):
+        run_remote_attestation(
+            strict_vendor,
+            DataOwner(seed=41),
+            attestation_world["kernel"],
+            "widget",
+            attestation_world["provisioned"].device_certificate,
+            attestation_world["manufacturer"].certificate_authority.root_public_key,
+        )
+
+
+def test_wrong_bitstream_staged_rejected(attestation_world):
+    vendor = attestation_world["vendor"]
+    kernel = attestation_world["kernel"]
+    other_package = vendor.package_accelerator(
+        "widget-v2", {"kind": "widget", "version": 2}, attestation_world["config"].to_dict()
+    )
+    kernel.stage_encrypted_bitstream(other_package.encrypted_bitstream)
+    try:
+        with pytest.raises(AttestationError, match="bitstream"):
+            run_protocol(attestation_world)
+    finally:
+        kernel.stage_encrypted_bitstream(attestation_world["package"].encrypted_bitstream)
+
+
+def test_wrong_device_certificate_rejected(attestation_world):
+    impostor_board = make_board(BoardModel.AWS_F1, serial="impostor")
+    impostor_cert = attestation_world["manufacturer"].provision_device(impostor_board)
+    with pytest.raises(AttestationError):
+        run_remote_attestation(
+            attestation_world["vendor"],
+            DataOwner(seed=50),
+            attestation_world["kernel"],
+            "widget",
+            impostor_cert.device_certificate,
+            attestation_world["manufacturer"].certificate_authority.root_public_key,
+        )
+
+
+def test_wrong_manufacturer_root_rejected(attestation_world):
+    rogue_ca = Manufacturer(seed=99).certificate_authority
+    with pytest.raises(AttestationError):
+        run_remote_attestation(
+            attestation_world["vendor"],
+            DataOwner(seed=51),
+            attestation_world["kernel"],
+            "widget",
+            attestation_world["provisioned"].device_certificate,
+            rogue_ca.root_public_key,
+        )
+
+
+def test_nonce_mismatch_rejected(attestation_world):
+    vendor = attestation_world["vendor"]
+    kernel = attestation_world["kernel"]
+    from repro.attestation.messages import AttestationChallenge
+
+    challenge_a, pending_a = vendor.begin_attestation("widget")
+    _, pending_b = vendor.begin_attestation("widget")
+    signed = kernel.handle_challenge(AttestationChallenge.deserialize(challenge_a.serialize()))
+    with pytest.raises(AttestationError, match="nonce"):
+        vendor.verify_report(
+            pending_b,
+            signed,
+            attestation_world["provisioned"].device_certificate,
+            attestation_world["manufacturer"].certificate_authority.root_public_key,
+        )
+
+
+def test_unpackaged_accelerator_rejected(attestation_world):
+    with pytest.raises(AttestationError):
+        attestation_world["vendor"].begin_attestation("never-packaged")
+
+
+def test_bitstream_key_before_attestation_rejected(attestation_world):
+    from repro.attestation.messages import EncryptedKeyDelivery
+    from repro.boot.process import perform_secure_boot, install_security_kernel
+
+    fresh_board = make_board(BoardModel.AWS_F1, serial="fresh")
+    Manufacturer(seed=60).provision_device(fresh_board)
+    install_security_kernel(fresh_board)
+    fresh_kernel = perform_secure_boot(fresh_board).kernel
+    with pytest.raises(AttestationError):
+        fresh_kernel.receive_bitstream_key(EncryptedKeyDelivery(sealed_payload=b"\x00" * 80))
+
+
+def test_dropped_message_surfaces_as_protocol_error(attestation_world):
+    channel = HostProxiedChannel()
+    channel.install_tamper_hook(lambda direction, message: None)
+    with pytest.raises(ProtocolError):
+        run_protocol(attestation_world, channel=channel)
+
+
+def test_attestation_counter_increments(attestation_world):
+    before = attestation_world["kernel"].attestations_served
+    run_protocol(attestation_world, owner_seed=77)
+    assert attestation_world["kernel"].attestations_served == before + 1

@@ -1,0 +1,76 @@
+"""Certificate authority and signing-binding tests."""
+
+import pytest
+
+from repro.boot.certificates import (
+    Certificate,
+    CertificateAuthority,
+    sign_binding,
+    verify_binding,
+    verify_certificate_with_key,
+)
+from repro.crypto.ecc import EcPrivateKey
+from repro.errors import SignatureError
+
+
+def test_issue_and_verify():
+    ca = CertificateAuthority("manufacturer")
+    subject_key = EcPrivateKey.from_seed(b"device")
+    cert = ca.issue("fpga-001", subject_key.public_key.encode(), {"role": "fpga-device"})
+    ca.verify(cert)
+    verify_certificate_with_key(cert, ca.root_public_key)
+    assert cert.subject_public_key() == subject_key.public_key
+
+
+def test_lookup_registered_certificate():
+    ca = CertificateAuthority("manufacturer")
+    ca.issue("fpga-001", EcPrivateKey.from_seed(b"d").public_key.encode())
+    assert ca.lookup("fpga-001").subject == "fpga-001"
+    with pytest.raises(SignatureError):
+        ca.lookup("fpga-404")
+
+
+def test_verify_rejects_wrong_issuer():
+    ca_a = CertificateAuthority("a")
+    ca_b = CertificateAuthority("b")
+    cert = ca_a.issue("dev", EcPrivateKey.from_seed(b"d").public_key.encode())
+    with pytest.raises(SignatureError):
+        ca_b.verify(cert)
+
+
+def test_verify_rejects_tampered_claims():
+    ca = CertificateAuthority("manufacturer")
+    cert = ca.issue("dev", EcPrivateKey.from_seed(b"d").public_key.encode(), {"role": "fpga"})
+    forged = Certificate(
+        subject=cert.subject,
+        issuer=cert.issuer,
+        public_key=cert.public_key,
+        claims={"role": "hsm"},
+        signature=cert.signature,
+    )
+    with pytest.raises(SignatureError):
+        ca.verify(forged)
+
+
+def test_verify_rejects_substituted_key():
+    ca = CertificateAuthority("manufacturer")
+    cert = ca.issue("dev", EcPrivateKey.from_seed(b"real").public_key.encode())
+    forged = Certificate(
+        subject=cert.subject,
+        issuer=cert.issuer,
+        public_key=EcPrivateKey.from_seed(b"fake").public_key.encode(),
+        claims=dict(cert.claims),
+        signature=cert.signature,
+    )
+    with pytest.raises(SignatureError):
+        verify_certificate_with_key(forged, ca.root_public_key)
+
+
+def test_sign_binding_order_and_content_sensitivity():
+    signer = EcPrivateKey.from_seed(b"firmware")
+    signature = sign_binding(signer, b"kernel-hash", b"attest-key")
+    assert verify_binding(signer.public_key, signature, b"kernel-hash", b"attest-key")
+    assert not verify_binding(signer.public_key, signature, b"attest-key", b"kernel-hash")
+    assert not verify_binding(signer.public_key, signature, b"kernel-hash", b"other-key")
+    other = EcPrivateKey.from_seed(b"not-firmware")
+    assert not verify_binding(other.public_key, signature, b"kernel-hash", b"attest-key")

@@ -1,0 +1,32 @@
+"""Measurement and measurement-log tests."""
+
+from repro.boot.measurement import MeasurementLog, measure, measure_many
+from repro.crypto.hashes import sha256
+
+
+def test_measure_is_sha256():
+    assert measure(b"kernel") == sha256(b"kernel")
+
+
+def test_measure_many_framing_prevents_concatenation_games():
+    assert measure_many(b"ab", b"c") != measure_many(b"a", b"bc")
+    assert measure_many(b"kernel", b"bitstream") == measure_many(b"kernel", b"bitstream")
+
+
+def test_measurement_log_extend_chain():
+    log = MeasurementLog()
+    first = log.extend("firmware", b"firmware bytes")
+    second = log.extend("kernel", b"kernel bytes")
+    assert first != second
+    assert log.digest() == second
+    assert log.event_names() == ["firmware", "kernel"]
+
+
+def test_measurement_log_order_matters():
+    log_a = MeasurementLog()
+    log_a.extend("a", b"1")
+    log_a.extend("b", b"2")
+    log_b = MeasurementLog()
+    log_b.extend("b", b"2")
+    log_b.extend("a", b"1")
+    assert log_a.digest() != log_b.digest()

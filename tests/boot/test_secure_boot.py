@@ -1,0 +1,158 @@
+"""Secure-boot chain tests: Manufacturer -> firmware -> Security Kernel."""
+
+import pytest
+
+from repro.boot.firmware import SpbFirmware
+from repro.boot.manufacturer import Manufacturer, build_firmware_payload, parse_firmware_payload
+from repro.boot.process import install_security_kernel, perform_secure_boot
+from repro.boot.security_kernel import DEFAULT_SECURITY_KERNEL_BINARY, SecurityKernel
+from repro.crypto.ecc import EcPrivateKey
+from repro.crypto.keys import AesDeviceKey, DeviceKeySet
+from repro.errors import BootError, TamperError
+from repro.hw.board import BoardModel, make_board
+
+
+@pytest.fixture()
+def provisioned_board():
+    board = make_board(BoardModel.ULTRA96, serial="ultra96-test")
+    manufacturer = Manufacturer(seed=5)
+    provisioned = manufacturer.provision_device(board)
+    return board, manufacturer, provisioned
+
+
+def test_firmware_payload_roundtrip():
+    key_set = DeviceKeySet(AesDeviceKey(b"k" * 32), EcPrivateKey.from_seed(b"d"), "serial-x")
+    payload = build_firmware_payload(key_set)
+    body = parse_firmware_payload(payload)
+    assert body["device_serial"] == "serial-x"
+    firmware = SpbFirmware.from_payload(payload)
+    assert firmware.device_serial == "serial-x"
+    assert firmware.device_public_key_encoding == key_set.public_key.encode()
+
+
+def test_firmware_payload_rejects_garbage():
+    with pytest.raises(BootError):
+        parse_firmware_payload(b"\xff\xfe not json")
+    with pytest.raises(BootError):
+        parse_firmware_payload(b"{}")
+
+
+def test_provisioning_burns_keys_and_publishes_certificate(provisioned_board):
+    board, manufacturer, provisioned = provisioned_board
+    assert board.fuses.is_provisioned
+    assert "spb_firmware" in board.boot_medium
+    certificate = manufacturer.device_certificate(board.serial)
+    assert certificate.subject == board.serial
+    manufacturer.certificate_authority.verify(certificate)
+    assert provisioned.device_certificate.subject == board.serial
+
+
+def test_provisioning_twice_rejected(provisioned_board):
+    board, manufacturer, _ = provisioned_board
+    with pytest.raises(BootError):
+        manufacturer.provision_device(board)
+
+
+def test_secure_boot_produces_running_kernel(provisioned_board):
+    board, _, _ = provisioned_board
+    install_security_kernel(board)
+    result = perform_secure_boot(board)
+    kernel = result.kernel
+    assert isinstance(kernel, SecurityKernel)
+    assert kernel.kernel_hash == board.security_kernel_processor.running_binary_hash
+    assert not kernel.holds_device_secrets()
+    assert result.total_seconds > 0
+    assert "boot_rom" in result.phase_seconds
+
+
+def test_boot_latency_matches_paper_scale(provisioned_board):
+    board, _, _ = provisioned_board
+    install_security_kernel(board)
+    result = perform_secure_boot(board)
+    # Section 6.1: ~5.1 s from power-on to bitstream loading on the Ultra96.
+    assert 4.0 <= result.total_seconds <= 6.5
+    without_reconfig = sum(
+        v for k, v in result.phase_seconds.items() if k != "partial_reconfiguration"
+    )
+    assert without_reconfig < result.total_seconds
+
+
+def test_boot_requires_kernel_on_medium(provisioned_board):
+    board, _, _ = provisioned_board
+    with pytest.raises(BootError):
+        perform_secure_boot(board)
+
+
+def test_boot_fails_on_unprovisioned_board():
+    board = make_board(BoardModel.ULTRA96)
+    install_security_kernel(board)
+    with pytest.raises(BootError):
+        perform_secure_boot(board)
+
+
+def test_kernel_hash_changes_with_kernel_binary(provisioned_board):
+    board, _, _ = provisioned_board
+    install_security_kernel(board, kernel_binary=DEFAULT_SECURITY_KERNEL_BINARY)
+    genuine = perform_secure_boot(board).kernel.kernel_hash
+
+    other_board = make_board(BoardModel.ULTRA96, serial="ultra96-other")
+    Manufacturer(seed=6).provision_device(other_board)
+    install_security_kernel(other_board, kernel_binary=b"malicious kernel")
+    malicious = perform_secure_boot(other_board).kernel.kernel_hash
+    assert genuine != malicious
+
+
+def test_attestation_key_bound_to_device_and_kernel():
+    # Same kernel on two different devices -> different Attestation keys;
+    # different kernels on the same device -> different Attestation keys.
+    board_a = make_board(BoardModel.ULTRA96, serial="dev-a")
+    board_b = make_board(BoardModel.ULTRA96, serial="dev-b")
+    manufacturer = Manufacturer(seed=9)
+    manufacturer.provision_device(board_a)
+    manufacturer.provision_device(board_b)
+    install_security_kernel(board_a)
+    install_security_kernel(board_b)
+    key_a = perform_secure_boot(board_a).launch_record.attestation_key.public_key.encode()
+    key_b = perform_secure_boot(board_b).launch_record.attestation_key.public_key.encode()
+    assert key_a != key_b
+
+
+def test_soft_processor_requires_measured_bitstream():
+    board = make_board(BoardModel.AWS_F1, serial="f1-soft")
+    Manufacturer(seed=8).provision_device(board)
+    board.boot_medium.store("security_kernel", DEFAULT_SECURITY_KERNEL_BINARY)
+    # No soft-CPU bitstream on the medium -> the firmware must refuse.
+    with pytest.raises(BootError):
+        perform_secure_boot(board)
+
+
+def test_soft_processor_bitstream_included_in_measurement():
+    board_a = make_board(BoardModel.AWS_F1, serial="f1-a")
+    board_b = make_board(BoardModel.AWS_F1, serial="f1-b")
+    manufacturer = Manufacturer(seed=10)
+    manufacturer.provision_device(board_a)
+    manufacturer.provision_device(board_b)
+    install_security_kernel(board_a)
+    install_security_kernel(board_b, soft_cpu_bitstream=b"different soft cpu")
+    hash_a = perform_secure_boot(board_a).kernel.kernel_hash
+    hash_b = perform_secure_boot(board_b).kernel.kernel_hash
+    assert hash_a != hash_b
+
+
+def test_kernel_monitors_tamper_ports(provisioned_board):
+    board, _, _ = provisioned_board
+    install_security_kernel(board)
+    kernel = perform_secure_boot(board).kernel
+    kernel.monitor_ports()
+    board.tamper_monitor.port("jtag").attempt_access("attacker")
+    with pytest.raises(TamperError):
+        kernel.monitor_ports()
+
+
+def test_tampered_firmware_on_boot_medium_fails(provisioned_board):
+    board, _, _ = provisioned_board
+    install_security_kernel(board)
+    sealed = board.boot_medium.load("spb_firmware")
+    board.boot_medium.tamper("spb_firmware", b"\x00" * 16 + sealed[16:])
+    with pytest.raises(BootError):
+        perform_secure_boot(board)

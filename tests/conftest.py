@@ -1,0 +1,80 @@
+"""Shared fixtures for the ShEF reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineSetConfig, RegionConfig, RegisterInterfaceConfig, ShieldConfig
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import EcPrivateKey
+from repro.crypto.rsa import RsaPrivateKey
+from repro.sim.simulator import build_test_shield
+
+
+@pytest.fixture(scope="session")
+def rsa_key() -> RsaPrivateKey:
+    """A session-wide 1024-bit RSA key (keygen is the slowest pure-Python step)."""
+    return RsaPrivateKey.from_seed(b"test-suite-rsa-key", bits=1024)
+
+
+@pytest.fixture(scope="session")
+def small_rsa_key() -> RsaPrivateKey:
+    """A faster 512-bit RSA key for tests that only need algebraic correctness."""
+    return RsaPrivateKey.from_seed(b"test-suite-small-rsa", bits=512)
+
+
+@pytest.fixture(scope="session")
+def ec_key() -> EcPrivateKey:
+    return EcPrivateKey.from_seed(b"test-suite-ec-key")
+
+
+@pytest.fixture()
+def rng() -> HmacDrbg:
+    return HmacDrbg(b"test-suite-rng")
+
+
+def make_small_shield_config(
+    shield_id: str = "test-shield",
+    chunk_size: int = 256,
+    region_bytes: int = 4096,
+    buffer_bytes: int = 1024,
+    mac_algorithm: str = "HMAC",
+    replay_protected_output: bool = True,
+) -> ShieldConfig:
+    """A compact two-region Shield configuration used across the suite."""
+    return ShieldConfig(
+        shield_id=shield_id,
+        engine_sets=[
+            EngineSetConfig(
+                name="es-in", sbox_parallelism=4, aes_key_bits=128,
+                mac_algorithm=mac_algorithm, buffer_bytes=buffer_bytes,
+            ),
+            EngineSetConfig(
+                name="es-out", sbox_parallelism=4, aes_key_bits=128,
+                mac_algorithm=mac_algorithm, buffer_bytes=buffer_bytes,
+            ),
+        ],
+        regions=[
+            RegionConfig(
+                name="input", base_address=0, size_bytes=region_bytes,
+                chunk_size=chunk_size, engine_set="es-in",
+            ),
+            RegionConfig(
+                name="output", base_address=region_bytes, size_bytes=region_bytes,
+                chunk_size=chunk_size, engine_set="es-out",
+                replay_protected=replay_protected_output,
+            ),
+        ],
+        register_interface=RegisterInterfaceConfig(num_registers=16),
+    )
+
+
+@pytest.fixture()
+def small_shield_config() -> ShieldConfig:
+    return make_small_shield_config()
+
+
+@pytest.fixture()
+def provisioned_shield(small_shield_config):
+    """A board + provisioned Shield + Data Owner trio for datapath tests."""
+    return build_test_shield(small_shield_config)

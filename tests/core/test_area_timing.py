@@ -1,0 +1,210 @@
+"""Area-model (Table 1/3) and timing-model tests."""
+
+import pytest
+
+from repro.core.area import (
+    BRAM_BLOCK_BYTES,
+    ResourceVector,
+    aes_engine_area,
+    component_area,
+    engine_set_area,
+    mac_engine_area,
+    on_chip_memory_area,
+    shield_area,
+    shield_utilization,
+    table1_rows,
+)
+from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig
+from repro.core.timing import RegionTraffic, TimingModel, WorkloadProfile
+from repro.errors import ConfigurationError, SimulationError
+from tests.conftest import make_small_shield_config
+
+
+# -- area ---------------------------------------------------------------------------
+
+
+def test_table1_component_values_match_paper():
+    rows = table1_rows()
+    assert rows["controller"]["LUT"] == 2348
+    assert rows["engine_set"]["REG"] == 2508
+    assert rows["register_interface"]["LUT"] == 3251
+    assert rows["aes_4x"]["LUT"] == 2435
+    assert rows["aes_16x"]["LUT"] == 2898
+    assert rows["hmac"]["LUT"] == 3926
+    assert rows["pmac"]["LUT"] == 2545
+    # Utilization percentages should be in the sub-percent range of the paper.
+    assert 0.2 < rows["controller"]["utilization"]["LUT"] < 0.3
+    assert 0.4 < rows["hmac"]["utilization"]["LUT"] < 0.5
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(ConfigurationError):
+        component_area("fpu")
+    with pytest.raises(ConfigurationError):
+        mac_engine_area("GCM")
+
+
+def test_aes_engine_area_interpolation():
+    assert aes_engine_area(4).luts == 2435
+    assert aes_engine_area(16).luts == 2898
+    middle = aes_engine_area(8)
+    assert 2435 < middle.luts < 2898
+    assert aes_engine_area(2).luts == 2435
+
+
+def test_on_chip_memory_area_blocks():
+    assert on_chip_memory_area(0).bram_blocks == 0
+    assert on_chip_memory_area(1).bram_blocks == 1
+    assert on_chip_memory_area(BRAM_BLOCK_BYTES).bram_blocks == 1
+    assert on_chip_memory_area(BRAM_BLOCK_BYTES + 1).bram_blocks == 2
+
+
+def test_resource_vector_arithmetic():
+    total = ResourceVector(1, 100, 200) + ResourceVector(2, 50, 25)
+    assert (total.bram_blocks, total.luts, total.registers) == (3, 150, 225)
+    assert ResourceVector(0, 9000, 0).utilization()["LUT"] == pytest.approx(1.0)
+
+
+def test_engine_set_area_composition():
+    config = EngineSetConfig(
+        name="es", num_aes_engines=2, sbox_parallelism=16, mac_algorithm="PMAC",
+        num_mac_engines=2, buffer_bytes=16 * 1024,
+    )
+    area = engine_set_area(config)
+    expected_luts = 1068 + 2 * 2898 + 2 * 2545
+    assert area.luts == pytest.approx(expected_luts)
+    assert area.bram_blocks > 2  # base blocks + buffer
+
+
+def test_shield_area_grows_with_engine_sets():
+    small = make_small_shield_config()
+    big = make_small_shield_config()
+    big.engine_sets = list(big.engine_sets) + [
+        EngineSetConfig(name=f"extra{i}") for i in range(4)
+    ]
+    assert shield_area(big).luts > shield_area(small).luts
+
+
+def test_shield_utilization_single_digit_percent():
+    utilization = shield_utilization(make_small_shield_config())
+    assert 0 < utilization["LUT"] < 10
+    assert 0 < utilization["REG"] < 10
+
+
+def test_counters_count_toward_bram():
+    with_counters = make_small_shield_config(replay_protected_output=True)
+    without = make_small_shield_config(replay_protected_output=False)
+    assert shield_area(with_counters).bram_blocks >= shield_area(without).bram_blocks
+
+
+# -- timing ---------------------------------------------------------------------------
+
+
+def simple_profile(bytes_read=1 << 20, compute=0.0, pattern="streaming") -> WorkloadProfile:
+    return WorkloadProfile(
+        name="synthetic",
+        regions=(
+            RegionTraffic("input", bytes_read=bytes_read, access_size=512, access_pattern=pattern),
+        ),
+        compute_cycles=compute,
+        init_cycles=1_000.0,
+        baseline_bytes_per_cycle=48.0,
+    )
+
+
+def synthetic_config(sbox=16, mac="HMAC", num_aes=1, num_mac=1, buffer_bytes=0) -> ShieldConfig:
+    return ShieldConfig(
+        shield_id="synthetic",
+        engine_sets=[
+            EngineSetConfig(
+                name="es", num_aes_engines=num_aes, sbox_parallelism=sbox,
+                mac_algorithm=mac, num_mac_engines=num_mac, buffer_bytes=buffer_bytes,
+            )
+        ],
+        regions=[RegionConfig("input", 0, 1 << 20, 512, "es")],
+    )
+
+
+def test_shielded_never_faster_than_baseline():
+    model = TimingModel()
+    profile = simple_profile()
+    for sbox in (4, 16):
+        assert model.overhead(profile, synthetic_config(sbox=sbox)) >= 1.0
+
+
+def test_more_parallelism_reduces_overhead():
+    model = TimingModel()
+    profile = simple_profile()
+    slow = model.overhead(profile, synthetic_config(sbox=4))
+    fast = model.overhead(profile, synthetic_config(sbox=16))
+    assert fast < slow
+
+
+def test_aes256_not_faster_than_aes128():
+    model = TimingModel()
+    profile = simple_profile()
+    aes128 = synthetic_config(sbox=4)
+    aes256 = synthetic_config(sbox=4)
+    aes256.engine_sets[0] = EngineSetConfig(
+        name="es", num_aes_engines=1, sbox_parallelism=4, aes_key_bits=256
+    )
+    assert model.overhead(profile, aes256) >= model.overhead(profile, aes128)
+
+
+def test_compute_bound_workload_hides_crypto():
+    model = TimingModel()
+    memory_bound = simple_profile(compute=0.0)
+    compute_bound = simple_profile(compute=10_000_000.0)
+    config = synthetic_config(sbox=4)
+    assert model.overhead(compute_bound, config) < model.overhead(memory_bound, config)
+
+
+def test_random_access_pays_latency():
+    model = TimingModel()
+    streaming = simple_profile(pattern="streaming")
+    random_access = simple_profile(pattern="random")
+    config = synthetic_config(sbox=16)
+    assert model.baseline(random_access).total_cycles > model.baseline(streaming).total_cycles
+    assert model.shielded(random_access, config).total_cycles > model.shielded(
+        streaming, config
+    ).total_cycles
+
+
+def test_buffer_reduces_dram_traffic_for_reuse():
+    model = TimingModel()
+    reuse_profile = WorkloadProfile(
+        name="reuse",
+        regions=(
+            RegionTraffic(
+                "input", bytes_read=1 << 20, access_size=64, access_pattern="random",
+                reuse_factor=4.0, working_set_bytes=64 * 1024,
+            ),
+        ),
+        baseline_bytes_per_cycle=48.0,
+    )
+    no_buffer = model.shielded(reuse_profile, synthetic_config(buffer_bytes=0))
+    big_buffer = model.shielded(reuse_profile, synthetic_config(buffer_bytes=128 * 1024))
+    assert big_buffer.dram_bytes < no_buffer.dram_bytes
+    assert big_buffer.total_cycles < no_buffer.total_cycles
+
+
+def test_tag_traffic_included():
+    model = TimingModel()
+    profile = simple_profile(bytes_read=1 << 20)
+    breakdown = model.shielded(profile, synthetic_config())
+    assert breakdown.dram_bytes > (1 << 20)
+
+
+def test_zero_baseline_rejected():
+    model = TimingModel()
+    empty = WorkloadProfile(name="empty", regions=(), compute_cycles=0.0, init_cycles=0.0)
+    with pytest.raises(SimulationError):
+        model.overhead(empty, synthetic_config())
+
+
+def test_pmac_engines_scale_single_set_throughput():
+    model = TimingModel()
+    profile = simple_profile()
+    one_pmac = model.overhead(profile, synthetic_config(mac="PMAC", num_mac=1, num_aes=4))
+    four_pmac = model.overhead(profile, synthetic_config(mac="PMAC", num_mac=4, num_aes=4))
+    assert four_pmac <= one_pmac

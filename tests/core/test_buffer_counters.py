@@ -1,0 +1,85 @@
+"""On-chip plaintext buffer and integrity-counter tests."""
+
+import pytest
+
+from repro.core.buffer import PlaintextBuffer
+from repro.core.counters import IntegrityCounterStore
+from repro.errors import ShieldError
+from repro.hw.memory import OnChipMemory
+
+
+def test_buffer_disabled_when_no_capacity():
+    buffer = PlaintextBuffer(0, 256)
+    assert not buffer.enabled
+    with pytest.raises(ShieldError):
+        buffer.insert(0, b"\x00" * 256)
+
+
+def test_buffer_hit_miss_accounting():
+    buffer = PlaintextBuffer(1024, 256)
+    assert buffer.lookup(0) is None
+    buffer.insert(0, b"a" * 256)
+    line = buffer.lookup(0)
+    assert line is not None and bytes(line.data) == b"a" * 256
+    assert buffer.stats.hits == 1 and buffer.stats.misses == 1
+    assert buffer.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_buffer_lru_eviction_returns_dirty_victim():
+    buffer = PlaintextBuffer(2 * 256, 256)
+    buffer.insert(0, b"a" * 256, dirty=True)
+    buffer.insert(1, b"b" * 256)
+    # Touch chunk 0 so chunk 1 becomes the LRU victim.
+    buffer.lookup(0)
+    evicted = buffer.insert(2, b"c" * 256)
+    assert evicted is None  # chunk 1 was clean
+    evicted = buffer.insert(3, b"d" * 256)
+    assert evicted is not None and evicted.chunk_index == 0
+    assert buffer.stats.evictions == 2
+    assert buffer.stats.writebacks == 1
+
+
+def test_buffer_mark_dirty_and_flush_list():
+    buffer = PlaintextBuffer(1024, 256)
+    buffer.insert(0, b"a" * 256)
+    buffer.mark_dirty(0)
+    assert [line.chunk_index for line in buffer.dirty_lines()] == [0]
+    with pytest.raises(ShieldError):
+        buffer.mark_dirty(9)
+
+
+def test_buffer_line_size_enforced():
+    buffer = PlaintextBuffer(1024, 256)
+    with pytest.raises(ShieldError):
+        buffer.insert(0, b"short")
+
+
+def test_buffer_invalidate():
+    buffer = PlaintextBuffer(1024, 256)
+    buffer.insert(0, b"a" * 256)
+    buffer.invalidate()
+    assert len(buffer) == 0
+    assert buffer.resident_chunks() == []
+
+
+def test_counters_increment_and_read():
+    ocm = OnChipMemory(1024)
+    store = IntegrityCounterStore(ocm.allocate("ctr", 64), num_chunks=16)
+    assert store.read(3) == 0
+    assert store.increment(3) == 1
+    assert store.increment(3) == 2
+    assert store.read(3) == 2
+    assert store.read(4) == 0
+    assert store.on_chip_bytes() == 64
+
+
+def test_counters_bounds_and_sizing():
+    ocm = OnChipMemory(1024)
+    allocation = ocm.allocate("small", 8)
+    with pytest.raises(ShieldError):
+        IntegrityCounterStore(allocation, num_chunks=16)
+    store = IntegrityCounterStore(ocm.allocate("ok", 64), num_chunks=16)
+    with pytest.raises(ShieldError):
+        store.read(16)
+    with pytest.raises(ShieldError):
+        store.increment(-1)

@@ -1,0 +1,56 @@
+"""Burst-decoder routing tests."""
+
+import pytest
+
+from repro.core.burst_decoder import BurstDecoder
+from repro.errors import ShieldError
+from tests.conftest import make_small_shield_config
+
+
+@pytest.fixture()
+def decoder():
+    return BurstDecoder(make_small_shield_config())
+
+
+def test_region_lookup(decoder):
+    assert decoder.region_for(0).name == "input"
+    assert decoder.region_for(4095).name == "input"
+    assert decoder.region_for(4096).name == "output"
+    with pytest.raises(ShieldError):
+        decoder.region_for(100_000)
+
+
+def test_route_single_region(decoder):
+    pieces = decoder.route(128, 256)
+    assert len(pieces) == 1
+    assert pieces[0].region.name == "input"
+    assert pieces[0].length == 256
+
+
+def test_route_splits_across_regions(decoder):
+    pieces = decoder.route(4000, 200)
+    assert [p.region.name for p in pieces] == ["input", "output"]
+    assert pieces[0].length == 96
+    assert pieces[1].address == 4096
+    assert sum(p.length for p in pieces) == 200
+
+
+def test_route_rejects_unmapped_and_empty(decoder):
+    with pytest.raises(ShieldError):
+        decoder.route(8192, 1)  # past the last region
+    with pytest.raises(ShieldError):
+        decoder.route(0, 0)
+
+
+def test_route_rejects_access_spilling_past_last_region(decoder):
+    with pytest.raises(ShieldError):
+        decoder.route(8000, 500)
+
+
+def test_chunk_spans(decoder):
+    pieces = decoder.route(100, 400)
+    spans = decoder.chunk_spans(pieces[0])
+    # 256-byte chunks: [100, 256) in chunk 0, [256, 500) in chunk 1.
+    assert spans[0] == (0, 100, 156)
+    assert spans[1] == (1, 0, 244)
+    assert sum(length for _, _, length in spans) == 400

@@ -1,0 +1,174 @@
+"""Shield configuration validation and layout tests."""
+
+import pytest
+
+from repro.core.config import (
+    MAC_TAG_BYTES,
+    EngineSetConfig,
+    RegionConfig,
+    RegisterInterfaceConfig,
+    ShieldConfig,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_small_shield_config
+
+
+def test_small_config_validates():
+    make_small_shield_config().validate()
+
+
+def test_engine_set_validation_errors():
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", num_aes_engines=0).validate()
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", sbox_parallelism=3).validate()
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", aes_key_bits=192).validate()
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", mac_algorithm="GCM").validate()
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", num_mac_engines=0).validate()
+    with pytest.raises(ConfigurationError):
+        EngineSetConfig(name="bad", buffer_bytes=-1).validate()
+
+
+def test_region_validation_errors():
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", -1, 1024, 256, "es").validate()
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", 0, 0, 256, "es").validate()
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", 0, 1024, 0, "es").validate()
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", 0, 1024, 2048, "es").validate()
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", 0, 1000, 256, "es").validate()
+    with pytest.raises(ConfigurationError):
+        RegionConfig("r", 0, 1024, 256, "es", access_pattern="strided").validate()
+
+
+def test_register_interface_validation():
+    with pytest.raises(ConfigurationError):
+        RegisterInterfaceConfig(num_registers=0).validate()
+    with pytest.raises(ConfigurationError):
+        RegisterInterfaceConfig(aes_key_bits=512).validate()
+    RegisterInterfaceConfig(num_registers=8, encrypt_addresses=True).validate()
+
+
+def test_region_helpers():
+    region = RegionConfig("r", 0x1000, 4096, 512, "es")
+    assert region.end_address == 0x2000
+    assert region.num_chunks == 8
+    assert region.contains(0x1000) and region.contains(0x1fff)
+    assert not region.contains(0x2000)
+    assert region.chunk_index(0x1000) == 0
+    assert region.chunk_index(0x17ff) == 3
+    with pytest.raises(ConfigurationError):
+        region.chunk_index(0x0fff)
+
+
+def test_unknown_engine_set_reference_rejected():
+    config = ShieldConfig(
+        shield_id="s",
+        engine_sets=[EngineSetConfig(name="es0")],
+        regions=[RegionConfig("r", 0, 1024, 256, "missing")],
+    )
+    with pytest.raises(ConfigurationError):
+        config.validate()
+
+
+def test_overlapping_regions_rejected():
+    config = ShieldConfig(
+        shield_id="s",
+        engine_sets=[EngineSetConfig(name="es0")],
+        regions=[
+            RegionConfig("a", 0, 2048, 256, "es0"),
+            RegionConfig("b", 1024, 2048, 256, "es0"),
+        ],
+    )
+    with pytest.raises(ConfigurationError):
+        config.validate()
+
+
+def test_duplicate_names_rejected():
+    config = ShieldConfig(
+        shield_id="s",
+        engine_sets=[EngineSetConfig(name="es0"), EngineSetConfig(name="es0")],
+    )
+    with pytest.raises(ConfigurationError):
+        config.validate()
+    config = ShieldConfig(
+        shield_id="s",
+        engine_sets=[EngineSetConfig(name="es0")],
+        regions=[
+            RegionConfig("a", 0, 1024, 256, "es0"),
+            RegionConfig("a", 1024, 1024, 256, "es0"),
+        ],
+    )
+    with pytest.raises(ConfigurationError):
+        config.validate()
+
+
+def test_empty_shield_id_rejected():
+    with pytest.raises(ConfigurationError):
+        ShieldConfig(shield_id="").validate()
+
+
+def test_lookup_helpers():
+    config = make_small_shield_config()
+    assert config.engine_set("es-in").name == "es-in"
+    assert config.region("output").replay_protected
+    assert config.region_for_address(0).name == "input"
+    assert config.region_for_address(4096).name == "output"
+    assert [r.name for r in config.regions_for_engine_set("es-in")] == ["input"]
+    with pytest.raises(ConfigurationError):
+        config.engine_set("missing")
+    with pytest.raises(ConfigurationError):
+        config.region("missing")
+    with pytest.raises(ConfigurationError):
+        config.region_for_address(10 ** 9)
+
+
+def test_tag_area_layout():
+    config = make_small_shield_config()
+    tag_base = config.effective_tag_base()
+    assert tag_base >= max(r.end_address for r in config.regions)
+    assert tag_base % 4096 == 0
+    assert config.total_tag_bytes() == sum(r.num_chunks for r in config.regions) * MAC_TAG_BYTES
+    input_region = config.region("input")
+    output_region = config.region("output")
+    assert config.tag_address(input_region, 0) == tag_base
+    assert config.tag_address(input_region, 1) == tag_base + MAC_TAG_BYTES
+    assert (
+        config.tag_address(output_region, 0)
+        == tag_base + input_region.num_chunks * MAC_TAG_BYTES
+    )
+
+
+def test_region_overlapping_tag_area_rejected():
+    config = make_small_shield_config()
+    tag_base = config.effective_tag_base()
+    config.regions.append(
+        RegionConfig("evil", tag_base, 4096, 256, "es-in")
+    )
+    config.tag_base_address = tag_base
+    with pytest.raises(ConfigurationError):
+        config.validate()
+
+
+def test_on_chip_budget_accounting():
+    config = make_small_shield_config(buffer_bytes=2048)
+    # output region (16 chunks of 256 B) is replay protected -> 64 counter bytes.
+    assert config.counter_bytes_required() == 4 * config.region("output").num_chunks
+    assert config.buffer_bytes_required() == 2 * 2048
+    assert config.on_chip_bytes_required() == config.counter_bytes_required() + 4096
+
+
+def test_serialization_roundtrip():
+    config = make_small_shield_config()
+    restored = ShieldConfig.from_dict(config.to_dict())
+    restored.validate()
+    assert restored.shield_id == config.shield_id
+    assert [r.name for r in restored.regions] == [r.name for r in config.regions]
+    assert restored.engine_set("es-out").buffer_bytes == config.engine_set("es-out").buffer_bytes
+    assert restored.register_interface.num_registers == config.register_interface.num_registers

@@ -1,0 +1,98 @@
+"""Bonsai Merkle counter-tree tests (the replay-protection baseline)."""
+
+import pytest
+
+from repro.core.merkle import BonsaiMerkleCounterTree, merkle_extra_dram_bytes
+from repro.errors import ReplayError, ShieldError
+from repro.hw.axi import AxiPort, memory_backed_handler
+from repro.hw.memory import DeviceMemory
+
+
+def make_tree(num_chunks=16, arity=4):
+    memory = DeviceMemory(1 << 20)
+    port = AxiPort("merkle", memory_backed_handler(memory))
+    tree = BonsaiMerkleCounterTree(port, base_address=0x10000, num_chunks=num_chunks, arity=arity, key=b"k" * 32)
+    return tree, memory
+
+
+def test_initial_counters_are_zero_and_verified():
+    tree, _ = make_tree()
+    for index in (0, 7, 15):
+        assert tree.read_counter(index) == 0
+
+
+def test_increment_and_read_back():
+    tree, _ = make_tree()
+    assert tree.increment_counter(5) == 1
+    assert tree.increment_counter(5) == 2
+    assert tree.read_counter(5) == 2
+    assert tree.read_counter(4) == 0
+
+
+def test_root_changes_on_update():
+    tree, _ = make_tree()
+    before = tree.root()
+    tree.increment_counter(0)
+    assert tree.root() != before
+
+
+def test_tampering_with_leaf_detected():
+    tree, memory = make_tree()
+    tree.increment_counter(3)
+    # The adversary rolls the DRAM-resident counter back to zero.
+    leaf_address = tree._level_offsets[0] + 3 * 8
+    memory.tamper_write(leaf_address, (0).to_bytes(8, "big"))
+    with pytest.raises(ReplayError):
+        tree.read_counter(3)
+
+
+def test_tampering_with_interior_node_detected():
+    tree, memory = make_tree(num_chunks=64, arity=4)
+    node_address = tree._level_offsets[1]
+    original = memory.tamper_read(node_address, 32)
+    memory.tamper_write(node_address, bytes(b ^ 0xFF for b in original))
+    with pytest.raises(ReplayError):
+        tree.read_counter(0)
+
+
+def test_single_chunk_tree():
+    tree, memory = make_tree(num_chunks=1)
+    assert tree.read_counter(0) == 0
+    tree.increment_counter(0)
+    memory.tamper_write(tree._level_offsets[0], (0).to_bytes(8, "big"))
+    with pytest.raises(ReplayError):
+        tree.read_counter(0)
+
+
+def test_depth_and_footprint_scale_with_chunks():
+    small, _ = make_tree(num_chunks=8, arity=8)
+    large, _ = make_tree(num_chunks=4096, arity=8)
+    assert large.depth > small.depth
+    assert large.dram_footprint_bytes > small.dram_footprint_bytes
+
+
+def test_dram_traffic_is_nonzero_per_access():
+    tree, _ = make_tree(num_chunks=256, arity=8)
+    tree.stats.node_reads = 0
+    tree.stats.bytes_read = 0
+    tree.read_counter(100)
+    assert tree.stats.node_reads > 1
+    assert tree.stats.bytes_read > 8
+
+
+def test_bounds_and_validation():
+    with pytest.raises(ShieldError):
+        make_tree(num_chunks=0)
+    with pytest.raises(ShieldError):
+        make_tree(arity=1)
+    tree, _ = make_tree()
+    with pytest.raises(ShieldError):
+        tree.read_counter(99)
+
+
+def test_analytic_overhead_positive_and_monotonic():
+    small = merkle_extra_dram_bytes(256)
+    large = merkle_extra_dram_bytes(1 << 20)
+    assert 0 < small < large
+    with pytest.raises(ShieldError):
+        merkle_extra_dram_bytes(0)

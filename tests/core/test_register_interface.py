@@ -1,0 +1,143 @@
+"""Shielded register-interface tests: mailbox protocol, replay, tampering."""
+
+import pytest
+
+from repro.core.config import RegisterInterfaceConfig
+from repro.core.register_interface import (
+    DOORBELL_ADDRESS,
+    INBOX_BASE,
+    OUTBOX_BASE,
+    STATUS_ADDRESS,
+    STATUS_ERROR,
+    STATUS_OK,
+    RegisterChannelClient,
+    ShieldedRegisterFile,
+)
+from repro.errors import ShieldError
+from repro.hw.axi import AxiLiteTransaction, BurstKind
+
+DATA_KEY = b"\x77" * 32
+
+
+@pytest.fixture()
+def config():
+    return RegisterInterfaceConfig(num_registers=16)
+
+
+@pytest.fixture()
+def register_file(config):
+    return ShieldedRegisterFile(config, DATA_KEY)
+
+
+@pytest.fixture()
+def client(config):
+    return RegisterChannelClient(DATA_KEY, config)
+
+
+def push_command(register_file: ShieldedRegisterFile, blob: bytes) -> int:
+    """Deliver a sealed command the way the untrusted host would."""
+    padded = blob + b"\x00" * ((4 - len(blob) % 4) % 4)
+    for offset in range(0, len(padded), 4):
+        register_file.handle_axi_lite(
+            AxiLiteTransaction(BurstKind.WRITE, INBOX_BASE + offset, padded[offset : offset + 4])
+        )
+    register_file.handle_axi_lite(
+        AxiLiteTransaction(BurstKind.WRITE, DOORBELL_ADDRESS, len(blob).to_bytes(4, "big"))
+    )
+    status = register_file.handle_axi_lite(AxiLiteTransaction(BurstKind.READ, STATUS_ADDRESS))
+    return int.from_bytes(status, "big")
+
+
+def read_outbox(register_file: ShieldedRegisterFile, length: int) -> bytes:
+    words = []
+    for offset in range(0, length, 4):
+        words.append(
+            register_file.handle_axi_lite(AxiLiteTransaction(BurstKind.READ, OUTBOX_BASE + offset))
+        )
+    return b"".join(words)[:length]
+
+
+def test_accelerator_side_plaintext_registers(register_file):
+    register_file.write_register(3, b"\x00\x00\x00\x2a")
+    assert register_file.read_register(3) == b"\x00\x00\x00\x2a"
+    with pytest.raises(ShieldError):
+        register_file.read_register(16)
+    with pytest.raises(ShieldError):
+        register_file.write_register(0, b"\x00")
+
+
+def test_sealed_write_command_updates_register(register_file, client):
+    status = push_command(register_file, client.seal_write(5, b"\xde\xad\xbe\xef"))
+    assert status == STATUS_OK
+    assert register_file.read_register(5) == b"\xde\xad\xbe\xef"
+    assert register_file.stats.commands == 1
+    assert register_file.stats.rejected == 0
+
+
+def test_sealed_read_command_returns_sealed_value(register_file, client):
+    register_file.write_register(7, b"\x11\x22\x33\x44")
+    status = push_command(register_file, client.seal_read_request(7))
+    assert status == STATUS_OK
+    response = read_outbox(register_file, register_file.outbox_size())
+    assert client.open_read_response(response) == b"\x11\x22\x33\x44"
+
+
+def test_host_never_sees_plaintext_register_value(register_file, client):
+    register_file.write_register(7, b"\x5a\x5a\x5a\x5a")
+    push_command(register_file, client.seal_read_request(7))
+    sealed = read_outbox(register_file, register_file.outbox_size())
+    assert b"\x5a\x5a\x5a\x5a" not in sealed
+
+
+def test_replayed_command_rejected(register_file, client):
+    blob = client.seal_write(2, b"\x00\x00\x00\x01")
+    assert push_command(register_file, blob) == STATUS_OK
+    # The host replays the identical sealed command.
+    assert push_command(register_file, blob) == STATUS_ERROR
+    assert register_file.stats.rejected == 1
+
+
+def test_stale_command_rejected(register_file, client):
+    first = client.seal_write(2, b"\x00\x00\x00\x01")
+    second = client.seal_write(2, b"\x00\x00\x00\x02")
+    assert push_command(register_file, second) == STATUS_OK
+    # Delivering the older command afterwards must fail (monotonic sequence).
+    assert push_command(register_file, first) == STATUS_ERROR
+    assert register_file.read_register(2) == b"\x00\x00\x00\x02"
+
+
+def test_tampered_command_rejected(register_file, client):
+    blob = bytearray(client.seal_write(1, b"\x00\x00\x00\x09"))
+    blob[20] ^= 0xFF
+    assert push_command(register_file, bytes(blob)) == STATUS_ERROR
+    assert register_file.read_register(1) == b"\x00" * 4
+
+
+def test_command_under_wrong_key_rejected(register_file, config):
+    stranger = RegisterChannelClient(b"\x00" * 32, config)
+    assert push_command(register_file, stranger.seal_write(1, b"\x00\x00\x00\x01")) == STATUS_ERROR
+
+
+def test_out_of_range_register_index_rejected(register_file, client):
+    assert push_command(register_file, client.seal_write(99, b"\x00\x00\x00\x01")) == STATUS_ERROR
+
+
+def test_writes_outside_mailbox_ignored(register_file):
+    register_file.handle_axi_lite(
+        AxiLiteTransaction(BurstKind.WRITE, 0x9000, b"\x01\x02\x03\x04")
+    )
+    assert register_file.stats.rejected == 1
+    # Reads of arbitrary addresses return zeros, not register contents.
+    register_file.write_register(0, b"\xaa\xbb\xcc\xdd")
+    data = register_file.handle_axi_lite(AxiLiteTransaction(BurstKind.READ, 0x9000))
+    assert data == b"\x00" * 4
+
+
+def test_client_rejects_bad_value_length(client):
+    with pytest.raises(ShieldError):
+        client.seal_write(0, b"\x00" * 3)
+
+
+def test_status_idle_before_any_command(register_file):
+    status = register_file.handle_axi_lite(AxiLiteTransaction(BurstKind.READ, STATUS_ADDRESS))
+    assert int.from_bytes(status, "big") == 0

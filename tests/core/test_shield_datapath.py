@@ -1,0 +1,194 @@
+"""End-to-end Shield datapath tests: reads, writes, buffers, counters, flush."""
+
+import pytest
+
+from repro.core.config import MAC_TAG_BYTES
+from repro.errors import IntegrityError, ShieldError
+from repro.sim.simulator import build_test_shield
+from tests.conftest import make_small_shield_config
+
+
+def stage_input(harness, region_name: str, plaintext: bytes) -> None:
+    """Seal plaintext as the Data Owner and DMA it into device memory."""
+    config = harness.shield_config
+    staged = harness.data_owner.seal_input(config, region_name, plaintext, shield_id=config.shield_id)
+    region = config.region(region_name)
+    harness.board.shell.host_dma_write(region.base_address, staged.flat_ciphertext())
+    for chunk in staged.sealed_chunks:
+        harness.board.shell.host_dma_write(config.tag_address(region, chunk.chunk_index), chunk.tag)
+
+
+def test_unprovisioned_shield_refuses_data(small_shield_config):
+    from repro.hw.board import make_board, BoardModel
+    from repro.core.shield import Shield
+    from repro.sim.simulator import _test_shield_private_key
+
+    board = make_board(BoardModel.AWS_F1)
+    shield = Shield(small_shield_config, board.shell, board.on_chip_memory, _test_shield_private_key())
+    with pytest.raises(ShieldError):
+        shield.memory_read(0, 16)
+    with pytest.raises(ShieldError):
+        shield.memory_write(0, b"x")
+    with pytest.raises(ShieldError):
+        _ = shield.register_file
+
+
+def test_read_staged_input(provisioned_shield):
+    plaintext = bytes((i * 7 + 3) % 256 for i in range(1500))
+    stage_input(provisioned_shield, "input", plaintext)
+    assert provisioned_shield.shield.memory_read(0, 1500) == plaintext
+    # Unaligned sub-reads return the right slices.
+    assert provisioned_shield.shield.memory_read(100, 77) == plaintext[100:177]
+
+
+def test_dram_holds_only_ciphertext(provisioned_shield):
+    plaintext = b"TOP-SECRET-PATIENT-RECORDS" * 20
+    stage_input(provisioned_shield, "input", plaintext)
+    raw = provisioned_shield.board.device_memory.tamper_read(0, 4096)
+    assert b"TOP-SECRET" not in raw
+
+
+def test_write_then_read_back(provisioned_shield):
+    shield = provisioned_shield.shield
+    data = bytes(range(256)) * 4
+    shield.memory_write(4096, data)
+    assert shield.memory_read(4096, len(data)) == data
+
+
+def test_written_data_is_encrypted_after_flush(provisioned_shield):
+    shield = provisioned_shield.shield
+    secret = b"model-weights-are-secret" * 32  # exactly 3 chunks of 256 bytes
+    shield.memory_write(4096, secret)
+    shield.flush()
+    raw = provisioned_shield.board.device_memory.tamper_read(4096, 4096)
+    assert b"model-weights" not in raw
+    # And reading back through the Shield still yields plaintext.
+    assert shield.memory_read(4096, len(secret)) == secret
+
+
+def test_flush_writes_tags(provisioned_shield):
+    shield = provisioned_shield.shield
+    config = provisioned_shield.shield_config
+    region = config.region("output")
+    shield.memory_write(region.base_address, b"\x99" * region.chunk_size)
+    shield.flush()
+    tag = provisioned_shield.board.device_memory.tamper_read(
+        config.tag_address(region, 0), MAC_TAG_BYTES
+    )
+    assert tag != b"\x00" * MAC_TAG_BYTES
+
+
+def test_data_owner_can_unseal_shield_output(provisioned_shield):
+    shield = provisioned_shield.shield
+    config = provisioned_shield.shield_config
+    owner = provisioned_shield.data_owner
+    region = config.region("output")
+    result = bytes(range(256)) * 2  # two full chunks of inference output
+    shield.memory_write(region.base_address, result)
+    shield.flush()
+
+    num_chunks = -(-len(result) // region.chunk_size)
+    ciphertext = provisioned_shield.board.shell.host_dma_read(
+        region.base_address, num_chunks * region.chunk_size
+    )
+    tags = [
+        provisioned_shield.board.shell.host_dma_read(config.tag_address(region, i), MAC_TAG_BYTES)
+        for i in range(num_chunks)
+    ]
+    chunks = owner.sealed_chunks_from_device(config, "output", ciphertext, tags)
+    # The output region is replay-protected, so the owner needs the versions
+    # (one write each -> version 1).
+    recovered = owner.unseal_output_with_versions(
+        config, "output", chunks, versions=[1] * num_chunks, length=len(result),
+        shield_id=config.shield_id,
+    )
+    assert recovered == result
+
+
+def test_buffer_hits_on_repeated_access(provisioned_shield):
+    shield = provisioned_shield.shield
+    stage_input(provisioned_shield, "input", b"\x55" * 1024)
+    shield.memory_read(0, 64)
+    shield.memory_read(16, 64)
+    shield.memory_read(32, 64)
+    stats = shield.stats()
+    assert stats.buffer_hits >= 2
+    # Only the first access fetched the chunk from DRAM.
+    assert stats.chunks_fetched == 1
+
+
+def test_unmapped_address_rejected(provisioned_shield):
+    with pytest.raises(ShieldError):
+        provisioned_shield.shield.memory_read(1 << 20, 16)
+    with pytest.raises(ShieldError):
+        provisioned_shield.shield.memory_write(8192, b"\x00" * 8)
+
+
+def test_cross_region_access_is_routed(provisioned_shield):
+    shield = provisioned_shield.shield
+    stage_input(provisioned_shield, "input", b"\xaa" * 4096)
+    shield.memory_write(4096, b"\xbb" * 256)
+    data = shield.memory_read(4000, 200)
+    assert data[:96] == b"\xaa" * 96
+    assert data[96:] == b"\xbb" * 104
+
+
+def test_replay_protected_region_versions_advance(provisioned_shield):
+    shield = provisioned_shield.shield
+    pipeline = shield.pipeline("output")
+    shield.memory_write(4096, b"\x01" * 256)
+    shield.flush()
+    shield.memory_write(4096, b"\x02" * 256)
+    shield.flush()
+    assert pipeline.counters is not None
+    assert pipeline.counters.read(0) == 2
+    assert shield.memory_read(4096, 256) == b"\x02" * 256
+
+
+def test_stats_aggregation(provisioned_shield):
+    shield = provisioned_shield.shield
+    stage_input(provisioned_shield, "input", b"\x11" * 2048)
+    shield.memory_read(0, 2048)
+    shield.memory_write(4096, b"\x22" * 512)
+    shield.flush()
+    stats = shield.stats()
+    assert stats.accel_bytes_read == 2048
+    assert stats.accel_bytes_written == 512
+    assert stats.dram_bytes_read >= 2048
+    assert stats.dram_bytes_written >= 512
+    assert stats.tag_bytes > 0
+    assert stats.integrity_failures == 0
+    with pytest.raises(ShieldError):
+        shield.pipeline("nonexistent")
+
+
+def test_partial_chunk_write_without_buffer():
+    config = make_small_shield_config(buffer_bytes=0, replay_protected_output=False)
+    harness = build_test_shield(config)
+    shield = harness.shield
+    # Write a full chunk first, then overwrite part of it (read-modify-write).
+    shield.memory_write(4096, b"\xaa" * 256)
+    shield.memory_write(4100, b"\xbb" * 8)
+    expected = b"\xaa" * 4 + b"\xbb" * 8 + b"\xaa" * 244
+    assert shield.memory_read(4096, 256) == expected
+
+
+def test_streaming_write_only_region_zero_fills():
+    config = make_small_shield_config(buffer_bytes=0, replay_protected_output=False)
+    # Mark the output region streaming-write-only.
+    from repro.core.config import RegionConfig
+
+    config.regions[1] = RegionConfig(
+        name="output", base_address=4096, size_bytes=4096, chunk_size=256,
+        engine_set="es-out", streaming_write_only=True,
+    )
+    harness = build_test_shield(config)
+    shield = harness.shield
+    shield.memory_write(4200, b"\xcc" * 16)
+    chunk = shield.memory_read(4096, 256)
+    assert chunk[104:120] == b"\xcc" * 16
+    assert chunk[:104] == b"\x00" * 104
+
+
+def test_operational_flag(provisioned_shield):
+    assert provisioned_shield.shield.operational

@@ -1,0 +1,73 @@
+"""Side-channel countermeasure tests (active fence, controlled-channel, timing)."""
+
+import pytest
+
+from repro.core.config import RegionConfig
+from repro.core.engines import AesEngine
+from repro.core.sidechannel import (
+    ActiveFenceConfig,
+    engine_timing_is_data_independent,
+    observable_accesses,
+    recommend_chunk_size,
+    size_fence_for,
+)
+from repro.errors import ConfigurationError
+
+
+def test_fence_validation():
+    with pytest.raises(ConfigurationError):
+        ActiveFenceConfig(cells=0)
+    with pytest.raises(ConfigurationError):
+        ActiveFenceConfig(cells=10, toggle_rate=0.0)
+    with pytest.raises(ConfigurationError):
+        ActiveFenceConfig(cells=10, toggle_rate=1.5)
+
+
+def test_fence_area_scales_with_cells():
+    small = ActiveFenceConfig(cells=100).area()
+    large = ActiveFenceConfig(cells=1000).area()
+    assert large.luts == 10 * small.luts
+    assert small.bram_blocks == 0
+
+
+def test_fence_masking_power():
+    fence = ActiveFenceConfig(cells=200, toggle_rate=0.5)
+    assert fence.masking_power(accelerator_dynamic_power=100.0) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        fence.masking_power(0)
+
+
+def test_size_fence_for_accelerator():
+    fence = size_fence_for(accelerator_luts=50_000, coverage=0.16)
+    assert fence.cells == 50_000 * 0.16 // 8
+    assert fence.area().luts <= 50_000 * 0.16
+    with pytest.raises(ConfigurationError):
+        size_fence_for(0)
+    with pytest.raises(ConfigurationError):
+        size_fence_for(1000, coverage=2.0)
+
+
+def test_observable_accesses_bounded_by_chunks():
+    region = RegionConfig("r", 0, 64 * 1024, 4096, "es")
+    assert observable_accesses(region, 10) == 10
+    assert observable_accesses(region, 10_000) == 16  # only 16 chunks exist
+    with pytest.raises(ConfigurationError):
+        observable_accesses(region, -1)
+
+
+def test_recommend_chunk_size_caps_observations():
+    # A 1 MiB region that must leak at most 16 distinct accesses.
+    chunk = recommend_chunk_size(1 << 20, max_observable_accesses=16)
+    assert (1 << 20) // chunk <= 16
+    assert chunk >= 64
+    # A generous budget keeps the minimum chunk.
+    assert recommend_chunk_size(1 << 20, max_observable_accesses=1 << 20) == 64
+    # A budget of one access forces a region-sized chunk.
+    assert recommend_chunk_size(1 << 20, max_observable_accesses=1) == 1 << 20
+    with pytest.raises(ConfigurationError):
+        recommend_chunk_size(0, 4)
+
+
+def test_engine_timing_independent_of_data():
+    engine = AesEngine(b"k" * 16, sbox_parallelism=4)
+    assert engine_timing_is_data_independent(engine, chunk_size=256)

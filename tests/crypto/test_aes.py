@@ -1,0 +1,106 @@
+"""AES block-cipher tests against FIPS-197 vectors and structural properties."""
+
+import pytest
+
+from repro.crypto.aes import AES, BLOCK_SIZE, SBOX, INV_SBOX, gf_multiply
+from repro.errors import InvalidKeyError
+
+FIPS_VECTORS = [
+    # (key hex, plaintext hex, ciphertext hex) from FIPS-197 Appendix C.
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "00112233445566778899aabbccddeeff",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "00112233445566778899aabbccddeeff",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "00112233445566778899aabbccddeeff",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,pt_hex,ct_hex", FIPS_VECTORS)
+def test_fips_197_encrypt(key_hex, pt_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+
+@pytest.mark.parametrize("key_hex,pt_hex,ct_hex", FIPS_VECTORS)
+def test_fips_197_decrypt(key_hex, pt_hex, ct_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(ct_hex)).hex() == pt_hex
+
+
+@pytest.mark.parametrize("key_len,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(key_len, rounds):
+    assert AES(b"\x01" * key_len).rounds == rounds
+
+
+def test_key_bits_property():
+    assert AES(b"k" * 16).key_bits == 128
+    assert AES(b"k" * 32).key_bits == 256
+
+
+@pytest.mark.parametrize("bad_len", [0, 1, 15, 17, 31, 33, 64])
+def test_invalid_key_lengths_rejected(bad_len):
+    with pytest.raises(InvalidKeyError):
+        AES(b"x" * bad_len)
+
+
+def test_non_bytes_key_rejected():
+    with pytest.raises(InvalidKeyError):
+        AES("0123456789abcdef")  # type: ignore[arg-type]
+
+
+def test_invalid_block_sizes_rejected():
+    cipher = AES(b"k" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"short")
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"x" * 17)
+
+
+def test_encrypt_decrypt_roundtrip_many_blocks():
+    cipher = AES(b"roundtrip-key-01")
+    for i in range(64):
+        block = bytes([(i * 7 + j) % 256 for j in range(BLOCK_SIZE)])
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_different_keys_give_different_ciphertexts():
+    block = b"A" * BLOCK_SIZE
+    assert AES(b"k" * 16).encrypt_block(block) != AES(b"j" * 16).encrypt_block(block)
+
+
+def test_sbox_is_a_permutation():
+    assert sorted(SBOX) == list(range(256))
+    assert sorted(INV_SBOX) == list(range(256))
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_known_values():
+    # Canonical corners of the AES S-box.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x01] == 0x7C
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_gf_multiply_known_products():
+    assert gf_multiply(0x57, 0x83) == 0xC1
+    assert gf_multiply(0x57, 0x13) == 0xFE
+    assert gf_multiply(0x01, 0xAB) == 0xAB
+    assert gf_multiply(0x00, 0xAB) == 0x00
+
+
+def test_ciphertext_is_not_plaintext():
+    cipher = AES(b"k" * 16)
+    block = b"\x00" * BLOCK_SIZE
+    assert cipher.encrypt_block(block) != block

@@ -1,0 +1,81 @@
+"""Authenticated-encryption (encrypt-then-MAC) tests."""
+
+import pytest
+
+from repro.crypto.authenc import AuthenticatedCipher, AuthenticatedMessage
+from repro.crypto.mac import MAC_TAG_SIZES
+from repro.errors import IntegrityError
+
+IV = b"aead-iv-12by"
+
+
+@pytest.mark.parametrize("algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_seal_open_roundtrip(algorithm):
+    cipher = AuthenticatedCipher(b"k" * 32, algorithm)
+    message = cipher.seal(IV, b"sensitive accelerator data", b"context")
+    assert cipher.open(message, b"context") == b"sensitive accelerator data"
+    assert len(message.tag) == MAC_TAG_SIZES[algorithm]
+
+
+def test_ciphertext_differs_from_plaintext():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    assert cipher.seal(IV, b"plaintext bytes").ciphertext != b"plaintext bytes"
+
+
+def test_open_rejects_modified_ciphertext():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    message = cipher.seal(IV, b"payload")
+    forged = AuthenticatedMessage(message.iv, b"X" + message.ciphertext[1:], message.tag)
+    with pytest.raises(IntegrityError):
+        cipher.open(forged)
+
+
+def test_open_rejects_modified_tag():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    message = cipher.seal(IV, b"payload")
+    forged = AuthenticatedMessage(message.iv, message.ciphertext, b"\x00" * len(message.tag))
+    with pytest.raises(IntegrityError):
+        cipher.open(forged)
+
+
+def test_open_rejects_wrong_associated_data():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    message = cipher.seal(IV, b"payload", b"address:0x1000")
+    with pytest.raises(IntegrityError):
+        cipher.open(message, b"address:0x2000")
+
+
+def test_open_rejects_wrong_key():
+    message = AuthenticatedCipher(b"k" * 32).seal(IV, b"payload")
+    with pytest.raises(IntegrityError):
+        AuthenticatedCipher(b"j" * 32).open(message)
+
+
+def test_iv_binding():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    message = cipher.seal(IV, b"payload")
+    forged = AuthenticatedMessage(b"different-iv", message.ciphertext, message.tag)
+    with pytest.raises(IntegrityError):
+        cipher.open(forged)
+
+
+def test_serialize_deserialize_roundtrip():
+    cipher = AuthenticatedCipher(b"k" * 32, "HMAC")
+    message = cipher.seal(IV, b"wire payload", b"aad")
+    restored = AuthenticatedMessage.deserialize(message.serialize(), tag_size=32)
+    assert cipher.open(restored, b"aad") == b"wire payload"
+
+
+def test_deserialize_rejects_truncated_blob():
+    with pytest.raises(IntegrityError):
+        AuthenticatedMessage.deserialize(b"short", tag_size=32)
+
+
+def test_unknown_mac_algorithm_rejected():
+    with pytest.raises(IntegrityError):
+        AuthenticatedCipher(b"k" * 32, "GCM")
+
+
+def test_empty_plaintext_allowed():
+    cipher = AuthenticatedCipher(b"k" * 32)
+    assert cipher.open(cipher.seal(IV, b"")) == b""

@@ -1,0 +1,144 @@
+"""P-256 elliptic-curve tests: curve arithmetic, ECDSA, ECDH."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import (
+    GENERATOR,
+    INFINITY,
+    N,
+    EcPrivateKey,
+    EcPublicKey,
+    Point,
+    derive_session_key,
+    ecdh_shared_secret,
+    ecdsa_sign,
+    ecdsa_verify,
+    ecdsa_verify_strict,
+    is_on_curve,
+    point_add,
+    scalar_multiply,
+)
+from repro.errors import InvalidKeyError, SignatureError
+
+
+def test_generator_is_on_curve():
+    assert is_on_curve(GENERATOR)
+
+
+def test_infinity_is_on_curve_and_identity():
+    assert is_on_curve(INFINITY)
+    assert point_add(GENERATOR, INFINITY) == GENERATOR
+    assert point_add(INFINITY, GENERATOR) == GENERATOR
+
+
+def test_scalar_multiply_small_values_consistent_with_addition():
+    two_g = point_add(GENERATOR, GENERATOR)
+    three_g = point_add(two_g, GENERATOR)
+    assert scalar_multiply(2, GENERATOR) == two_g
+    assert scalar_multiply(3, GENERATOR) == three_g
+    assert is_on_curve(three_g)
+
+
+def test_scalar_multiply_by_group_order_is_infinity():
+    assert scalar_multiply(N, GENERATOR).is_infinity
+
+
+def test_scalar_multiply_distributes():
+    # (a + b) * G == a*G + b*G
+    a, b = 123456789, 987654321
+    left = scalar_multiply(a + b, GENERATOR)
+    right = point_add(scalar_multiply(a, GENERATOR), scalar_multiply(b, GENERATOR))
+    assert left == right
+
+
+def test_point_encoding_roundtrip():
+    point = scalar_multiply(42, GENERATOR)
+    assert Point.decode(point.encode()) == point
+    assert Point.decode(INFINITY.encode()).is_infinity
+
+
+def test_point_decode_rejects_off_curve_and_garbage():
+    with pytest.raises(InvalidKeyError):
+        Point.decode(b"\x04" + b"\x01" * 64)
+    with pytest.raises(InvalidKeyError):
+        Point.decode(b"\x02" + b"\x00" * 64)
+
+
+def test_keypair_generation_and_fingerprint(rng):
+    key = EcPrivateKey.generate(rng)
+    assert is_on_curve(key.public_key.point)
+    assert len(key.public_key.fingerprint()) == 32
+    assert EcPublicKey.decode(key.public_key.encode()) == key.public_key
+
+
+def test_from_seed_is_deterministic():
+    assert EcPrivateKey.from_seed(b"seed").scalar == EcPrivateKey.from_seed(b"seed").scalar
+    assert EcPrivateKey.from_seed(b"seed").scalar != EcPrivateKey.from_seed(b"other").scalar
+
+
+def test_ecdsa_sign_verify(ec_key):
+    signature = ecdsa_sign(ec_key, b"attestation report alpha")
+    assert len(signature) == 64
+    assert ecdsa_verify(ec_key.public_key, b"attestation report alpha", signature)
+
+
+def test_ecdsa_signature_is_deterministic(ec_key):
+    assert ecdsa_sign(ec_key, b"msg") == ecdsa_sign(ec_key, b"msg")
+
+
+def test_ecdsa_rejects_modified_message(ec_key):
+    signature = ecdsa_sign(ec_key, b"original")
+    assert not ecdsa_verify(ec_key.public_key, b"tampered", signature)
+
+
+def test_ecdsa_rejects_modified_signature(ec_key):
+    signature = bytearray(ecdsa_sign(ec_key, b"msg"))
+    signature[10] ^= 0x01
+    assert not ecdsa_verify(ec_key.public_key, b"msg", bytes(signature))
+
+
+def test_ecdsa_rejects_wrong_key(ec_key, rng):
+    other = EcPrivateKey.generate(rng)
+    signature = ecdsa_sign(ec_key, b"msg")
+    assert not ecdsa_verify(other.public_key, b"msg", signature)
+
+
+def test_ecdsa_rejects_malformed_signature(ec_key):
+    assert not ecdsa_verify(ec_key.public_key, b"msg", b"short")
+    assert not ecdsa_verify(ec_key.public_key, b"msg", b"\x00" * 64)
+
+
+def test_ecdsa_verify_strict_raises(ec_key):
+    with pytest.raises(SignatureError):
+        ecdsa_verify_strict(ec_key.public_key, b"msg", b"\x01" * 64)
+
+
+def test_ecdh_agreement(rng):
+    alice = EcPrivateKey.generate(rng)
+    bob = EcPrivateKey.generate(rng)
+    assert ecdh_shared_secret(alice, bob.public_key) == ecdh_shared_secret(bob, alice.public_key)
+
+
+def test_ecdh_distinct_pairs_distinct_secrets(rng):
+    alice = EcPrivateKey.generate(rng)
+    bob = EcPrivateKey.generate(rng)
+    carol = EcPrivateKey.generate(rng)
+    assert ecdh_shared_secret(alice, bob.public_key) != ecdh_shared_secret(alice, carol.public_key)
+
+
+def test_ecdh_rejects_infinity():
+    key = EcPrivateKey.from_seed(b"k")
+    with pytest.raises(InvalidKeyError):
+        ecdh_shared_secret(key, EcPublicKey(INFINITY))
+
+
+def test_derive_session_key_symmetry_and_context(rng):
+    kernel = EcPrivateKey.generate(rng)
+    vendor = EcPrivateKey.generate(rng)
+    assert derive_session_key(kernel, vendor.public_key) == derive_session_key(
+        vendor, kernel.public_key
+    )
+    assert derive_session_key(kernel, vendor.public_key, context=b"a") != derive_session_key(
+        kernel, vendor.public_key, context=b"b"
+    )

@@ -1,0 +1,101 @@
+"""HKDF and HMAC-DRBG tests."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg, drbg_from_label
+from repro.crypto.kdf import derive_subkey, hkdf, hkdf_expand, hkdf_extract
+
+
+def test_hkdf_rfc5869_case_1():
+    ikm = b"\x0b" * 22
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf(ikm, 42, salt=salt, info=info)
+    assert okm.hex() == (
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_extract_then_expand_matches_hkdf():
+    prk = hkdf_extract(b"salt", b"ikm")
+    assert hkdf_expand(prk, b"info", 64) == hkdf(b"ikm", 64, salt=b"salt", info=b"info")
+
+
+def test_hkdf_is_deterministic_and_length_correct():
+    for length in (1, 16, 32, 33, 64, 255):
+        out = hkdf(b"master", length, info=b"ctx")
+        assert len(out) == length
+        assert out == hkdf(b"master", length, info=b"ctx")
+
+
+def test_hkdf_output_too_long_rejected():
+    with pytest.raises(ValueError):
+        hkdf(b"k", 255 * 32 + 1)
+
+
+def test_hkdf_info_separates_outputs():
+    assert hkdf(b"k", 32, info=b"a") != hkdf(b"k", 32, info=b"b")
+
+
+def test_derive_subkey_label_separation():
+    master = b"m" * 32
+    assert derive_subkey(master, "encrypt") != derive_subkey(master, "mac")
+    assert len(derive_subkey(master, "encrypt", 16)) == 16
+
+
+def test_drbg_determinism():
+    assert HmacDrbg(b"seed").generate(64) == HmacDrbg(b"seed").generate(64)
+
+
+def test_drbg_personalization_changes_stream():
+    assert HmacDrbg(b"seed", b"a").generate(32) != HmacDrbg(b"seed", b"b").generate(32)
+
+
+def test_drbg_successive_outputs_differ():
+    drbg = HmacDrbg(b"seed")
+    assert drbg.generate(32) != drbg.generate(32)
+
+
+def test_drbg_reseed_changes_future_output():
+    a = HmacDrbg(b"seed")
+    b = HmacDrbg(b"seed")
+    a.generate(16)
+    b.generate(16)
+    a.reseed(b"fresh entropy")
+    assert a.generate(16) != b.generate(16)
+
+
+def test_drbg_random_int_bounds():
+    drbg = HmacDrbg(b"seed")
+    for bits in (1, 8, 17, 128, 256):
+        value = drbg.random_int(bits)
+        assert 0 <= value < (1 << bits)
+    with pytest.raises(ValueError):
+        drbg.random_int(0)
+
+
+def test_drbg_randint_below_and_randrange():
+    drbg = HmacDrbg(b"seed")
+    for _ in range(50):
+        assert 0 <= drbg.randint_below(7) < 7
+        assert 5 <= drbg.randrange(5, 9) < 9
+    with pytest.raises(ValueError):
+        drbg.randint_below(0)
+    with pytest.raises(ValueError):
+        drbg.randrange(3, 3)
+
+
+def test_drbg_from_label():
+    assert drbg_from_label(1, "x").generate(8) == drbg_from_label(1, "x").generate(8)
+    assert drbg_from_label(1, "x").generate(8) != drbg_from_label(2, "x").generate(8)
+
+
+def test_drbg_generate_negative_rejected():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"s").generate(-1)
+
+
+def test_drbg_requires_bytes_seed():
+    with pytest.raises(TypeError):
+        HmacDrbg("not-bytes")  # type: ignore[arg-type]

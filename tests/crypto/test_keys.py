@@ -1,0 +1,79 @@
+"""Tests for the named key containers and key ring."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.ecc import EcPrivateKey
+from repro.crypto.keys import (
+    AesDeviceKey,
+    AttestationKeyPair,
+    BitstreamKey,
+    DataEncryptionKey,
+    DeviceKeySet,
+    KeyRing,
+    SessionKey,
+    SymmetricKey,
+)
+from repro.errors import InvalidKeyError
+
+
+def test_symmetric_key_valid_sizes():
+    assert SymmetricKey(b"k" * 16).bits == 128
+    assert SymmetricKey(b"k" * 32).bits == 256
+
+
+@pytest.mark.parametrize("length", [0, 8, 15, 17, 31, 33])
+def test_symmetric_key_invalid_sizes(length):
+    with pytest.raises(InvalidKeyError):
+        SymmetricKey(b"k" * length)
+
+
+def test_symmetric_key_generate():
+    rng = HmacDrbg(b"keygen")
+    key = SymmetricKey.generate(rng, bits=128, purpose="test")
+    assert key.bits == 128 and key.purpose == "test"
+    with pytest.raises(InvalidKeyError):
+        SymmetricKey.generate(rng, bits=192)
+
+
+def test_repr_never_leaks_material():
+    key = DataEncryptionKey(b"\xde\xad" * 16)
+    assert "dead" not in repr(key).lower().replace("\\x", "")
+    assert "purpose" in repr(key)
+
+
+def test_named_key_purposes():
+    assert AesDeviceKey(b"k" * 32).purpose == "aes-device-key"
+    assert BitstreamKey(b"k" * 32).purpose == "bitstream-encryption-key"
+    assert DataEncryptionKey(b"k" * 32).purpose == "data-encryption-key"
+    assert SessionKey(b"k" * 32).purpose == "session-key"
+
+
+def test_device_key_set_exposes_public_half():
+    private = EcPrivateKey.from_seed(b"device")
+    key_set = DeviceKeySet(AesDeviceKey(b"k" * 32), private, "serial-1")
+    assert key_set.public_key == private.public_key
+
+
+def test_attestation_key_pair():
+    private = EcPrivateKey.from_seed(b"attest")
+    pair = AttestationKeyPair(private, kernel_hash=b"\x11" * 32)
+    assert pair.public_key == private.public_key
+
+
+def test_key_ring_add_get_contains():
+    ring = KeyRing()
+    key = DataEncryptionKey(b"k" * 32)
+    ring.add("shield0", key)
+    assert ring.get("shield0") is key
+    assert "shield0" in ring and "other" not in ring
+    assert len(ring) == 1
+
+
+def test_key_ring_duplicate_and_missing():
+    ring = KeyRing()
+    ring.add("a", DataEncryptionKey(b"k" * 32))
+    with pytest.raises(InvalidKeyError):
+        ring.add("a", DataEncryptionKey(b"j" * 32))
+    with pytest.raises(InvalidKeyError):
+        ring.get("missing")

@@ -1,0 +1,109 @@
+"""Tests for ECB/CBC/CTR modes of operation."""
+
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_decrypt,
+    ctr_encrypt,
+    ctr_keystream,
+    ecb_decrypt,
+    ecb_encrypt,
+    xor_bytes,
+)
+from repro.errors import CryptoError, PaddingError
+
+
+@pytest.fixture()
+def cipher():
+    return AES(b"mode-test-key-16")
+
+
+def test_xor_bytes():
+    assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+    with pytest.raises(CryptoError):
+        xor_bytes(b"\x00", b"\x00\x00")
+
+
+def test_ecb_roundtrip(cipher):
+    plaintext = bytes(range(64))
+    assert ecb_decrypt(cipher, ecb_encrypt(cipher, plaintext)) == plaintext
+
+
+def test_ecb_requires_block_multiple(cipher):
+    with pytest.raises(CryptoError):
+        ecb_encrypt(cipher, b"not a multiple")
+    with pytest.raises(CryptoError):
+        ecb_decrypt(cipher, b"short")
+
+
+def test_ecb_reveals_repeated_blocks(cipher):
+    # The classic ECB weakness -- identical blocks encrypt identically.  This
+    # is why the Shield never uses ECB for data.
+    ciphertext = ecb_encrypt(cipher, b"A" * 16 + b"A" * 16)
+    assert ciphertext[:16] == ciphertext[16:]
+
+
+@pytest.mark.parametrize("length", [0, 1, 15, 16, 17, 100, 255])
+def test_cbc_roundtrip_various_lengths(cipher, length):
+    plaintext = bytes((i * 3) % 256 for i in range(length))
+    iv = b"\x42" * 16
+    assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, plaintext)) == plaintext
+
+
+def test_cbc_hides_repeated_blocks(cipher):
+    ciphertext = cbc_encrypt(cipher, b"\x01" * 16, b"A" * 32)
+    assert ciphertext[:16] != ciphertext[16:32]
+
+
+def test_cbc_rejects_bad_iv(cipher):
+    with pytest.raises(CryptoError):
+        cbc_encrypt(cipher, b"short-iv", b"data")
+    with pytest.raises(CryptoError):
+        cbc_decrypt(cipher, b"short-iv", b"x" * 16)
+
+
+def test_cbc_wrong_key_fails_padding_or_garbles(cipher):
+    other = AES(b"another-key-0016")
+    ciphertext = cbc_encrypt(cipher, b"\x00" * 16, b"secret payload")
+    try:
+        recovered = cbc_decrypt(other, b"\x00" * 16, ciphertext)
+        assert recovered != b"secret payload"
+    except PaddingError:
+        pass  # equally acceptable: the padding check caught it
+
+
+@pytest.mark.parametrize("length", [0, 1, 16, 31, 32, 1000])
+def test_ctr_roundtrip(cipher, length):
+    plaintext = bytes((7 * i + 1) % 256 for i in range(length))
+    iv = b"ctr-iv-12byt"
+    assert ctr_decrypt(cipher, iv, ctr_encrypt(cipher, iv, plaintext)) == plaintext
+
+
+def test_ctr_requires_96_bit_iv(cipher):
+    with pytest.raises(CryptoError):
+        ctr_encrypt(cipher, b"too-short", b"data")
+
+
+def test_ctr_keystream_is_deterministic(cipher):
+    iv = b"\x00" * 12
+    assert ctr_keystream(cipher, iv, 100) == ctr_keystream(cipher, iv, 100)
+
+
+def test_ctr_keystream_differs_by_iv(cipher):
+    assert ctr_keystream(cipher, b"\x00" * 12, 64) != ctr_keystream(cipher, b"\x01" * 12, 64)
+
+
+def test_ctr_initial_counter_offsets_keystream(cipher):
+    iv = b"\x05" * 12
+    full = ctr_keystream(cipher, iv, 48, initial_counter=0)
+    offset = ctr_keystream(cipher, iv, 32, initial_counter=1)
+    assert full[16:] == offset
+
+
+def test_ctr_is_symmetric(cipher):
+    iv = b"\x09" * 12
+    data = b"symmetric ctr transform"
+    assert ctr_encrypt(cipher, iv, ctr_encrypt(cipher, iv, data)) == data

@@ -1,0 +1,47 @@
+"""PKCS#7 padding tests."""
+
+import pytest
+
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad
+from repro.errors import PaddingError
+
+
+@pytest.mark.parametrize("length", range(0, 33))
+def test_roundtrip_all_lengths(length):
+    data = bytes(range(length % 256))[:length]
+    padded = pkcs7_pad(data, 16)
+    assert len(padded) % 16 == 0
+    assert pkcs7_unpad(padded, 16) == data
+
+
+def test_full_block_gets_extra_block():
+    padded = pkcs7_pad(b"x" * 16, 16)
+    assert len(padded) == 32
+    assert padded[-1] == 16
+
+
+def test_unpad_rejects_empty_and_misaligned():
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"", 16)
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"x" * 17, 16)
+
+
+def test_unpad_rejects_bad_padding_byte():
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"x" * 15 + b"\x00", 16)
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(b"x" * 15 + b"\x11", 16)
+
+
+def test_unpad_rejects_inconsistent_padding():
+    block = b"x" * 13 + b"\x01\x02\x03"
+    with pytest.raises(PaddingError):
+        pkcs7_unpad(block, 16)
+
+
+def test_invalid_block_size():
+    with pytest.raises(PaddingError):
+        pkcs7_pad(b"data", 0)
+    with pytest.raises(PaddingError):
+        pkcs7_pad(b"data", 256)

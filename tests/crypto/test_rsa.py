@@ -1,0 +1,130 @@
+"""RSA tests: signatures, OAEP-style encryption, key encoding."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import (
+    RsaPrivateKey,
+    RsaPublicKey,
+    rsa_decrypt,
+    rsa_encrypt,
+    rsa_sign,
+    rsa_verify,
+    rsa_verify_strict,
+)
+from repro.errors import CryptoError, InvalidKeyError, SignatureError
+
+
+def test_keypair_structure(small_rsa_key):
+    assert small_rsa_key.modulus > 0
+    assert small_rsa_key.public_exponent == 65537
+    # d * e == 1 mod phi implies (m^e)^d == m; spot check with a small message.
+    message = 42
+    assert pow(pow(message, small_rsa_key.public_exponent, small_rsa_key.modulus),
+               small_rsa_key.private_exponent, small_rsa_key.modulus) == message
+
+
+def test_from_seed_deterministic():
+    a = RsaPrivateKey.from_seed(b"seed", bits=512)
+    b = RsaPrivateKey.from_seed(b"seed", bits=512)
+    assert a.modulus == b.modulus
+
+
+def test_generate_rejects_tiny_modulus(rng):
+    with pytest.raises(InvalidKeyError):
+        RsaPrivateKey.generate(rng, bits=256)
+
+
+def test_sign_verify(rsa_key):
+    signature = rsa_sign(rsa_key, b"encrypted bitstream")
+    assert rsa_verify(rsa_key.public_key, b"encrypted bitstream", signature)
+
+
+def test_verify_rejects_tampered_message(rsa_key):
+    signature = rsa_sign(rsa_key, b"original message")
+    assert not rsa_verify(rsa_key.public_key, b"tampered message", signature)
+
+
+def test_verify_rejects_tampered_signature(rsa_key):
+    signature = bytearray(rsa_sign(rsa_key, b"message"))
+    signature[0] ^= 0xFF
+    assert not rsa_verify(rsa_key.public_key, b"message", bytes(signature))
+
+
+def test_verify_rejects_wrong_length(rsa_key):
+    assert not rsa_verify(rsa_key.public_key, b"message", b"short")
+
+
+def test_verify_strict_raises(rsa_key):
+    with pytest.raises(SignatureError):
+        rsa_verify_strict(rsa_key.public_key, b"message", b"\x00" * rsa_key.size_bytes)
+
+
+def test_encrypt_decrypt_roundtrip(rsa_key, rng):
+    secret = b"data encryption key material 32b"
+    ciphertext = rsa_encrypt(rsa_key.public_key, secret, rng)
+    assert rsa_decrypt(rsa_key, ciphertext) == secret
+
+
+def test_encrypt_is_randomized(rsa_key, rng):
+    secret = b"same plaintext"
+    assert rsa_encrypt(rsa_key.public_key, secret, rng) != rsa_encrypt(
+        rsa_key.public_key, secret, rng
+    )
+
+
+def test_decrypt_rejects_tampered_ciphertext(rsa_key, rng):
+    ciphertext = bytearray(rsa_encrypt(rsa_key.public_key, b"secret", rng))
+    ciphertext[-1] ^= 0x01
+    with pytest.raises(CryptoError):
+        rsa_decrypt(rsa_key, bytes(ciphertext))
+
+
+def test_decrypt_rejects_wrong_length(rsa_key):
+    with pytest.raises(CryptoError):
+        rsa_decrypt(rsa_key, b"\x00" * 10)
+
+
+def test_encrypt_rejects_oversized_plaintext(rsa_key, rng):
+    too_long = b"x" * (rsa_key.size_bytes - 2 * 32 - 1)
+    with pytest.raises(CryptoError):
+        rsa_encrypt(rsa_key.public_key, too_long, rng)
+
+
+def test_decrypt_with_wrong_key_fails(rsa_key, small_rsa_key, rng):
+    ciphertext = rsa_encrypt(rsa_key.public_key, b"secret", rng)
+    with pytest.raises(CryptoError):
+        rsa_decrypt(
+            RsaPrivateKey(rsa_key.modulus, rsa_key.public_exponent, small_rsa_key.private_exponent),
+            ciphertext,
+        )
+
+
+def test_public_key_encoding_roundtrip(rsa_key):
+    encoded = rsa_key.public_key.encode()
+    decoded = RsaPublicKey.decode(encoded)
+    assert decoded == rsa_key.public_key
+    assert len(rsa_key.public_key.fingerprint()) == 32
+
+
+def test_public_key_decode_rejects_garbage():
+    with pytest.raises(InvalidKeyError):
+        RsaPublicKey.decode(b"\x00\x01")
+    with pytest.raises(InvalidKeyError):
+        RsaPublicKey.decode(b"\x00\x10" + b"\x01" * 5)
+
+
+def test_private_key_encoding_roundtrip(rsa_key):
+    decoded = RsaPrivateKey.decode(rsa_key.encode())
+    assert decoded.modulus == rsa_key.modulus
+    assert decoded.private_exponent == rsa_key.private_exponent
+    # The decoded key still decrypts.
+    rng = HmacDrbg(b"roundtrip")
+    assert rsa_decrypt(decoded, rsa_encrypt(rsa_key.public_key, b"hello", rng)) == b"hello"
+
+
+def test_private_key_decode_rejects_garbage():
+    with pytest.raises(InvalidKeyError):
+        RsaPrivateKey.decode(b"\x00")
+    with pytest.raises(InvalidKeyError):
+        RsaPrivateKey.decode(b"\x00\x40" + b"\x01" * 7)

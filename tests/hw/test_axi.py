@@ -1,0 +1,82 @@
+"""AXI4 / AXI4-Lite transaction model tests."""
+
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.hw.axi import (
+    AXI_DATA_WIDTH_BYTES,
+    AxiBurst,
+    AxiLiteTransaction,
+    AxiPort,
+    BurstKind,
+    memory_backed_handler,
+)
+from repro.hw.memory import DeviceMemory
+
+
+def test_burst_beats():
+    burst = AxiBurst(BurstKind.READ, 0, 4096)
+    assert burst.beats == 4096 // AXI_DATA_WIDTH_BYTES
+    assert AxiBurst(BurstKind.READ, 0, 1).beats == 1
+
+
+def test_burst_end_address():
+    assert AxiBurst(BurstKind.READ, 0x100, 64).end_address == 0x140
+
+
+def test_write_burst_requires_matching_data():
+    with pytest.raises(MemoryAccessError):
+        AxiBurst(BurstKind.WRITE, 0, 16, b"short")
+    with pytest.raises(MemoryAccessError):
+        AxiBurst(BurstKind.READ, 0, 0)
+
+
+def test_split_at_4k_boundary():
+    burst = AxiBurst(BurstKind.WRITE, 4000, 1000, bytes((i * 7) % 256 for i in range(1000)))
+    pieces = burst.split_at_boundary()
+    assert len(pieces) == 2
+    assert pieces[0].length_bytes == 96
+    assert pieces[1].address == 4096
+    assert b"".join(p.data for p in pieces) == burst.data
+
+
+def test_split_preserves_read_kind():
+    pieces = AxiBurst(BurstKind.READ, 4090, 10).split_at_boundary()
+    assert [p.length_bytes for p in pieces] == [6, 4]
+    assert all(p.kind is BurstKind.READ for p in pieces)
+
+
+def test_memory_backed_port_roundtrip():
+    memory = DeviceMemory(1 << 16)
+    port = AxiPort("test", memory_backed_handler(memory))
+    port.write(0x200, b"axi payload")
+    assert port.read(0x200, 11) == b"axi payload"
+
+
+def test_port_interposer_sees_and_can_rewrite_bursts():
+    memory = DeviceMemory(1 << 16)
+    seen = []
+
+    def interposer(burst: AxiBurst) -> AxiBurst:
+        seen.append(burst.kind)
+        return burst
+
+    port = AxiPort("test", memory_backed_handler(memory), interposer=interposer)
+    port.write(0, b"data")
+    port.read(0, 4)
+    assert seen == [BurstKind.WRITE, BurstKind.READ]
+
+
+def test_port_traffic_log():
+    memory = DeviceMemory(1 << 16)
+    port = AxiPort("test", memory_backed_handler(memory), record_traffic=True)
+    port.write(0, b"abc")
+    port.read(0, 3)
+    assert len(port.log) == 2
+
+
+def test_axi_lite_write_needs_four_bytes():
+    with pytest.raises(MemoryAccessError):
+        AxiLiteTransaction(BurstKind.WRITE, 0, b"\x00" * 3)
+    txn = AxiLiteTransaction(BurstKind.WRITE, 0, b"\x00" * 4)
+    assert txn.address == 0

@@ -1,0 +1,96 @@
+"""Bitstream container and encryption tests."""
+
+import pytest
+
+from repro.errors import BitstreamError
+from repro.hw.bitstream import Bitstream, EncryptedBitstream, decrypt_bitstream, encrypt_bitstream
+
+KEY = b"bitstream-key-32-bytes-long....."
+IV = b"bitstrm-iv12"
+
+
+def make_bitstream() -> Bitstream:
+    return Bitstream(
+        accelerator_name="dnnweaver",
+        vendor="acme-ip",
+        accelerator_spec={"kind": "dnn", "layers": 4},
+        shield_config={"shield_id": "s0"},
+        shield_private_key_blob=b"\x07" * 70,
+        resources={"luts": 50_000, "registers": 80_000},
+    )
+
+
+def test_serialize_deserialize_roundtrip():
+    original = make_bitstream()
+    restored = Bitstream.deserialize(original.serialize())
+    assert restored.accelerator_name == "dnnweaver"
+    assert restored.vendor == "acme-ip"
+    assert restored.accelerator_spec == {"kind": "dnn", "layers": 4}
+    assert restored.shield_config == {"shield_id": "s0"}
+    assert restored.shield_private_key_blob == b"\x07" * 70
+    assert restored.resources["luts"] == 50_000
+
+
+def test_serialization_is_canonical():
+    assert make_bitstream().serialize() == make_bitstream().serialize()
+    assert make_bitstream().measurement() == make_bitstream().measurement()
+
+
+def test_deserialize_rejects_garbage():
+    with pytest.raises(BitstreamError):
+        Bitstream.deserialize(b"not a bitstream at all")
+    with pytest.raises(BitstreamError):
+        Bitstream.deserialize(b"SHEFBITS" + b"\x00" * 4)
+
+
+def test_deserialize_rejects_wrong_version():
+    blob = bytearray(make_bitstream().serialize())
+    blob[9] = 99
+    with pytest.raises(BitstreamError):
+        Bitstream.deserialize(bytes(blob))
+
+
+def test_encrypt_decrypt_roundtrip():
+    encrypted = encrypt_bitstream(make_bitstream(), KEY, IV)
+    assert isinstance(encrypted, EncryptedBitstream)
+    restored = decrypt_bitstream(encrypted, KEY)
+    assert restored.accelerator_name == "dnnweaver"
+    assert restored.shield_private_key_blob == b"\x07" * 70
+
+
+def test_ciphertext_hides_plaintext_structure():
+    encrypted = encrypt_bitstream(make_bitstream(), KEY, IV)
+    assert b"dnnweaver" not in encrypted.ciphertext
+    assert b"SHEFBITS" not in encrypted.ciphertext
+
+
+def test_decrypt_with_wrong_key_rejected():
+    encrypted = encrypt_bitstream(make_bitstream(), KEY, IV)
+    with pytest.raises(BitstreamError):
+        decrypt_bitstream(encrypted, b"wrong-key-32-bytes-long........!")
+
+
+def test_decrypt_detects_ciphertext_tampering():
+    encrypted = encrypt_bitstream(make_bitstream(), KEY, IV)
+    tampered = EncryptedBitstream(
+        ciphertext=b"\x00" + encrypted.ciphertext[1:],
+        iv=encrypted.iv,
+        tag=encrypted.tag,
+        accelerator_name=encrypted.accelerator_name,
+        vendor=encrypted.vendor,
+    )
+    with pytest.raises(BitstreamError):
+        decrypt_bitstream(tampered, KEY)
+
+
+def test_encrypted_measurement_is_stable_and_key_dependent():
+    first = encrypt_bitstream(make_bitstream(), KEY, IV)
+    second = encrypt_bitstream(make_bitstream(), KEY, IV)
+    assert first.measurement() == second.measurement()
+    other_key = encrypt_bitstream(make_bitstream(), b"another-key-32-bytes-long......!", IV)
+    assert first.measurement() != other_key.measurement()
+
+
+def test_encrypt_rejects_bad_iv():
+    with pytest.raises(BitstreamError):
+        encrypt_bitstream(make_bitstream(), KEY, b"short")

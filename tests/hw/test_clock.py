@@ -1,0 +1,37 @@
+"""Cycle-clock tests."""
+
+import pytest
+
+from repro.hw.clock import CycleClock
+
+
+def test_advance_and_elapsed():
+    clock = CycleClock(frequency_hz=100e6)
+    clock.advance(50_000_000)
+    assert clock.now() == 50_000_000
+    assert clock.elapsed_seconds() == pytest.approx(0.5)
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ValueError):
+        CycleClock().advance(-1)
+
+
+def test_checkpoints():
+    clock = CycleClock()
+    clock.advance(100)
+    clock.checkpoint("boot")
+    clock.advance(250)
+    assert clock.since("boot") == 250
+    with pytest.raises(KeyError):
+        clock.since("unknown")
+
+
+def test_reset():
+    clock = CycleClock()
+    clock.advance(10)
+    clock.checkpoint("x")
+    clock.reset()
+    assert clock.now() == 0
+    with pytest.raises(KeyError):
+        clock.since("x")

@@ -1,0 +1,68 @@
+"""Fabric region and partial-reconfiguration tests."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.hw.bitstream import Bitstream
+from repro.hw.fabric import Fabric, FabricResources
+
+
+def make_fabric() -> Fabric:
+    total = FabricResources(luts=100_000, registers=200_000, bram_kb=1_000)
+    fabric = Fabric(total)
+    fabric.add_region("shell", total.scaled(0.2), static=True)
+    fabric.add_region("user", total.scaled(0.8))
+    return fabric
+
+
+def test_resources_scaling():
+    total = FabricResources(luts=100, registers=200, bram_kb=10, uram_kb=10)
+    half = total.scaled(0.5)
+    assert (half.luts, half.registers, half.bram_kb, half.uram_kb) == (50, 100, 5, 5)
+    assert total.on_chip_memory_bytes == 20 * 1024
+
+
+def test_duplicate_region_rejected():
+    fabric = make_fabric()
+    with pytest.raises(FabricError):
+        fabric.add_region("user", FabricResources(1, 1, 1))
+
+
+def test_unknown_region_rejected():
+    with pytest.raises(FabricError):
+        make_fabric().region("nonexistent")
+
+
+def test_program_and_clear_user_region():
+    fabric = make_fabric()
+    design = Bitstream("accel", "vendor", resources={"luts": 10_000})
+    fabric.program_region("user", design)
+    assert fabric.region("user").is_programmed
+    assert fabric.region("user").load_count == 1
+    fabric.clear_region("user")
+    assert not fabric.region("user").is_programmed
+
+
+def test_static_region_programs_once():
+    fabric = make_fabric()
+    shell = Bitstream("shell", "csp")
+    fabric.program_region("shell", shell)
+    with pytest.raises(FabricError):
+        fabric.program_region("shell", shell)
+    with pytest.raises(FabricError):
+        fabric.clear_region("shell")
+
+
+def test_oversized_design_rejected():
+    fabric = make_fabric()
+    huge = Bitstream("huge", "vendor", resources={"luts": 10_000_000})
+    with pytest.raises(FabricError):
+        fabric.program_region("user", huge)
+
+
+def test_reprogramming_user_region_allowed():
+    fabric = make_fabric()
+    fabric.program_region("user", Bitstream("a", "v"))
+    fabric.program_region("user", Bitstream("b", "v"))
+    assert fabric.region("user").loaded_design.accelerator_name == "b"
+    assert fabric.region("user").load_count == 2

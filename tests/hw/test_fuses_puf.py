@@ -1,0 +1,84 @@
+"""Tests for one-time-programmable key storage and the PUF model."""
+
+import pytest
+
+from repro.errors import DeviceError, FuseError
+from repro.hw.fuses import SPB_ACCESS_TOKEN, FuseBank, KeyFuses
+from repro.hw.puf import Puf
+
+
+def test_fuse_bank_program_once():
+    bank = FuseBank("aes")
+    bank.program(b"\x01" * 32)
+    assert bank.is_programmed
+    with pytest.raises(FuseError):
+        bank.program(b"\x02" * 32)
+
+
+def test_fuse_bank_rejects_empty_value():
+    with pytest.raises(FuseError):
+        FuseBank("aes").program(b"")
+
+
+def test_fuse_bank_access_control():
+    bank = FuseBank("aes")
+    bank.program(b"\x01" * 32)
+    assert bank.read(SPB_ACCESS_TOKEN) == b"\x01" * 32
+    with pytest.raises(FuseError):
+        bank.read("host-software")
+    with pytest.raises(FuseError):
+        bank.read("shell-logic")
+
+
+def test_fuse_bank_unprogrammed_read_fails():
+    with pytest.raises(FuseError):
+        FuseBank("aes").read(SPB_ACCESS_TOKEN)
+
+
+def test_key_fuses_efuse_path():
+    fuses = KeyFuses()
+    assert not fuses.is_provisioned
+    fuses.program_aes_key(b"\xaa" * 32)
+    fuses.program_public_key_hash(b"\xbb" * 32)
+    assert fuses.is_provisioned
+    assert fuses.read_aes_key(SPB_ACCESS_TOKEN) == b"\xaa" * 32
+    assert fuses.read_public_key_hash(SPB_ACCESS_TOKEN) == b"\xbb" * 32
+
+
+def test_key_fuses_bbram_path_and_zeroize():
+    fuses = KeyFuses(use_bbram=True)
+    fuses.program_aes_key(b"\xcc" * 32)
+    assert fuses.read_aes_key(SPB_ACCESS_TOKEN) == b"\xcc" * 32
+    fuses.zeroize()
+    with pytest.raises(FuseError):
+        fuses.read_aes_key(SPB_ACCESS_TOKEN)
+
+
+def test_key_fuses_deny_non_spb_access():
+    fuses = KeyFuses()
+    fuses.program_aes_key(b"\xaa" * 32)
+    with pytest.raises(FuseError):
+        fuses.read_aes_key("security-kernel")
+
+
+def test_puf_requires_reasonable_fingerprint():
+    with pytest.raises(DeviceError):
+        Puf(b"short")
+
+
+def test_puf_response_deterministic_per_device():
+    puf_a = Puf(b"fingerprint-device-a")
+    puf_b = Puf(b"fingerprint-device-b")
+    assert puf_a.response(b"challenge") == puf_a.response(b"challenge")
+    assert puf_a.response(b"challenge") != puf_b.response(b"challenge")
+    assert puf_a.response(b"c1") != puf_a.response(b"c2")
+
+
+def test_puf_wrap_unwrap_only_same_device():
+    puf_a = Puf(b"fingerprint-device-a")
+    puf_b = Puf(b"fingerprint-device-b")
+    key = b"\x11" * 32
+    wrapped = puf_a.wrap_key(key)
+    assert wrapped != key
+    assert puf_a.unwrap_key(wrapped) == key
+    assert puf_b.unwrap_key(wrapped) != key

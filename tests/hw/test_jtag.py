@@ -1,0 +1,56 @@
+"""Tamper-monitor (JTAG/ICAP) tests."""
+
+import pytest
+
+from repro.errors import TamperError
+from repro.hw.jtag import DebugPort, TamperMonitor
+
+
+def test_locked_port_denies_access_but_records_attempt():
+    port = DebugPort("jtag")
+    assert port.attempt_access("attacker", "connect") is False
+    assert len(port.attempts) == 1
+    assert port.attempts[0].actor == "attacker"
+
+
+def test_only_manufacturer_can_unlock():
+    port = DebugPort("jtag")
+    with pytest.raises(TamperError):
+        port.unlock("csp-operator")
+    port.unlock("manufacturer")
+    assert port.attempt_access("manufacturer", "provision") is True
+    port.lock()
+    assert port.attempt_access("manufacturer", "provision") is False
+
+
+def test_monitor_registers_ports_uniquely():
+    monitor = TamperMonitor()
+    monitor.add_port("jtag")
+    with pytest.raises(TamperError):
+        monitor.add_port("jtag")
+    with pytest.raises(TamperError):
+        monitor.port("icap")
+
+
+def test_monitor_detects_and_acknowledges_events():
+    monitor = TamperMonitor()
+    monitor.add_port("jtag")
+    monitor.add_port("icap")
+    monitor.assert_untampered()
+    monitor.port("jtag").attempt_access("attacker")
+    assert len(monitor.pending_events()) == 1
+    with pytest.raises(TamperError):
+        monitor.assert_untampered()
+    events = monitor.acknowledge()
+    assert len(events) == 1
+    monitor.assert_untampered()
+
+
+def test_monitor_sees_later_events_after_acknowledge():
+    monitor = TamperMonitor()
+    monitor.add_port("jtag")
+    monitor.port("jtag").attempt_access("attacker")
+    monitor.acknowledge()
+    monitor.port("jtag").attempt_access("attacker", "program")
+    with pytest.raises(TamperError):
+        monitor.assert_untampered()

@@ -1,0 +1,116 @@
+"""Device DRAM and on-chip memory tests."""
+
+import pytest
+
+from repro.errors import CapacityError, MemoryAccessError
+from repro.hw.memory import DeviceMemory, OnChipMemory
+
+
+def test_device_memory_read_write_roundtrip():
+    memory = DeviceMemory(1 << 20)
+    memory.write(0x1000, b"hello device memory")
+    assert memory.read(0x1000, 19) == b"hello device memory"
+
+
+def test_uninitialized_memory_reads_zero():
+    memory = DeviceMemory(4096)
+    assert memory.read(100, 16) == b"\x00" * 16
+
+
+def test_cross_page_access():
+    memory = DeviceMemory(1 << 20)
+    data = bytes(range(256)) * 40  # 10240 bytes, spans multiple 4 KiB pages
+    memory.write(4000, data)
+    assert memory.read(4000, len(data)) == data
+
+
+def test_out_of_bounds_rejected():
+    memory = DeviceMemory(4096)
+    with pytest.raises(MemoryAccessError):
+        memory.read(4090, 10)
+    with pytest.raises(MemoryAccessError):
+        memory.write(4096, b"x")
+    with pytest.raises(MemoryAccessError):
+        memory.read(-1, 1)
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(MemoryAccessError):
+        DeviceMemory(0)
+
+
+def test_sparse_allocation():
+    memory = DeviceMemory(64 * 1024 ** 3)  # 64 GiB address space
+    memory.write(32 * 1024 ** 3, b"far away")
+    assert memory.read(32 * 1024 ** 3, 8) == b"far away"
+    assert memory.allocated_pages <= 2
+
+
+def test_stats_accounting():
+    memory = DeviceMemory(1 << 16)
+    memory.write(0, b"x" * 100)
+    memory.read(0, 50)
+    memory.read(0, 50)
+    assert memory.stats.writes == 1
+    assert memory.stats.reads == 2
+    assert memory.stats.bytes_written == 100
+    assert memory.stats.bytes_read == 100
+    assert memory.stats.total_bytes == 200
+    memory.stats.reset()
+    assert memory.stats.total_bytes == 0
+
+
+def test_tamper_paths_do_not_touch_stats():
+    memory = DeviceMemory(1 << 16)
+    memory.tamper_write(0, b"evil")
+    assert memory.tamper_read(0, 4) == b"evil"
+    assert memory.stats.reads == 0 and memory.stats.writes == 0
+    # ...but the normal path sees the tampered data (that is the point).
+    assert memory.read(0, 4) == b"evil"
+
+
+def test_on_chip_memory_allocation_and_budget():
+    ocm = OnChipMemory(10 * 1024)
+    allocation = ocm.allocate("buffer", 4 * 1024)
+    assert ocm.used_bytes == 4 * 1024
+    assert ocm.free_bytes == 6 * 1024
+    assert 0.39 < ocm.utilization() < 0.41
+    allocation.write(0, b"cache line")
+    assert allocation.read(0, 10) == b"cache line"
+
+
+def test_on_chip_memory_over_allocation_rejected():
+    ocm = OnChipMemory(1024)
+    ocm.allocate("a", 1000)
+    with pytest.raises(CapacityError):
+        ocm.allocate("b", 100)
+
+
+def test_on_chip_memory_duplicate_and_invalid_names():
+    ocm = OnChipMemory(1024)
+    ocm.allocate("a", 100)
+    with pytest.raises(CapacityError):
+        ocm.allocate("a", 100)
+    with pytest.raises(CapacityError):
+        ocm.allocate("zero", 0)
+    with pytest.raises(CapacityError):
+        ocm.allocation("missing")
+
+
+def test_on_chip_memory_free_releases_budget():
+    ocm = OnChipMemory(1024)
+    ocm.allocate("a", 1024)
+    ocm.free("a")
+    assert ocm.free_bytes == 1024
+    ocm.allocate("b", 512)
+    with pytest.raises(CapacityError):
+        ocm.free("a")
+
+
+def test_on_chip_allocation_bounds():
+    ocm = OnChipMemory(1024)
+    allocation = ocm.allocate("a", 64)
+    with pytest.raises(MemoryAccessError):
+        allocation.read(60, 8)
+    with pytest.raises(MemoryAccessError):
+        allocation.write(64, b"x")

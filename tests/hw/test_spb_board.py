@@ -1,0 +1,149 @@
+"""Security Processor Block, boot medium, Shell, and board profile tests."""
+
+import pytest
+
+from repro.errors import BootError, DeviceError, ShieldError
+from repro.hw.board import AWS_F1_PROFILE, ULTRA96_PROFILE, BoardModel, make_board
+from repro.hw.fuses import KeyFuses
+from repro.hw.spb import (
+    BootMedium,
+    SecurityKernelProcessor,
+    SecurityProcessorBlock,
+    seal_firmware_image,
+    unseal_firmware_image,
+)
+
+DEVICE_KEY = b"\x3c" * 32
+
+
+def test_boot_medium_store_load_tamper():
+    medium = BootMedium()
+    medium.store("security_kernel", b"kernel v1")
+    assert "security_kernel" in medium
+    assert medium.load("security_kernel") == b"kernel v1"
+    medium.tamper("security_kernel", b"evil kernel")
+    assert medium.load("security_kernel") == b"evil kernel"
+    with pytest.raises(BootError):
+        medium.load("missing")
+
+
+def test_firmware_seal_unseal_roundtrip():
+    sealed = seal_firmware_image(b"firmware payload with embedded key", DEVICE_KEY)
+    assert b"firmware payload" not in sealed
+    assert unseal_firmware_image(sealed, DEVICE_KEY) == b"firmware payload with embedded key"
+
+
+def test_firmware_unseal_wrong_key_or_tampered():
+    sealed = seal_firmware_image(b"payload", DEVICE_KEY)
+    with pytest.raises(BootError):
+        unseal_firmware_image(sealed, b"\x00" * 32)
+    with pytest.raises(BootError):
+        unseal_firmware_image(b"\xff" + sealed[1:], DEVICE_KEY)
+    with pytest.raises(BootError):
+        unseal_firmware_image(b"tiny", DEVICE_KEY)
+
+
+def test_spb_boot_rom_loads_firmware():
+    fuses = KeyFuses()
+    fuses.program_aes_key(DEVICE_KEY)
+    spb = SecurityProcessorBlock(fuses)
+    medium = BootMedium()
+    medium.store("spb_firmware", seal_firmware_image(b"spb firmware", DEVICE_KEY))
+    assert spb.boot_rom_load_firmware(medium) == b"spb firmware"
+    assert spb.boot_count == 1
+
+
+def test_spb_requires_provisioned_fuses():
+    spb = SecurityProcessorBlock(KeyFuses())
+    with pytest.raises(BootError):
+        spb.boot_rom_load_firmware(BootMedium())
+
+
+def test_spb_crypto_access_control():
+    fuses = KeyFuses()
+    fuses.program_aes_key(DEVICE_KEY)
+    spb = SecurityProcessorBlock(fuses)
+    spb.assert_exclusive_crypto_access("bootrom")
+    spb.assert_exclusive_crypto_access("spb-firmware")
+    with pytest.raises(DeviceError):
+        spb.assert_exclusive_crypto_access("security-kernel")
+    with pytest.raises(DeviceError):
+        spb.assert_exclusive_crypto_access("host-program")
+
+
+def test_spb_seal_unseal_with_device_key():
+    fuses = KeyFuses()
+    fuses.program_aes_key(DEVICE_KEY)
+    spb = SecurityProcessorBlock(fuses)
+    sealed = spb.encrypt_with_device_key(b"persistent state", "context")
+    assert spb.decrypt_with_device_key(sealed, "context") == b"persistent state"
+    assert spb.decrypt_with_device_key(sealed, "other") != b"persistent state"
+
+
+def test_security_kernel_processor_kinds():
+    hard = SecurityKernelProcessor(kind="cortex-r5")
+    soft = SecurityKernelProcessor(kind="microblaze")
+    assert not hard.is_soft and soft.is_soft
+    hard.load(b"\x01" * 32, {"attestation_key": "object"})
+    assert hard.running_binary_hash == b"\x01" * 32
+    hard.reset()
+    assert hard.running_binary_hash is None and hard.private_memory == {}
+
+
+def test_board_profiles():
+    f1 = make_board(BoardModel.AWS_F1)
+    ultra = make_board("ultra96")
+    assert f1.profile is AWS_F1_PROFILE
+    assert ultra.profile is ULTRA96_PROFILE
+    assert f1.device_memory.size_bytes == 64 * 1024 ** 3
+    assert f1.security_kernel_processor.is_soft
+    assert not ultra.security_kernel_processor.is_soft
+    assert set(f1.fabric.regions) == {"shell", "user"}
+    assert f1.user_region_resources.luts < f1.profile.total_resources.luts
+
+
+def test_board_serial_determines_puf():
+    a = make_board(BoardModel.AWS_F1, serial="one")
+    b = make_board(BoardModel.AWS_F1, serial="two")
+    assert a.puf.response(b"c") != b.puf.response(b"c")
+
+
+def test_board_reset_user_region():
+    board = make_board(BoardModel.AWS_F1)
+    from repro.hw.bitstream import Bitstream
+
+    board.fabric.program_region("user", Bitstream("a", "v"))
+    board.reset_user_region()
+    assert not board.fabric.region("user").is_programmed
+
+
+def test_shell_requires_connected_user_logic():
+    board = make_board(BoardModel.AWS_F1)
+    with pytest.raises(ShieldError):
+        board.shell.host_register_read(0)
+    with pytest.raises(ShieldError):
+        board.shell.host_register_write(0, b"\x00" * 4)
+
+
+def test_shell_dma_and_stats():
+    board = make_board(BoardModel.AWS_F1)
+    board.shell.host_dma_write(0x100, b"ciphertext blob")
+    assert board.shell.host_dma_read(0x100, 15) == b"ciphertext blob"
+    assert board.shell.stats.dma_bytes_in == 15
+    assert board.shell.stats.dma_bytes_out == 15
+
+
+def test_shell_register_path_reaches_connected_slave():
+    board = make_board(BoardModel.AWS_F1)
+    seen = []
+
+    def slave(txn):
+        seen.append(txn.address)
+        return b"\xaa\xbb\xcc\xdd"
+
+    board.shell.connect_register_slave(slave)
+    board.shell.host_register_write(0x10, b"\x00\x00\x00\x01")
+    assert board.shell.host_register_read(0x20) == b"\xaa\xbb\xcc\xdd"
+    assert seen == [0x10, 0x20]
+    assert board.shell.stats.register_writes == 1
+    assert board.shell.stats.register_reads == 1

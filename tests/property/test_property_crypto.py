@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for the cryptographic substrate."""
+
+import hashlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.hashes import sha256
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import aes_cmac, aes_pmac, hmac_sha256
+from repro.crypto.modes import cbc_decrypt, cbc_encrypt, ctr_transform
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad
+
+KEYS_16 = st.binary(min_size=16, max_size=16)
+KEYS_32 = st.binary(min_size=32, max_size=32)
+IVS_12 = st.binary(min_size=12, max_size=12)
+IVS_16 = st.binary(min_size=16, max_size=16)
+MESSAGES = st.binary(min_size=0, max_size=600)
+
+
+@settings(max_examples=40, deadline=None)
+@given(message=MESSAGES)
+def test_sha256_matches_hashlib(message):
+    assert sha256(message) == hashlib.sha256(message).digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(key=KEYS_32, message=MESSAGES)
+def test_hmac_matches_stdlib(key, message):
+    import hmac as std_hmac
+
+    assert hmac_sha256(key, message) == std_hmac.new(key, message, hashlib.sha256).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=KEYS_16, block=st.binary(min_size=16, max_size=16))
+def test_aes_block_roundtrip(key, block):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=25, deadline=None)
+@given(key=KEYS_16, iv=IVS_12, message=MESSAGES)
+def test_ctr_roundtrip(key, iv, message):
+    cipher = AES(key)
+    assert ctr_transform(cipher, iv, ctr_transform(cipher, iv, message)) == message
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=KEYS_16, iv=IVS_16, message=MESSAGES)
+def test_cbc_roundtrip(key, iv, message):
+    cipher = AES(key)
+    assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, message)) == message
+
+
+@settings(max_examples=40, deadline=None)
+@given(message=MESSAGES, block_size=st.integers(min_value=1, max_value=255))
+def test_pkcs7_roundtrip(message, block_size):
+    padded = pkcs7_pad(message, block_size)
+    assert len(padded) % block_size == 0
+    assert pkcs7_unpad(padded, block_size) == message
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=KEYS_16, message=MESSAGES, flip=st.integers(min_value=0, max_value=10 ** 6))
+def test_cmac_detects_any_single_byte_change(key, message, flip):
+    if not message:
+        return
+    tag = aes_cmac(key, message)
+    index = flip % len(message)
+    tampered = bytearray(message)
+    tampered[index] ^= 0x01
+    assert aes_cmac(key, bytes(tampered)) != tag
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=KEYS_16, message=MESSAGES, flip=st.integers(min_value=0, max_value=10 ** 6))
+def test_pmac_detects_any_single_byte_change(key, message, flip):
+    if not message:
+        return
+    tag = aes_pmac(key, message)
+    index = flip % len(message)
+    tampered = bytearray(message)
+    tampered[index] ^= 0x01
+    assert aes_pmac(key, bytes(tampered)) != tag
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ikm=st.binary(min_size=1, max_size=64),
+    info_a=st.binary(max_size=16),
+    info_b=st.binary(max_size=16),
+    length=st.integers(min_value=1, max_value=128),
+)
+def test_hkdf_lengths_and_context_separation(ikm, info_a, info_b, length):
+    out_a = hkdf(ikm, length, info=info_a)
+    assert len(out_a) == length
+    if info_a != info_b:
+        assert out_a != hkdf(ikm, length, info=info_b)

@@ -1,0 +1,71 @@
+"""CSV/JSON export and command-line interface tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.sim.experiments import table1_experiment, table2_experiment
+from repro.sim.export import experiment_to_csv, experiment_to_json, write_experiment
+from repro.sim.results import ExperimentResult
+
+
+def test_experiment_to_csv_roundtrip():
+    csv_text = experiment_to_csv(table2_experiment())
+    lines = csv_text.strip().splitlines()
+    assert lines[0].startswith("design,")
+    assert len(lines) == 6  # header + five designs
+
+
+def test_experiment_to_csv_empty():
+    assert experiment_to_csv(ExperimentResult("x", "empty")) == ""
+
+
+def test_experiment_to_json_contains_metadata():
+    payload = json.loads(experiment_to_json(table2_experiment()))
+    assert payload["experiment_id"] == "table-2"
+    assert len(payload["rows"]) == 5
+    assert "sdp_area_percent" in payload["metadata"]
+
+
+def test_write_experiment_csv_and_json(tmp_path):
+    result = table1_experiment()
+    csv_path = tmp_path / "table1.csv"
+    json_path = tmp_path / "table1.json"
+    write_experiment(result, str(csv_path))
+    write_experiment(result, str(json_path))
+    assert csv_path.read_text().startswith("component,")
+    assert json.loads(json_path.read_text())["experiment_id"] == "table-1"
+
+
+def test_cli_registry_covers_all_paper_experiments():
+    assert {"table-1", "table-2", "table-3", "figure-5", "figure-6", "section-6.1"} <= set(
+        EXPERIMENTS
+    )
+
+
+def test_cli_list_command():
+    out = io.StringIO()
+    assert main(["list"], out=out) == 0
+    text = out.getvalue()
+    assert "dnnweaver" in text and "table-2" in text and "aws-f1" in text
+
+
+def test_cli_runs_single_experiment(tmp_path):
+    out = io.StringIO()
+    code = main(["experiments", "table-2", "--export-dir", str(tmp_path)], out=out)
+    assert code == 0
+    assert "overhead_percent" in out.getvalue()
+    assert (tmp_path / "table-2.csv").exists()
+
+
+def test_cli_exports_json(tmp_path):
+    out = io.StringIO()
+    main(["experiments", "table-1", "--export-dir", str(tmp_path), "--json"], out=out)
+    assert json.loads((tmp_path / "table-1.json").read_text())["experiment_id"] == "table-1"
+
+
+def test_cli_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["experiments", "figure-42"])

@@ -1,0 +1,84 @@
+"""End-to-end workflow tests: the full Figure 2 deployment on a simulated board."""
+
+import pytest
+
+from repro.accelerators.base import ShieldMemoryAdapter
+from repro.accelerators.vector_add import VectorAddAccelerator
+from repro.workflow import deploy_accelerator
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    accelerator = VectorAddAccelerator(vector_bytes=8192)
+    return accelerator, deploy_accelerator(
+        "vector_add",
+        accelerator.build_shield_config(sbox_parallelism=4),
+        board_serial="fpga-e2e",
+        vendor_name="e2e-vendor",
+        owner_name="e2e-owner",
+    )
+
+
+def test_deployment_reaches_operational_shield(deployment):
+    _, deployed = deployment
+    assert deployed.shield.operational
+    assert deployed.driver.state.accelerator_loaded
+    assert deployed.security_kernel.loaded_bitstream.accelerator_name == "vector_add"
+    assert deployed.boot_result.total_seconds > 0
+    assert deployed.total_deploy_seconds >= deployed.boot_result.total_seconds
+    assert deployed.attestation.transcript_length == 4
+
+
+def test_security_kernel_never_holds_device_secrets(deployment):
+    _, deployed = deployment
+    assert not deployed.security_kernel.holds_device_secrets()
+    private_memory = deployed.board.security_kernel_processor.private_memory
+    # The kernel's private memory contains the Attestation Key, never the
+    # AES device key or the private device key.
+    assert "attestation_key" in private_memory
+    assert all("device" not in key or key == "device_serial" for key in private_memory)
+
+
+def test_end_to_end_computation_over_sealed_data(deployment):
+    accelerator, deployed = deployment
+    config = deployed.shield_config
+    owner = deployed.data_owner
+    runtime = deployed.host_runtime
+
+    inputs = accelerator.prepare_inputs(seed=123)
+    for region_name, plaintext in inputs.items():
+        staged = owner.seal_input(config, region_name, plaintext, shield_id=config.shield_id)
+        runtime.upload_region(staged)
+
+    result = accelerator.run(ShieldMemoryAdapter(deployed.shield))
+    deployed.shield.flush()
+
+    # Independently recompute the expected sums from the plaintext inputs.
+    import numpy as np
+
+    for part in range(4):
+        a = np.frombuffer(inputs[f"a{part}"], dtype=np.int32)
+        b = np.frombuffer(inputs[f"b{part}"], dtype=np.int32)
+        assert np.array_equal(result.outputs[f"c{part}"], a + b)
+
+    # Device DRAM never holds the plaintext inputs.
+    raw = deployed.board.device_memory.tamper_read(0, 3 * 8192)
+    assert inputs["a0"][:64] not in raw
+
+
+def test_host_and_shell_observed_no_plaintext(deployment):
+    accelerator, deployed = deployment
+    observed = b"".join(
+        blob
+        for entry in deployed.host_runtime.log.observed_blobs
+        for blob in entry
+        if isinstance(blob, bytes)
+    )
+    inputs = accelerator.prepare_inputs(seed=123)
+    assert inputs["a0"][:64] not in observed
+
+
+def test_deployment_phase_breakdown(deployment):
+    _, deployed = deployment
+    assert set(deployed.phase_seconds) >= {"boot_rom", "firmware", "attestation"}
+    assert deployed.phase_seconds["attestation"] > 0
