@@ -6,6 +6,10 @@ Three subcommands cover the common workflows without writing any Python:
   same rows the paper reports, optionally exporting CSV/JSON;
 * ``deploy-demo`` -- run the end-to-end Figure 2 workflow on a chosen
   accelerator and report boot/attestation/Shield status;
+* ``cloud-demo`` -- serve several concurrent tenants from a shared board
+  fleet through :class:`~repro.cloud.service.ShieldCloudService`, check every
+  tenant's outputs against its single-tenant baseline, and audit the host
+  ledger for plaintext leaks;
 * ``list`` -- enumerate the available accelerators, experiments, and board
   profiles.
 
@@ -14,6 +18,7 @@ Usage::
     python -m repro.cli experiments table-2
     python -m repro.cli experiments all --export-dir results/
     python -m repro.cli deploy-demo dnnweaver --board aws-f1
+    python -m repro.cli cloud-demo --boards 2 --fast-crypto
     python -m repro.cli list
 """
 
@@ -26,10 +31,12 @@ import sys
 from repro.accelerators import ALL_ACCELERATORS
 from repro.hw.board import BoardModel
 from repro.sim import experiments as experiments_module
+from repro.sim.cloud import cloud_trace_experiment
 from repro.sim.export import write_experiment
 from repro.sim.reporting import render_experiment
 
 EXPERIMENTS = {
+    "cloud-trace": cloud_trace_experiment,
     "section-6.1": experiments_module.boot_latency_experiment,
     "table-1": experiments_module.table1_experiment,
     "figure-5": experiments_module.figure5_experiment,
@@ -70,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--board", choices=[model.value for model in BoardModel], default="aws-f1"
     )
 
+    cloud_parser = subparsers.add_parser(
+        "cloud-demo", help="serve concurrent tenants from a shared board fleet"
+    )
+    cloud_parser.add_argument(
+        "--boards", type=int, default=2, help="number of boards in the fleet"
+    )
+    cloud_parser.add_argument(
+        "--jobs-per-tenant", type=int, default=1, help="jobs each tenant submits"
+    )
+    cloud_parser.add_argument(
+        "--fast-crypto",
+        action="store_true",
+        help="use the vectorized AES-CTR fast path for every session",
+    )
+
     subparsers.add_parser("list", help="list accelerators, experiments, and boards")
     return parser
 
@@ -105,6 +127,88 @@ def run_deploy_demo(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Three tenants, three accelerators, one shared fleet -- with receipts."""
+    from repro.accelerators import (
+        AffineTransformAccelerator,
+        MatMulAccelerator,
+        VectorAddAccelerator,
+    )
+    from repro.cloud import ShieldCloudService
+    from repro.crypto.fastpath import fast_path_enabled
+    from repro.sim.simulator import outputs_equal, run_unshielded_baseline
+
+    if args.boards < 1:
+        print("error: --boards must be at least 1", file=out)
+        return 2
+    if args.jobs_per_tenant < 1:
+        print("error: --jobs-per-tenant must be at least 1", file=out)
+        return 2
+
+    tenants = {
+        "alice": VectorAddAccelerator(8 * 1024),
+        "bob": MatMulAccelerator(32),
+        "carol": AffineTransformAccelerator(64),
+    }
+    service = ShieldCloudService(
+        num_boards=args.boards, fast_crypto=True if args.fast_crypto else None
+    )
+    sessions = {
+        tenant: service.admit_tenant(tenant, accelerator)
+        for tenant, accelerator in tenants.items()
+    }
+    jobs: dict = {tenant: [] for tenant in tenants}
+    all_inputs: dict = {}
+    for round_index in range(args.jobs_per_tenant):
+        for tenant, accelerator in tenants.items():
+            inputs = accelerator.prepare_inputs(seed=round_index)
+            all_inputs[(tenant, round_index)] = inputs
+            jobs[tenant].append(
+                service.submit_job(sessions[tenant].session_id, inputs=inputs)
+            )
+    service.run_until_idle()
+
+    print(f"fleet               : {args.boards} board(s), "
+          f"{len(tenants)} concurrent tenants", file=out)
+    mismatches = 0
+    failures = 0
+    for round_index in range(args.jobs_per_tenant):
+        for tenant, accelerator in tenants.items():
+            job = jobs[tenant][round_index]
+            if job.result is None:
+                failures += 1
+                print(f"job {job.job_id} ({tenant}) failed: {job.error}", file=out)
+                continue
+            baseline = run_unshielded_baseline(
+                accelerator,
+                accelerator.build_shield_config(),
+                all_inputs[(tenant, round_index)],
+            )
+            if not outputs_equal(baseline.outputs, job.result.outputs):
+                mismatches += 1
+    leaks = sum(
+        len(service.plaintext_exposures(plaintext))
+        for inputs in all_inputs.values()
+        for plaintext in inputs.values()
+    )
+    for tenant, session in sessions.items():
+        usage = session.usage
+        print(
+            f"tenant {tenant:<12} : {usage.jobs_completed} job(s) on "
+            f"board(s) {sorted(set(session.boards_used))}, "
+            f"{usage.dram_bytes_read + usage.dram_bytes_written} DRAM bytes moved",
+            file=out,
+        )
+    print(f"failed jobs         : {failures}", file=out)
+    print(f"baseline mismatches : {mismatches}", file=out)
+    print(f"plaintext leaks     : {leaks}", file=out)
+    print(
+        f"fast crypto         : {bool(args.fast_crypto) or fast_path_enabled()}",
+        file=out,
+    )
+    return 0 if mismatches == 0 and leaks == 0 and failures == 0 else 1
+
+
 def run_list(out=sys.stdout) -> int:
     print("accelerators:", file=out)
     for name in sorted(ALL_ACCELERATORS):
@@ -125,6 +229,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return run_experiments(args, out=out)
     if args.command == "deploy-demo":
         return run_deploy_demo(args, out=out)
+    if args.command == "cloud-demo":
+        return run_cloud_demo(args, out=out)
     return run_list(out=out)
 
 

@@ -1,0 +1,34 @@
+"""Multi-tenant cloud serving layer for ShEF Shields.
+
+The seed reproduction deploys one Shield for one Data Owner on one board.
+This package scales that story to a serving fleet: a
+:class:`~repro.cloud.service.ShieldCloudService` admits many concurrent
+tenant sessions (each its own Data Owner, Load Key, and Shield), schedules
+their accelerator jobs across boards with a deterministic FIFO
+:class:`~repro.cloud.scheduler.FleetScheduler`, and keeps tenants isolated by
+construction -- every byte crossing the untrusted host is ciphertext under a
+session-scoped key.  The companion timing harness lives in
+:mod:`repro.sim.cloud`.
+"""
+
+from repro.cloud.scheduler import AcceleratorJob, FleetScheduler, JobState
+from repro.cloud.service import (
+    BoardSlot,
+    CloudServiceStats,
+    HostObservation,
+    ShieldCloudService,
+)
+from repro.cloud.tenant import SessionState, TenantSession, TenantUsage
+
+__all__ = [
+    "AcceleratorJob",
+    "FleetScheduler",
+    "JobState",
+    "BoardSlot",
+    "CloudServiceStats",
+    "HostObservation",
+    "ShieldCloudService",
+    "SessionState",
+    "TenantSession",
+    "TenantUsage",
+]

@@ -1,0 +1,114 @@
+"""Fleet scheduling: a FIFO work queue over a pool of FPGA boards.
+
+The scheduler is deliberately simple and deterministic -- jobs run in
+submission order, each on the free board that has been idle longest
+(round-robin rotation over the fleet) -- so tests can assert exact
+placements.  It knows nothing about tenants or keys: admission control and
+isolation live in :class:`~repro.cloud.service.ShieldCloudService`; the
+scheduler only decides *when* and *where* a job runs.
+
+Boards are released as soon as a job finishes (the Shield is torn off the
+board between jobs), so a two-board fleet time-multiplexes any number of
+concurrent tenant sessions, and the rotation spreads Shield loads across the
+fleet even when jobs happen to execute back-to-back.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class AcceleratorJob:
+    """One unit of scheduled work: run a session's accelerator over sealed inputs."""
+
+    job_id: str
+    session_id: str
+    #: Region name -> plaintext bytes the tenant wants staged (sealed client-side).
+    inputs: dict = field(default_factory=dict)
+    #: Region name -> plaintext length to download and unseal after the run
+    #: (None downloads the whole region).
+    output_regions: dict = field(default_factory=dict)
+    #: Keyword arguments forwarded to ``accelerator.run``.
+    params: dict = field(default_factory=dict)
+    state: JobState = JobState.QUEUED
+    board_name: str | None = None
+    #: AcceleratorResult of the shielded run (set on completion).
+    result: object | None = None
+    #: Region name -> unsealed plaintext downloaded after the run.
+    region_outputs: dict = field(default_factory=dict)
+    error: str | None = None
+
+
+class FleetScheduler:
+    """FIFO queue + longest-idle-board (round-robin) placement over a fixed fleet."""
+
+    def __init__(self, board_names: list):
+        if not board_names:
+            raise SchedulingError("a fleet needs at least one board")
+        self._board_names = list(board_names)
+        self._free_boards = deque(board_names)
+        self._queue: deque = deque()
+        #: board name -> session ids that have run on it, in order (for tests
+        #: and for the Admin story "which tenants shared this board?").
+        self.placement_history: dict = {name: [] for name in board_names}
+
+    # -- queueing -----------------------------------------------------------------
+
+    def submit(self, job: AcceleratorJob) -> None:
+        if job.state is not JobState.QUEUED:
+            raise SchedulingError(f"job {job.job_id!r} is not in the QUEUED state")
+        self._queue.append(job)
+
+    @property
+    def pending_jobs(self) -> int:
+        return len(self._queue)
+
+    @property
+    def free_boards(self) -> int:
+        return len(self._free_boards)
+
+    @property
+    def busy_boards(self) -> int:
+        return len(self._board_names) - len(self._free_boards)
+
+    # -- placement ----------------------------------------------------------------
+
+    def acquire(self) -> tuple | None:
+        """Pop the next job and a free board; ``None`` if either is missing."""
+        if not self._queue or not self._free_boards:
+            return None
+        job = self._queue.popleft()
+        board_name = self._free_boards.popleft()
+        job.state = JobState.RUNNING
+        job.board_name = board_name
+        self.placement_history[board_name].append(job.session_id)
+        return job, board_name
+
+    def release(self, job: AcceleratorJob, completed: bool, error: str | None = None) -> None:
+        """Return the job's board to the free pool and finalize its state."""
+        if job.state is not JobState.RUNNING or job.board_name is None:
+            raise SchedulingError(f"job {job.job_id!r} is not running on any board")
+        self._free_boards.append(job.board_name)
+        job.state = JobState.COMPLETED if completed else JobState.FAILED
+        job.error = error
+
+    def drop_session_jobs(self, session_id: str) -> list:
+        """Remove still-queued jobs of a session (used at session teardown)."""
+        dropped = [job for job in self._queue if job.session_id == session_id]
+        for job in dropped:
+            self._queue.remove(job)
+            job.state = JobState.FAILED
+            job.error = "session closed before the job was scheduled"
+        return dropped

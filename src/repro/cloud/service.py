@@ -1,0 +1,432 @@
+"""The multi-tenant Shield serving layer.
+
+:class:`ShieldCloudService` plays the CSP: it owns a fleet of FPGA boards and
+admits many concurrent tenant sessions, each with its own Data Owner, Load
+Key, and Shield configuration.  Jobs are queued through a deterministic FIFO
+scheduler and executed by time-multiplexing Shields onto free boards:
+
+1. **admit** -- the tenant picks an accelerator; the service mints a
+   session-scoped Shield key pair and the tenant wraps a fresh Data
+   Encryption Key against it (the Load Key).
+2. **load** -- when a job is placed, the session's Shield is instantiated on
+   the assigned board and the untrusted host runtime forwards the Load Key.
+3. **run** -- inputs are sealed *by the tenant's Data Owner*, DMA-ed in as
+   ciphertext, the accelerator executes behind the Shield, and outputs come
+   back sealed; the service then unseals them on the tenant's behalf with the
+   tenant's own key ring (never a shared key).
+4. **teardown** -- the Shield is torn off the board (on-chip allocations
+   freed, register port disconnected) so the next tenant gets a clean slate.
+
+Isolation is structural, not policed: every byte that crosses the host is
+ciphertext under a per-session key, so even a malicious
+:class:`~repro.host.runtime.ShefHostRuntime` or a board-sharing neighbour
+observes nothing.  :meth:`ShieldCloudService.plaintext_exposures` lets tests
+and demos audit the service-wide host ledger for leaks, and
+:meth:`job_result` refuses to hand one tenant another tenant's outputs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.accelerators.base import ShieldMemoryAdapter
+from repro.attestation.data_owner import DataOwner
+from repro.cloud.scheduler import AcceleratorJob, FleetScheduler
+from repro.cloud.tenant import SessionState, TenantSession
+from repro.core.config import ShieldConfig
+from repro.core.shield import Shield
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import CloudError, SchedulingError, TenantIsolationError
+from repro.host.runtime import ShefHostRuntime
+from repro.hw.board import BoardModel, FpgaBoard, make_board
+
+
+@dataclass
+class BoardSlot:
+    """One board of the fleet plus its serving-side bookkeeping."""
+
+    name: str
+    board: FpgaBoard
+    shield_loads: int = 0
+    #: Session currently loaded on the board (None between jobs).
+    active_session: str | None = None
+
+
+@dataclass
+class HostObservation:
+    """One entry of the service-wide host ledger: who moved which blob."""
+
+    session_id: str
+    board_name: str
+    entry: tuple
+
+
+@dataclass
+class CloudServiceStats:
+    """Service-wide counters (the CSP's dashboard)."""
+
+    sessions_admitted: int = 0
+    sessions_closed: int = 0
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    shield_loads: int = 0
+
+
+class ShieldCloudService:
+    """Hosts a board fleet and serves many tenant sessions concurrently."""
+
+    def __init__(
+        self,
+        num_boards: int = 2,
+        board_model: BoardModel | str = BoardModel.AWS_F1,
+        fast_crypto: bool | None = None,
+        serial_prefix: str = "cloud-fpga",
+        ledger_limit: int | None = None,
+    ):
+        """``ledger_limit`` bounds the host-observation ledger (oldest entries
+        are evicted first).  The default keeps everything, which is what the
+        isolation tests and demos want -- the ledger stores every DMA'd blob
+        verbatim, so a long-lived service should set a limit and audit
+        incrementally."""
+        if num_boards < 1:
+            raise CloudError("the fleet needs at least one board")
+        if ledger_limit is not None and ledger_limit < 1:
+            raise CloudError("ledger_limit must be positive (or None for unbounded)")
+        self.fast_crypto = fast_crypto
+        self.ledger_limit = ledger_limit
+        self.slots: dict[str, BoardSlot] = {}
+        for index in range(num_boards):
+            name = f"board-{index}"
+            board = make_board(board_model, serial=f"{serial_prefix}-{index:04d}")
+            slot = BoardSlot(name=name, board=board)
+            # The service audits its own boards: every DMA transfer (the only
+            # way bulk data crosses the host boundary) is recorded verbatim
+            # into the ledger, attributed to whichever session holds the
+            # board.  This is what makes :meth:`plaintext_exposures` a real
+            # check -- a regression that DMA'd plaintext would land here.
+            board.shell.install_dma_tap(self._make_dma_tap(slot))
+            self.slots[name] = slot
+        self.scheduler = FleetScheduler(list(self.slots))
+        self.sessions: dict[str, TenantSession] = {}
+        self.jobs: dict[str, AcceleratorJob] = {}
+        self.stats = CloudServiceStats()
+        self._host_ledger: deque = deque(maxlen=ledger_limit)
+        self._session_counter = 0
+        self._job_counter = 0
+
+    def _make_dma_tap(self, slot: BoardSlot):
+        def tap(direction: str, address: int, data: bytes) -> None:
+            self._host_ledger.append(
+                HostObservation(
+                    session_id=slot.active_session or "<idle>",
+                    board_name=slot.name,
+                    entry=(f"dma-{direction}", address, data),
+                )
+            )
+
+        return tap
+
+    # -- tenant lifecycle ---------------------------------------------------------
+
+    def admit_tenant(
+        self,
+        tenant: str,
+        accelerator,
+        shield_config: ShieldConfig | None = None,
+    ) -> TenantSession:
+        """Admit a tenant and provision a session-scoped trust domain.
+
+        This compresses the paper's Figure 2 ceremony to its key-material
+        essentials: a per-session Shield Encryption Key pair stands in for the
+        attested bitstream, and the returned session already holds the wrapped
+        Load Key that the host runtime will forward at first load.
+        """
+        self._session_counter += 1
+        session_id = f"sess-{self._session_counter:04d}"
+        base_config = shield_config or accelerator.build_shield_config()
+        config = self._session_config(base_config, session_id)
+        config.validate()
+
+        # Session-scoped keys: deterministic per session id so runs replay.
+        private_key = RsaPrivateKey.from_seed(
+            b"cloud-shield:" + session_id.encode("utf-8"), bits=1024
+        )
+        data_owner = DataOwner(name=tenant, seed=9000 + self._session_counter)
+        data_owner.generate_data_key(config.shield_id)
+        load_key = data_owner.wrap_load_key(
+            private_key.public_key.encode(), config.shield_id
+        )
+
+        session = TenantSession(
+            session_id=session_id,
+            tenant=tenant,
+            accelerator=accelerator,
+            shield_config=config,
+            data_owner=data_owner,
+            shield_private_key=private_key,
+            load_key=load_key,
+            state=SessionState.ADMITTED,
+        )
+        self.sessions[session_id] = session
+        self.stats.sessions_admitted += 1
+        # Attestation is compressed to its key-material essentials (the
+        # wrapped Load Key above), so admission completes provisioning
+        # immediately; a fuller ceremony would hold the session in ADMITTED
+        # until the attestation transcript verifies.
+        session.state = SessionState.PROVISIONED
+        return session
+
+    def _session_config(self, base: ShieldConfig, session_id: str) -> ShieldConfig:
+        """Clone a Shield configuration into a session-unique namespace."""
+        config = ShieldConfig.from_dict(base.to_dict())
+        config.shield_id = f"{base.shield_id}:{session_id}"
+        if self.fast_crypto is not None:
+            config.engine_sets = [
+                replace(engine_set, fast_crypto=self.fast_crypto)
+                for engine_set in config.engine_sets
+            ]
+        return config
+
+    def close_session(self, session_id: str) -> list:
+        """Tear a session down; still-queued jobs are dropped and reported.
+
+        Idempotent: closing an already-closed session is a no-op.
+        """
+        session = self._session(session_id)
+        if session.is_closed:
+            return []
+        session.state = SessionState.CLOSED
+        self.stats.sessions_closed += 1
+        dropped = self.scheduler.drop_session_jobs(session_id)
+        # Dropped jobs count as failures so submitted == completed + failed
+        # holds on both the tenant's bill and the fleet dashboard.
+        session.usage.jobs_failed += len(dropped)
+        self.stats.jobs_failed += len(dropped)
+        return dropped
+
+    def _session(self, session_id: str) -> TenantSession:
+        try:
+            return self.sessions[session_id]
+        except KeyError:
+            raise CloudError(f"no session named {session_id!r}") from None
+
+    # -- job submission and execution ---------------------------------------------
+
+    def submit_job(
+        self,
+        session_id: str,
+        inputs: dict | None = None,
+        output_regions: dict | None = None,
+        **params,
+    ) -> AcceleratorJob:
+        """Queue one accelerator run for a provisioned session."""
+        session = self._session(session_id)
+        if not session.is_provisioned:
+            raise SchedulingError(
+                f"session {session_id!r} is {session.state.value}; only "
+                "provisioned sessions may submit jobs"
+            )
+        self._job_counter += 1
+        job = AcceleratorJob(
+            job_id=f"job-{self._job_counter:04d}",
+            session_id=session_id,
+            inputs=dict(inputs or {}),
+            output_regions=dict(output_regions or {}),
+            params=dict(params),
+        )
+        self.jobs[job.job_id] = job
+        self.scheduler.submit(job)
+        self.stats.jobs_submitted += 1
+        return job
+
+    def run_next_job(self) -> AcceleratorJob | None:
+        """Place and execute the next queued job; ``None`` if nothing runnable."""
+        placement = self.scheduler.acquire()
+        if placement is None:
+            return None
+        job, board_name = placement
+        slot = self.slots[board_name]
+        session = self._session(job.session_id)
+        try:
+            self._execute(job, slot, session)
+        except Exception as exc:  # noqa: BLE001 - job failures must free the board
+            self.scheduler.release(job, completed=False, error=str(exc))
+            session.usage.jobs_failed += 1
+            self.stats.jobs_failed += 1
+        else:
+            self.scheduler.release(job, completed=True)
+            session.usage.jobs_completed += 1
+            self.stats.jobs_completed += 1
+        return job
+
+    def run_until_idle(self) -> list:
+        """Drain the queue; returns the jobs in completion order."""
+        finished = []
+        while True:
+            job = self.run_next_job()
+            if job is None:
+                break
+            finished.append(job)
+        return finished
+
+    def _execute(self, job: AcceleratorJob, slot: BoardSlot, session: TenantSession) -> None:
+        board = slot.board
+        config = session.shield_config
+        allocations_before = set(board.on_chip_memory.allocation_names())
+        shield = Shield(config, board.shell, board.on_chip_memory, session.shield_private_key)
+        runtime = ShefHostRuntime(board.shell, config, label=session.session_id)
+        slot.shield_loads += 1
+        self.stats.shield_loads += 1
+        slot.active_session = session.session_id
+        session.boards_used.append(slot.name)
+        try:
+            # Rotate the session's Data Encryption Key for this job: region
+            # sub-keys and chunk IVs restart with every Shield load, so a
+            # reused key would reuse AES-CTR keystream across jobs (letting
+            # the host XOR two observed ciphertexts into plaintext-XOR) and
+            # allow cross-job ciphertext replay with valid MACs.
+            session.data_owner.generate_data_key(config.shield_id)
+            session.load_key = session.data_owner.wrap_load_key(
+                session.shield_private_key.public_key.encode(), config.shield_id
+            )
+            runtime.deliver_load_key(shield, session.load_key)
+
+            # Stage sealed inputs through the untrusted host (ciphertext only).
+            for region_name, plaintext in job.inputs.items():
+                staged = session.data_owner.seal_input(
+                    config, region_name, plaintext, shield_id=config.shield_id
+                )
+                runtime.upload_region(staged)
+
+            result = session.accelerator.run(ShieldMemoryAdapter(shield), **job.params)
+            shield.flush()
+
+            # Download requested output regions (still sealed) and unseal them
+            # with the tenant's own key ring.
+            for region_name, length in job.output_regions.items():
+                job.region_outputs[region_name] = self._download_output(
+                    session, shield, runtime, region_name, length
+                )
+            # Only a fully successful job (run AND downloads) publishes its
+            # result: ``job.result is None`` is the failure signal consumers
+            # rely on.
+            job.result = result
+
+            stats = shield.stats()
+            session.job_stats.append(stats)
+            session.usage.absorb_shield_stats(stats)
+        finally:
+            session.usage.bytes_uploaded += runtime.log.bytes_uploaded
+            session.usage.bytes_downloaded += runtime.log.bytes_downloaded
+            # The runtime's log label carries the session attribution into the
+            # shared audit trail.
+            for entry in runtime.log.observed_blobs:
+                self._host_ledger.append(
+                    HostObservation(
+                        session_id=runtime.log.label, board_name=slot.name, entry=entry
+                    )
+                )
+            self._unload(slot, allocations_before)
+            slot.active_session = None
+
+    def _download_output(
+        self,
+        session: TenantSession,
+        shield: Shield,
+        runtime: ShefHostRuntime,
+        region_name: str,
+        length: int | None,
+    ) -> bytes:
+        config = session.shield_config
+        region = config.region(region_name)
+        if length is None:
+            num_chunks = region.num_chunks
+        else:
+            num_chunks = -(-length // region.chunk_size)
+        ciphertext, tags = runtime.download_region(region_name, num_chunks)
+        sealed = DataOwner.sealed_chunks_from_device(config, region_name, ciphertext, tags)
+        if region.replay_protected:
+            counters = shield.pipeline(region_name).counters
+            versions = [counters.read(c.chunk_index) for c in sealed]
+            return session.data_owner.unseal_output_with_versions(
+                config, region_name, sealed, versions, length, shield_id=config.shield_id
+            )
+        return session.data_owner.unseal_output(
+            config, region_name, sealed, length, shield_id=config.shield_id
+        )
+
+    def _unload(self, slot: BoardSlot, allocations_before: set) -> None:
+        """Tear the Shield off the board: free on-chip memory, drop the port."""
+        on_chip = slot.board.on_chip_memory
+        for name in on_chip.allocation_names():
+            if name not in allocations_before:
+                on_chip.free(name)
+        slot.board.shell.disconnect_user_logic()
+
+    # -- results and auditing -------------------------------------------------------
+
+    def job_result(self, job_id: str, tenant: str) -> AcceleratorJob:
+        """Fetch a finished job, enforcing that the caller owns it."""
+        try:
+            job = self.jobs[job_id]
+        except KeyError:
+            raise CloudError(f"no job named {job_id!r}") from None
+        session = self._session(job.session_id)
+        if session.tenant != tenant:
+            raise TenantIsolationError(
+                f"tenant {tenant!r} may not read results of {session.tenant!r}"
+            )
+        return job
+
+    def host_observations(self) -> list:
+        """The service-wide host ledger (everything the untrusted host saw)."""
+        return list(self._host_ledger)
+
+    def plaintext_exposures(self, plaintext: bytes, window: int = 16) -> list:
+        """Audit the host ledger for fragments of a tenant plaintext.
+
+        Probes are ``window``-byte slices of ``plaintext`` taken every
+        ``window`` bytes (plus the tail), so any contiguous leak of at least
+        ``2 * window - 1`` plaintext bytes is guaranteed to contain a whole
+        probe.  The ledger includes the verbatim bytes of every DMA transfer
+        on every fleet board, so an empty result really means the host moved
+        no recognizable plaintext -- only ciphertext and wrapped keys.
+        """
+        if not plaintext:
+            probes = set()
+        elif len(plaintext) <= window:
+            probes = {plaintext}
+        else:
+            probes = {
+                plaintext[offset : offset + window]
+                for offset in range(0, len(plaintext) - window + 1, window)
+            }
+            probes.add(plaintext[-window:])
+        exposures = []
+        for observation in self._host_ledger:
+            for item in observation.entry:
+                if isinstance(item, (bytes, bytearray)):
+                    blob = bytes(item)
+                    if any(probe in blob for probe in probes):
+                        exposures.append(observation)
+                        break
+        return exposures
+
+    # -- reporting -------------------------------------------------------------------
+
+    def fleet_summary(self) -> dict:
+        """Board-by-board load counts plus service totals (for demos/CLI)."""
+        return {
+            "boards": {
+                name: {
+                    "shield_loads": slot.shield_loads,
+                    "sessions": list(self.scheduler.placement_history[name]),
+                }
+                for name, slot in self.slots.items()
+            },
+            "sessions_admitted": self.stats.sessions_admitted,
+            "jobs_completed": self.stats.jobs_completed,
+            "jobs_failed": self.stats.jobs_failed,
+        }

@@ -24,7 +24,15 @@ MAC_TAG_BYTES = 16  # tags stored in DRAM are 16 bytes (HMAC tags truncated)
 
 @dataclass(frozen=True)
 class EngineSetConfig:
-    """Configuration of one engine set (crypto engines + buffer + counters)."""
+    """Configuration of one engine set (crypto engines + buffer + counters).
+
+    ``fast_crypto`` selects the functional AES-CTR implementation backing this
+    engine set: ``True`` forces the vectorized numpy fast path, ``False``
+    forces the scalar pure-Python reference, and ``None`` (the default)
+    inherits the process-wide setting from :mod:`repro.crypto.fastpath`.  The
+    flag changes simulation speed only -- both paths produce byte-identical
+    ciphertext and tags.
+    """
 
     name: str
     num_aes_engines: int = 1
@@ -33,6 +41,7 @@ class EngineSetConfig:
     mac_algorithm: str = "HMAC"
     num_mac_engines: int = 1
     buffer_bytes: int = 0
+    fast_crypto: bool | None = None
 
     def validate(self) -> None:
         if self.num_aes_engines < 1:
@@ -54,6 +63,10 @@ class EngineSetConfig:
             raise ConfigurationError(f"engine set {self.name!r} needs >= 1 MAC engine")
         if self.buffer_bytes < 0:
             raise ConfigurationError(f"engine set {self.name!r}: negative buffer size")
+        if self.fast_crypto not in (None, True, False):
+            raise ConfigurationError(
+                f"engine set {self.name!r}: fast_crypto must be True, False, or None"
+            )
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +77,7 @@ class EngineSetConfig:
             "mac_algorithm": self.mac_algorithm,
             "num_mac_engines": self.num_mac_engines,
             "buffer_bytes": self.buffer_bytes,
+            "fast_crypto": self.fast_crypto,
         }
 
     @staticmethod

@@ -107,12 +107,17 @@ class RegionPipeline:
             version = self.counters.increment(chunk_index)
         else:
             version = 0
-        sealed = self._sealer.seal_chunk(chunk_index, plaintext, version)
+        self._write_sealed(self._sealer.seal_chunk(chunk_index, plaintext, version))
+
+    def _write_sealed(self, sealed) -> None:
+        """Write one sealed chunk (ciphertext + tag) to DRAM and account it."""
         self._port.write(
-            self._chunk_address(chunk_index), sealed.ciphertext, region_hint=self.region.name
+            self._chunk_address(sealed.chunk_index),
+            sealed.ciphertext,
+            region_hint=self.region.name,
         )
         self._port.write(
-            self.shield_config.tag_address(self.region, chunk_index),
+            self.shield_config.tag_address(self.region, sealed.chunk_index),
             sealed.tag,
             region_hint="tags",
         )
@@ -200,9 +205,27 @@ class RegionPipeline:
             remaining -= take
 
     def flush(self) -> None:
-        """Write every dirty buffered chunk back to DRAM."""
-        for line in self.buffer.dirty_lines():
-            self._store_chunk(line.chunk_index, bytes(line.data))
+        """Write every dirty buffered chunk back to DRAM in one sealed batch.
+
+        All dirty lines are sealed through one
+        :meth:`~repro.core.sealing.RegionSealer.seal_chunks` call (counter
+        increments happen first, exactly as the chunk-at-a-time path would),
+        so a fast-crypto engine set encrypts the whole write-back set in a
+        single vectorized pass before the per-chunk DRAM writes go out.
+        """
+        lines = list(self.buffer.dirty_lines())
+        if not lines:
+            return
+        indices = [line.chunk_index for line in lines]
+        versions = [
+            self.counters.increment(index) if self.counters is not None else 0
+            for index in indices
+        ]
+        sealed_chunks = self._sealer.seal_chunks(
+            indices, [bytes(line.data) for line in lines], versions
+        )
+        for line, sealed in zip(lines, sealed_chunks):
+            self._write_sealed(sealed)
             line.dirty = False
 
     def _check_bounds(self, address: int, length: int) -> None:

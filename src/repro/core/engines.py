@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 from repro.core.config import EngineSetConfig
 from repro.crypto.aes import AES
+from repro.crypto.fastaes import VectorAes
+from repro.crypto.fastpath import fast_path_enabled
 from repro.crypto.kdf import derive_subkey
 from repro.crypto.mac import compute_mac, constant_time_equal
 from repro.crypto.modes import ctr_transform
@@ -49,9 +51,22 @@ class EngineStats:
 
 
 class AesEngine:
-    """A configurable AES-CTR encryption/decryption engine."""
+    """A configurable AES-CTR encryption/decryption engine.
 
-    def __init__(self, key: bytes, sbox_parallelism: int = 4, key_bits: int = 128):
+    ``fast_crypto`` picks the functional implementation: ``True`` uses the
+    vectorized numpy path, ``False`` the scalar reference, and ``None``
+    (default) defers to :func:`repro.crypto.fastpath.fast_path_enabled` at
+    each call, so the process-wide switch can be flipped mid-run.  Both paths
+    are byte-identical; only the simulator's wall-clock time changes.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        sbox_parallelism: int = 4,
+        key_bits: int = 128,
+        fast_crypto: bool | None = None,
+    ):
         if len(key) * 8 != key_bits:
             raise ShieldError(
                 f"AES engine configured for {key_bits}-bit keys got a "
@@ -59,7 +74,9 @@ class AesEngine:
             )
         self.sbox_parallelism = sbox_parallelism
         self.key_bits = key_bits
+        self.fast_crypto = fast_crypto
         self._cipher = AES(key)
+        self._vector_cipher: VectorAes | None = None
         self.stats = EngineStats()
 
     @property
@@ -70,17 +87,55 @@ class AesEngine:
             rate *= AES_256_THROUGHPUT_FACTOR
         return rate
 
+    @property
+    def uses_fast_path(self) -> bool:
+        """Whether the next call will take the vectorized path."""
+        if self.fast_crypto is None:
+            return fast_path_enabled()
+        return self.fast_crypto
+
+    def _vector(self) -> VectorAes:
+        if self._vector_cipher is None:
+            self._vector_cipher = VectorAes(self._cipher)
+        return self._vector_cipher
+
+    def _transform(self, iv: bytes, data: bytes) -> bytes:
+        if self.uses_fast_path:
+            return self._vector().ctr_transform(iv, data)
+        return ctr_transform(self._cipher, iv, data)
+
+    def _transform_many(self, ivs: list, chunks: list) -> list:
+        if len(ivs) != len(chunks):
+            raise ShieldError("batched AES-CTR needs one IV per chunk")
+        if self.uses_fast_path and chunks and all(
+            len(c) == len(chunks[0]) for c in chunks
+        ):
+            return self._vector().ctr_transform_many(ivs, chunks)
+        return [ctr_transform(self._cipher, iv, c) for iv, c in zip(ivs, chunks)]
+
     def encrypt(self, iv: bytes, plaintext: bytes) -> bytes:
         """AES-CTR encrypt ``plaintext`` under the per-chunk IV."""
         self.stats.bytes_encrypted += len(plaintext)
         self.stats.operations += 1
-        return ctr_transform(self._cipher, iv, plaintext)
+        return self._transform(iv, plaintext)
 
     def decrypt(self, iv: bytes, ciphertext: bytes) -> bytes:
         """AES-CTR decrypt ``ciphertext`` under the per-chunk IV."""
         self.stats.bytes_decrypted += len(ciphertext)
         self.stats.operations += 1
-        return ctr_transform(self._cipher, iv, ciphertext)
+        return self._transform(iv, ciphertext)
+
+    def encrypt_many(self, ivs: list, plaintexts: list) -> list:
+        """Encrypt a batch of chunks, one IV each, in a single fast-path pass."""
+        self.stats.bytes_encrypted += sum(len(p) for p in plaintexts)
+        self.stats.operations += len(plaintexts)
+        return self._transform_many(ivs, plaintexts)
+
+    def decrypt_many(self, ivs: list, ciphertexts: list) -> list:
+        """Decrypt a batch of chunks, one IV each, in a single fast-path pass."""
+        self.stats.bytes_decrypted += sum(len(c) for c in ciphertexts)
+        self.stats.operations += len(ciphertexts)
+        return self._transform_many(ivs, ciphertexts)
 
 
 class MacEngine:
@@ -152,6 +207,11 @@ def build_engines(
     enc_key = derive_subkey(region_key, "engine-encrypt", config.aes_key_bits // 8)
     mac_key = derive_subkey(region_key, "engine-mac", 32)
     return (
-        AesEngine(enc_key, config.sbox_parallelism, config.aes_key_bits),
+        AesEngine(
+            enc_key,
+            config.sbox_parallelism,
+            config.aes_key_bits,
+            fast_crypto=config.fast_crypto,
+        ),
         MacEngine(mac_key, config.mac_algorithm),
     )

@@ -102,6 +102,38 @@ class RegionSealer:
         iv = chunk_iv(self.region, chunk_index, version)
         return self._aes_engine.decrypt(iv, ciphertext)
 
+    def seal_chunks(self, indices: list, plaintexts: list, versions=0) -> list:
+        """Seal many whole chunks at once (one batched cipher pass on the fast path).
+
+        ``versions`` is either one write version shared by every chunk or a
+        per-chunk list (what a buffered pipeline flush produces).  Encryption
+        for every chunk is submitted to the AES engine in a single
+        :meth:`~repro.core.engines.AesEngine.encrypt_many` call, so the
+        vectorized fast path amortizes the per-call overhead across the whole
+        batch; MAC tags are still computed per chunk (the tag binds per-chunk
+        context, exactly as in :meth:`seal_chunk`).
+        """
+        if isinstance(versions, int):
+            versions = [versions] * len(indices)
+        if len(versions) != len(indices) or len(plaintexts) != len(indices):
+            raise ShieldError("seal_chunks needs matching indices/plaintexts/versions")
+        for plaintext in plaintexts:
+            if len(plaintext) != self.region.chunk_size:
+                raise ShieldError(
+                    f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
+                )
+        ivs = [
+            chunk_iv(self.region, index, version)
+            for index, version in zip(indices, versions)
+        ]
+        ciphertexts = self._aes_engine.encrypt_many(ivs, plaintexts)
+        sealed = []
+        for index, version, ciphertext in zip(indices, versions, ciphertexts):
+            context = chunk_mac_context(self.region, index, version)
+            tag = self._mac_engine.tag(context + ciphertext)
+            sealed.append(SealedChunk(chunk_index=index, ciphertext=ciphertext, tag=tag))
+        return sealed
+
     def seal_region_data(self, plaintext: bytes, start_chunk: int = 0) -> list:
         """Seal a contiguous run of chunks (padding the tail with zeros).
 
@@ -109,7 +141,8 @@ class RegionSealer:
         prepare inputs for DMA and by tests to stage expected ciphertext.
         """
         chunk_size = self.region.chunk_size
-        chunks: list[SealedChunk] = []
+        pieces: list[bytes] = []
+        indices: list[int] = []
         offset = 0
         index = start_chunk
         while offset < len(plaintext):
@@ -121,14 +154,23 @@ class RegionSealer:
                     f"data does not fit in region {self.region.name!r}: chunk {index} "
                     f"exceeds {self.region.num_chunks} chunks"
                 )
-            chunks.append(self.seal_chunk(index, piece))
+            pieces.append(piece)
+            indices.append(index)
             offset += chunk_size
             index += 1
-        return chunks
+        return self.seal_chunks(indices, pieces)
 
     def unseal_region_data(self, sealed_chunks: list, length: int | None = None) -> bytes:
-        """Unseal a list of :class:`SealedChunk` back into contiguous plaintext."""
-        plaintext = b"".join(
-            self.unseal_chunk(c.chunk_index, c.ciphertext, c.tag) for c in sealed_chunks
-        )
+        """Unseal a list of :class:`SealedChunk` back into contiguous plaintext.
+
+        Tags are verified chunk by chunk first (any tampering raises
+        :class:`~repro.errors.IntegrityError` before a single byte is
+        decrypted), then all ciphertexts go through one batched decrypt pass.
+        """
+        for chunk in sealed_chunks:
+            context = chunk_mac_context(self.region, chunk.chunk_index, 0)
+            self._mac_engine.verify(context + chunk.ciphertext, chunk.tag)
+        ivs = [chunk_iv(self.region, c.chunk_index, 0) for c in sealed_chunks]
+        pieces = self._aes_engine.decrypt_many(ivs, [c.ciphertext for c in sealed_chunks])
+        plaintext = b"".join(pieces)
         return plaintext if length is None else plaintext[:length]

@@ -98,9 +98,16 @@ class Shield:
 
     @property
     def operational(self) -> bool:
-        """True once a Data Encryption Key has been provisioned."""
-        return self.key_store.provisioned and bool(self._pipelines) or (
-            self.key_store.provisioned and not self.config.regions
+        """True once a Data Encryption Key has been provisioned.
+
+        A Shield with memory regions is operational when its region pipelines
+        exist; a region-less Shield (register-interface-only designs) is
+        operational as soon as the key arrives.  The conditions are grouped
+        explicitly -- the previous ``a and b or a and not c`` form relied on
+        operator precedence and read ambiguously.
+        """
+        return self.key_store.provisioned and (
+            bool(self._pipelines) or not self.config.regions
         )
 
     # -- accelerator-facing memory interface ------------------------------------------

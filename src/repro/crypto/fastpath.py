@@ -1,0 +1,50 @@
+"""Process-wide switch for the vectorized crypto fast path.
+
+The Shield's functional model ships two interchangeable AES-CTR datapaths:
+
+* the *scalar reference* (:mod:`repro.crypto.aes` + :mod:`repro.crypto.modes`),
+  a byte-at-a-time pure-Python implementation that mirrors FIPS-197 and is the
+  ground truth for every conformance test, and
+* the *vectorized fast path* (:mod:`repro.crypto.fastaes`), a numpy
+  implementation that batches every block of a chunk (or of a whole region)
+  through the cipher in one pass and produces byte-identical output.
+
+Which path an :class:`~repro.core.engines.AesEngine` takes is decided per
+engine by ``EngineSetConfig.fast_crypto`` and, when the config leaves it
+unset, by this module's process-wide default.  The default can be flipped for
+a whole run (``set_fast_path(True)``), scoped with the :func:`fast_path`
+context manager (what the differential tests use), or pre-seeded via the
+``REPRO_FAST_CRYPTO`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_enabled: bool = os.environ.get("REPRO_FAST_CRYPTO", "").strip().lower() in _TRUTHY
+
+
+def fast_path_enabled() -> bool:
+    """Whether engines without an explicit config flag use the vectorized path."""
+    return _enabled
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fast_path(enabled: bool = True):
+    """Scope the process-wide default to a ``with`` block."""
+    previous = set_fast_path(enabled)
+    try:
+        yield
+    finally:
+        set_fast_path(previous)

@@ -87,3 +87,15 @@ class ProtocolError(ShefError):
 
 class SimulationError(ShefError):
     """The experiment harness was driven with inconsistent inputs."""
+
+
+class CloudError(ShefError):
+    """Failure inside the multi-tenant cloud serving layer."""
+
+
+class SchedulingError(CloudError):
+    """A job could not be queued or placed on the board fleet."""
+
+
+class TenantIsolationError(CloudError):
+    """An operation would have crossed a tenant-isolation boundary."""

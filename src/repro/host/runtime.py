@@ -30,7 +30,14 @@ from repro.hw.shell import Shell
 
 @dataclass
 class HostTransferLog:
-    """Everything the (untrusted) host observed moving through it."""
+    """Everything the (untrusted) host observed moving through it.
+
+    ``label`` identifies which runtime produced the log when several host
+    programs share one audit trail -- the multi-tenant serving layer tags
+    each log with the tenant session it served, so cross-tenant forensics
+    ("which session moved this blob?") stay possible even though the blobs
+    themselves are all ciphertext.
+    """
 
     dma_writes: int = 0
     dma_reads: int = 0
@@ -38,15 +45,16 @@ class HostTransferLog:
     bytes_downloaded: int = 0
     register_commands: int = 0
     observed_blobs: list = field(default_factory=list)
+    label: str = ""
 
 
 class ShefHostRuntime:
     """The host program: forwards sealed data between Data Owner, Shell, and Shield."""
 
-    def __init__(self, shell: Shell, shield_config: ShieldConfig):
+    def __init__(self, shell: Shell, shield_config: ShieldConfig, label: str = ""):
         self.shell = shell
         self.shield_config = shield_config
-        self.log = HostTransferLog()
+        self.log = HostTransferLog(label=label)
 
     # -- key delivery ------------------------------------------------------------------
 

@@ -202,6 +202,10 @@ class OnChipMemory:
         except KeyError:
             raise CapacityError(f"no on-chip allocation named {name!r}") from None
 
+    def allocation_names(self) -> tuple:
+        """Names of all live allocations (used to tear Shields off shared boards)."""
+        return tuple(self._allocations)
+
     def utilization(self) -> float:
         """Fraction of the on-chip budget currently allocated."""
         return self.used_bytes / self.capacity_bytes

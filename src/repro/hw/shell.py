@@ -51,7 +51,7 @@ class Shell:
         # The register slave is installed by whatever user logic is loaded.
         self._register_slave: Optional[Callable[[AxiLiteTransaction], bytes]] = None
         self._register_tap: Optional[Callable[[AxiLiteTransaction], None]] = None
-        self._dma_tap: Optional[Callable[[str, int, bytes], None]] = None
+        self._dma_taps: list[Callable[[str, int, bytes], None]] = []
 
     # -- user-logic side -------------------------------------------------------
 
@@ -89,16 +89,16 @@ class Shell:
 
     def host_dma_write(self, address: int, data: bytes) -> None:
         """Host-initiated DMA into device memory (used to stage encrypted inputs)."""
-        if self._dma_tap is not None:
-            self._dma_tap("write", address, bytes(data))
+        for tap in self._dma_taps:
+            tap("write", address, bytes(data))
         self.stats.dma_bytes_in += len(data)
         self.device_memory.write(address, data)
 
     def host_dma_read(self, address: int, length: int) -> bytes:
         """Host-initiated DMA out of device memory (used to fetch encrypted outputs)."""
         data = self.device_memory.read(address, length)
-        if self._dma_tap is not None:
-            self._dma_tap("read", address, data)
+        for tap in self._dma_taps:
+            tap("read", address, data)
         self.stats.dma_bytes_out += length
         return data
 
@@ -117,5 +117,10 @@ class Shell:
         self._register_tap = tap
 
     def install_dma_tap(self, tap: Callable[[str, int, bytes], None]) -> None:
-        """A malicious Shell build can observe every DMA transfer."""
-        self._dma_tap = tap
+        """Attach an observer of every DMA transfer.
+
+        Taps stack rather than replace: a malicious Shell build snooping DMA
+        cannot sever an auditor (e.g. the cloud service's per-board ledger)
+        that was installed earlier, and vice versa.
+        """
+        self._dma_taps.append(tap)

@@ -1,5 +1,12 @@
 """Experiment harness: functional and timing simulators plus per-figure experiments."""
 
+from repro.sim.cloud import (
+    CloudJobRecord,
+    CloudSimulator,
+    TraceEvent,
+    cloud_trace_experiment,
+    default_mixed_trace,
+)
 from repro.sim.experiments import (
     FIGURE5_SIZES_KB,
     FIGURE6_CONFIGS,
@@ -22,9 +29,16 @@ from repro.sim.simulator import (
     ProvisionedTestShield,
     TimingSimulator,
     build_test_shield,
+    outputs_equal,
+    run_unshielded_baseline,
 )
 
 __all__ = [
+    "CloudJobRecord",
+    "CloudSimulator",
+    "TraceEvent",
+    "cloud_trace_experiment",
+    "default_mixed_trace",
     "FIGURE5_SIZES_KB",
     "FIGURE6_CONFIGS",
     "TABLE2_DESIGNS",
@@ -48,4 +62,6 @@ __all__ = [
     "ProvisionedTestShield",
     "TimingSimulator",
     "build_test_shield",
+    "outputs_equal",
+    "run_unshielded_baseline",
 ]

@@ -1,0 +1,193 @@
+"""Multi-tenant workload replay through the analytical timing model.
+
+The functional :class:`~repro.cloud.service.ShieldCloudService` moves real
+bytes; this module answers the capacity-planning questions -- how does a
+board fleet behave under heavy mixed-tenant traffic?  A trace is a list of
+:class:`TraceEvent` arrivals (tenant, workload profile, Shield config); the
+:class:`CloudSimulator` replays it against an N-board fleet in FIFO arrival
+order on the earliest-available board (the timed analogue of the functional
+scheduler's round-robin over free boards), pricing each
+job's service time with :class:`~repro.core.timing.TimingModel` plus a
+fixed per-load Shield setup cost (partial reconfiguration + Load-Key
+delivery).  The result reports per-job wait/service/turnaround times, board
+utilization, and makespan, and renders/exports like every other experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ShieldConfig
+from repro.core.timing import TimingModel, WorkloadProfile
+from repro.errors import SimulationError
+from repro.sim.results import ExperimentResult
+
+#: Default board clock used to convert model cycles to seconds (AWS F1).
+DEFAULT_CLOCK_HZ = 250e6
+
+#: Modelled cost of loading a tenant's Shield onto a board between jobs
+#: (partial reconfiguration dominates; cf. Section 6.1's 6.2 s on F1).
+DEFAULT_SHIELD_LOAD_SECONDS = 6.2
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One tenant job arrival in a mixed workload trace."""
+
+    arrival_s: float
+    tenant: str
+    profile: WorkloadProfile
+    shield_config: ShieldConfig
+
+    @property
+    def workload(self) -> str:
+        return self.profile.name
+
+
+@dataclass(frozen=True)
+class CloudJobRecord:
+    """Scheduling outcome for one replayed job."""
+
+    tenant: str
+    workload: str
+    board: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+
+    @property
+    def wait_s(self) -> float:
+        return self.start_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+class CloudSimulator:
+    """Replays a multi-tenant trace over an N-board fleet using the timing model."""
+
+    def __init__(
+        self,
+        num_boards: int = 2,
+        model: TimingModel | None = None,
+        clock_hz: float = DEFAULT_CLOCK_HZ,
+        shield_load_seconds: float = DEFAULT_SHIELD_LOAD_SECONDS,
+    ):
+        if num_boards < 1:
+            raise SimulationError("the simulated fleet needs at least one board")
+        self.num_boards = num_boards
+        self.model = model or TimingModel()
+        self.clock_hz = clock_hz
+        self.shield_load_seconds = shield_load_seconds
+
+    # -- replay -------------------------------------------------------------------
+
+    def service_seconds(self, event: TraceEvent) -> float:
+        """Modelled on-board time of one job: Shield load + shielded execution."""
+        cycles = self.model.shielded(event.profile, event.shield_config).total_cycles
+        return self.shield_load_seconds + cycles / self.clock_hz
+
+    def replay(self, trace: list) -> list:
+        """Schedule the trace FIFO-by-arrival on the first free board."""
+        records: list[CloudJobRecord] = []
+        board_free = [0.0] * self.num_boards
+        for event in sorted(trace, key=lambda e: e.arrival_s):
+            board = min(range(self.num_boards), key=lambda i: board_free[i])
+            start = max(event.arrival_s, board_free[board])
+            finish = start + self.service_seconds(event)
+            board_free[board] = finish
+            records.append(
+                CloudJobRecord(
+                    tenant=event.tenant,
+                    workload=event.workload,
+                    board=board,
+                    arrival_s=event.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                )
+            )
+        return records
+
+    def replay_experiment(
+        self, trace: list, experiment_id: str = "cloud-trace"
+    ) -> ExperimentResult:
+        """Replay and package the outcome as a renderable/exportable experiment."""
+        records = self.replay(trace)
+        if not records:
+            raise SimulationError("cannot replay an empty trace")
+        makespan = max(r.finish_s for r in records)
+        busy = sum(r.service_s for r in records)
+        result = ExperimentResult(
+            experiment_id=experiment_id,
+            description=(
+                f"{len(records)} jobs from "
+                f"{len({r.tenant for r in records})} tenants on "
+                f"{self.num_boards} boards"
+            ),
+            metadata={
+                "num_boards": self.num_boards,
+                "makespan_s": round(makespan, 3),
+                "board_utilization": round(busy / (self.num_boards * makespan), 3),
+                "mean_wait_s": round(sum(r.wait_s for r in records) / len(records), 3),
+            },
+        )
+        for record in records:
+            result.add_row(
+                tenant=record.tenant,
+                workload=record.workload,
+                board=record.board,
+                arrival_s=round(record.arrival_s, 3),
+                wait_s=round(record.wait_s, 3),
+                service_s=round(record.service_s, 3),
+                turnaround_s=round(record.turnaround_s, 3),
+            )
+        return result
+
+
+def default_mixed_trace(jobs_per_tenant: int = 3, arrival_gap_s: float = 2.0) -> list:
+    """A deterministic mixed-tenant trace over three paper workloads.
+
+    Three tenants (vector add, matmul, affine) interleave their arrivals so
+    that the fleet sees alternating streaming- and random-access traffic --
+    the NanoZone-style many-tenant pressure the cloud layer exists to absorb.
+    """
+    from repro.accelerators import (
+        AffineTransformAccelerator,
+        MatMulAccelerator,
+        VectorAddAccelerator,
+    )
+
+    def paired_config(accelerator):
+        # Profiles reference the paper-scale region names when one exists.
+        if hasattr(accelerator, "paper_shield_config"):
+            return accelerator.paper_shield_config()
+        return accelerator.build_shield_config()
+
+    tenants = [
+        ("tenant-vadd", VectorAddAccelerator(256 * 1024)),
+        ("tenant-matmul", MatMulAccelerator(128)),
+        ("tenant-affine", AffineTransformAccelerator(128)),
+    ]
+    trace = []
+    for round_index in range(jobs_per_tenant):
+        for tenant_index, (tenant, accelerator) in enumerate(tenants):
+            trace.append(
+                TraceEvent(
+                    arrival_s=(round_index * len(tenants) + tenant_index) * arrival_gap_s,
+                    tenant=tenant,
+                    profile=accelerator.profile(),
+                    shield_config=paired_config(accelerator),
+                )
+            )
+    return trace
+
+
+def cloud_trace_experiment(num_boards: int = 2) -> ExperimentResult:
+    """The CLI-facing experiment: replay the default mixed trace on a fleet."""
+    simulator = CloudSimulator(num_boards=num_boards)
+    return simulator.replay_experiment(default_mixed_trace())

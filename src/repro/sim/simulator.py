@@ -77,6 +77,50 @@ def build_test_shield(
     )
 
 
+def outputs_equal(a: dict, b: dict) -> bool:
+    """Deep-compare two accelerator output dicts (numpy-array aware)."""
+    import numpy as np
+
+    if a.keys() != b.keys():
+        return False
+    for key in a:
+        left, right = a[key], b[key]
+        if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+            if not np.array_equal(np.asarray(left), np.asarray(right)):
+                return False
+        elif isinstance(left, dict) and isinstance(right, dict):
+            if not outputs_equal(left, right):
+                return False
+        elif left != right:
+            return False
+    return True
+
+
+def run_unshielded_baseline(
+    accelerator,
+    shield_config: ShieldConfig,
+    inputs: dict,
+    board_model: BoardModel | str = BoardModel.AWS_F1,
+    **params,
+):
+    """Run an accelerator directly against bare device memory.
+
+    Stages plaintext inputs at their region base addresses on a fresh board
+    and executes through :class:`DirectMemoryAdapter` -- the insecure
+    reference every shielded run (functional simulator, cloud demo) is
+    compared against.
+    """
+    board = make_board(board_model)
+    for region_name, plaintext in inputs.items():
+        board.device_memory.write(
+            shield_config.region(region_name).base_address
+            if shield_config.regions
+            else 0,
+            plaintext,
+        )
+    return accelerator.run(DirectMemoryAdapter(board.device_memory), **params)
+
+
 class FunctionalSimulator:
     """Runs accelerators with and without the Shield and compares results."""
 
@@ -104,17 +148,10 @@ class FunctionalSimulator:
         shield_config = shield_config or accelerator.build_shield_config()
 
         # Baseline: plaintext inputs in a fresh device memory, direct access.
-        baseline_board = make_board(self.board_model)
-        baseline_memory = DirectMemoryAdapter(baseline_board.device_memory)
         inputs = accelerator.prepare_inputs(**{k: v for k, v in params.items() if k == "seed"})
-        for region_name, plaintext in inputs.items():
-            baseline_board.device_memory.write(
-                shield_config.region(region_name).base_address
-                if shield_config.regions
-                else 0,
-                plaintext,
-            )
-        baseline_result = accelerator.run(baseline_memory, **params)
+        baseline_result = run_unshielded_baseline(
+            accelerator, shield_config, inputs, self.board_model, **params
+        )
 
         # Shielded: sealed inputs, Shield-mediated access.
         harness = build_test_shield(shield_config, self.board_model)
@@ -123,7 +160,7 @@ class FunctionalSimulator:
         harness.shield.flush()
 
         stats = harness.shield.stats()
-        outputs_match = self._outputs_equal(baseline_result.outputs, shielded_result.outputs)
+        outputs_match = outputs_equal(baseline_result.outputs, shielded_result.outputs)
         hit_total = stats.buffer_hits + stats.buffer_misses
         record = FunctionalRecord(
             workload=accelerator.name,
@@ -136,23 +173,6 @@ class FunctionalSimulator:
         )
         return record, baseline_result, shielded_result
 
-    @staticmethod
-    def _outputs_equal(a: dict, b: dict) -> bool:
-        import numpy as np
-
-        if a.keys() != b.keys():
-            return False
-        for key in a:
-            left, right = a[key], b[key]
-            if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
-                if not np.array_equal(np.asarray(left), np.asarray(right)):
-                    return False
-            elif isinstance(left, dict) and isinstance(right, dict):
-                if not FunctionalSimulator._outputs_equal(left, right):
-                    return False
-            elif left != right:
-                return False
-        return True
 
 
 class TimingSimulator:

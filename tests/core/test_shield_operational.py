@@ -1,0 +1,51 @@
+"""Regression tests for ``Shield.operational``.
+
+The original expression mixed ``and``/``or`` without parentheses; these tests
+pin the intended truth table, most importantly the region-less configuration
+(a register-interface-only Shield must come up as soon as its Load Key
+arrives, and must NOT be operational before).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RegisterInterfaceConfig, ShieldConfig
+from repro.core.shield import Shield
+from repro.crypto.rsa import RsaPrivateKey
+from repro.hw.board import BoardModel, make_board
+from repro.sim.simulator import build_test_shield
+from tests.conftest import make_small_shield_config
+
+
+def _regionless_config() -> ShieldConfig:
+    return ShieldConfig(
+        shield_id="reg-only",
+        engine_sets=[],
+        regions=[],
+        register_interface=RegisterInterfaceConfig(num_registers=8),
+    )
+
+
+def test_unprovisioned_shield_is_not_operational():
+    board = make_board(BoardModel.AWS_F1)
+    key = RsaPrivateKey.from_seed(b"operational-test", bits=512)
+    shield = Shield(make_small_shield_config(), board.shell, board.on_chip_memory, key)
+    assert not shield.operational
+
+
+def test_regionless_shield_not_operational_before_provisioning():
+    board = make_board(BoardModel.AWS_F1)
+    key = RsaPrivateKey.from_seed(b"operational-test", bits=512)
+    shield = Shield(_regionless_config(), board.shell, board.on_chip_memory, key)
+    assert not shield.operational
+
+
+def test_regionless_shield_operational_after_provisioning():
+    harness = build_test_shield(_regionless_config())
+    assert harness.shield.operational
+    # No regions means no pipelines -- and that must not mask readiness.
+    assert harness.shield._pipelines == {}
+
+
+def test_shield_with_regions_operational_after_provisioning(provisioned_shield):
+    assert provisioned_shield.shield.operational
+    assert provisioned_shield.shield._pipelines

@@ -1,0 +1,254 @@
+"""Differential conformance: the vectorized AES-CTR fast path vs the scalar reference.
+
+The fast path is only allowed to exist because it is *byte-identical* to the
+pure-Python reference.  These tests are property-based in the
+hypothesis style -- seeded random loops sweep keys, IVs, lengths, counter
+offsets, and tamperings -- but use explicit ``random.Random`` seeds so every
+failure replays deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineSetConfig, RegionConfig
+from repro.core.engines import AesEngine
+from repro.core.sealing import RegionSealer
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.fastaes import (
+    VectorAes,
+    fast_ctr_keystream,
+    fast_ctr_transform,
+    fast_ctr_transform_many,
+)
+from repro.crypto.fastpath import fast_path, fast_path_enabled, set_fast_path
+from repro.crypto.modes import ctr_keystream, ctr_transform
+from repro.errors import CryptoError, IntegrityError
+
+
+def _rand_bytes(rnd: random.Random, length: int) -> bytes:
+    return bytes(rnd.randrange(256) for _ in range(length))
+
+
+# ---------------------------------------------------------------------------
+# Raw block transform
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_encrypt_blocks_matches_scalar_for_every_key_size(key_len):
+    rnd = random.Random(1000 + key_len)
+    key = _rand_bytes(rnd, key_len)
+    cipher = AES(key)
+    vector = VectorAes(cipher)
+    blocks = _rand_bytes(rnd, 37 * BLOCK_SIZE)
+    batch = np.frombuffer(blocks, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+    fast = vector.encrypt_blocks(batch)
+    for i in range(batch.shape[0]):
+        scalar = cipher.encrypt_block(blocks[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE])
+        assert bytes(fast[i].tobytes()) == scalar
+
+
+def test_vector_aes_accepts_raw_key_bytes():
+    key = bytes(range(16))
+    data = b"attack at dawn!!" * 3
+    iv = bytes(12)
+    assert VectorAes(key).ctr_transform(iv, data) == ctr_transform(AES(key), iv, data)
+
+
+# ---------------------------------------------------------------------------
+# CTR transform: random lengths, offsets, counter wraparound
+# ---------------------------------------------------------------------------
+
+
+def test_ctr_transform_equivalence_random_sweep():
+    rnd = random.Random(42)
+    for _ in range(80):
+        key = _rand_bytes(rnd, rnd.choice([16, 24, 32]))
+        iv = _rand_bytes(rnd, 12)
+        length = rnd.randrange(0, 700)
+        counter = rnd.choice([0, 1, 7, 255, 2**31, 2**32 - 2, 2**32 - 1])
+        data = _rand_bytes(rnd, length)
+        cipher = AES(key)
+        assert fast_ctr_transform(cipher, iv, data, counter) == ctr_transform(
+            cipher, iv, data, counter
+        )
+
+
+def test_ctr_keystream_equivalence_and_partial_tail():
+    rnd = random.Random(7)
+    cipher = AES(_rand_bytes(rnd, 16))
+    iv = _rand_bytes(rnd, 12)
+    for length in (0, 1, 15, 16, 17, 100, 512, 513):
+        assert fast_ctr_keystream(cipher, iv, length) == ctr_keystream(cipher, iv, length)
+
+
+def test_ctr_roundtrip_through_mixed_paths():
+    """Encrypt on one path, decrypt on the other, in both directions."""
+    rnd = random.Random(11)
+    key = _rand_bytes(rnd, 32)
+    iv = _rand_bytes(rnd, 12)
+    data = _rand_bytes(rnd, 1234)
+    cipher = AES(key)
+    assert ctr_transform(cipher, iv, fast_ctr_transform(cipher, iv, data)) == data
+    assert fast_ctr_transform(cipher, iv, ctr_transform(cipher, iv, data)) == data
+
+
+def test_fast_path_rejects_bad_iv():
+    with pytest.raises(CryptoError):
+        fast_ctr_transform(AES(bytes(16)), b"short", b"data")
+
+
+# ---------------------------------------------------------------------------
+# Batched chunk transform
+# ---------------------------------------------------------------------------
+
+
+def test_ctr_transform_many_matches_per_chunk_scalar():
+    rnd = random.Random(13)
+    key = _rand_bytes(rnd, 16)
+    cipher = AES(key)
+    vector = VectorAes(cipher)
+    for chunk_size in (16, 48, 512):
+        ivs = [_rand_bytes(rnd, 12) for _ in range(9)]
+        datas = [_rand_bytes(rnd, chunk_size) for _ in range(9)]
+        batch = fast_ctr_transform_many(vector, ivs, datas)
+        for iv, data, out in zip(ivs, datas, batch):
+            assert out == ctr_transform(cipher, iv, data)
+
+
+def test_ctr_transform_many_validates_inputs():
+    vector = VectorAes(bytes(16))
+    with pytest.raises(CryptoError):
+        vector.ctr_transform_many([bytes(12)], [b"a", b"b"])
+    with pytest.raises(CryptoError):
+        vector.ctr_transform_many([bytes(12), bytes(12)], [b"aa", b"a"])
+    assert vector.ctr_transform_many([], []) == []
+
+
+# ---------------------------------------------------------------------------
+# Engine and sealer level: ciphertext AND tags must be identical
+# ---------------------------------------------------------------------------
+
+
+def _sealer(fast: bool | None, mac_algorithm: str = "HMAC") -> RegionSealer:
+    region = RegionConfig(
+        name="conformance", base_address=0, size_bytes=4096, chunk_size=256,
+        engine_set="es",
+    )
+    engine_config = EngineSetConfig(
+        name="es", mac_algorithm=mac_algorithm, fast_crypto=fast
+    )
+    return RegionSealer(b"\x55" * 32, region, engine_config)
+
+
+@pytest.mark.parametrize("mac_algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_sealed_chunks_identical_between_paths(mac_algorithm):
+    rnd = random.Random(99)
+    scalar_sealer = _sealer(False, mac_algorithm)
+    fast_sealer = _sealer(True, mac_algorithm)
+    for chunk_index in range(6):
+        plaintext = _rand_bytes(rnd, 256)
+        version = rnd.randrange(4)
+        scalar = scalar_sealer.seal_chunk(chunk_index, plaintext, version)
+        fast = fast_sealer.seal_chunk(chunk_index, plaintext, version)
+        assert scalar.ciphertext == fast.ciphertext
+        assert scalar.tag == fast.tag
+        # Cross-path unsealing: fast-sealed chunks verify on the scalar path.
+        assert scalar_sealer.unseal_chunk(
+            chunk_index, fast.ciphertext, fast.tag, version
+        ) == plaintext
+        assert fast_sealer.unseal_chunk(
+            chunk_index, scalar.ciphertext, scalar.tag, version
+        ) == plaintext
+
+
+def test_region_batch_sealing_identical_between_paths():
+    rnd = random.Random(101)
+    plaintext = _rand_bytes(rnd, 4096 - 77)  # exercises tail padding
+    scalar = _sealer(False).seal_region_data(plaintext)
+    fast = _sealer(True).seal_region_data(plaintext)
+    assert [c.ciphertext for c in scalar] == [c.ciphertext for c in fast]
+    assert [c.tag for c in scalar] == [c.tag for c in fast]
+    assert _sealer(True).unseal_region_data(scalar, len(plaintext)) == plaintext
+    assert _sealer(False).unseal_region_data(fast, len(plaintext)) == plaintext
+
+
+def test_tampered_tags_fail_identically_on_both_paths():
+    rnd = random.Random(103)
+    plaintext = _rand_bytes(rnd, 256)
+    sealed = _sealer(True).seal_chunk(3, plaintext)
+    for tamper in range(10):
+        position = rnd.randrange(len(sealed.tag))
+        bad_tag = bytearray(sealed.tag)
+        bad_tag[position] ^= 1 << rnd.randrange(8)
+        for path in (False, True):
+            with pytest.raises(IntegrityError):
+                _sealer(path).unseal_chunk(3, sealed.ciphertext, bytes(bad_tag))
+
+
+def test_tampered_ciphertext_fails_identically_on_both_paths():
+    rnd = random.Random(104)
+    sealed = _sealer(False).seal_chunk(0, _rand_bytes(rnd, 256))
+    bad = bytearray(sealed.ciphertext)
+    bad[rnd.randrange(len(bad))] ^= 0x80
+    for path in (False, True):
+        with pytest.raises(IntegrityError):
+            _sealer(path).unseal_chunk(0, bytes(bad), sealed.tag)
+
+
+# ---------------------------------------------------------------------------
+# Flag plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_engine_batch_rejects_mismatched_lists_on_both_paths():
+    from repro.errors import ShieldError
+
+    for flag in (False, True):
+        engine = AesEngine(bytes(16), fast_crypto=flag)
+        with pytest.raises(ShieldError):
+            engine.encrypt_many([bytes(12)], [b"a" * 16, b"b" * 16])
+        with pytest.raises(ShieldError):
+            engine.decrypt_many([bytes(12), bytes(12)], [b"a" * 16])
+
+
+def test_engine_fast_path_resolution():
+    key = bytes(16)
+    forced_on = AesEngine(key, fast_crypto=True)
+    forced_off = AesEngine(key, fast_crypto=False)
+    inherit = AesEngine(key)
+    assert forced_on.uses_fast_path
+    assert not forced_off.uses_fast_path
+    with fast_path(True):
+        assert inherit.uses_fast_path
+        assert not forced_off.uses_fast_path
+    with fast_path(False):
+        assert not inherit.uses_fast_path
+        assert forced_on.uses_fast_path
+
+
+def test_set_fast_path_returns_previous_value():
+    original = fast_path_enabled()
+    try:
+        assert set_fast_path(True) == original
+        assert set_fast_path(False) is True
+    finally:
+        set_fast_path(original)
+
+
+def test_engine_outputs_identical_across_flag_flips():
+    rnd = random.Random(105)
+    key = _rand_bytes(rnd, 16)
+    iv = _rand_bytes(rnd, 12)
+    data = _rand_bytes(rnd, 1000)
+    engine = AesEngine(key)
+    with fast_path(False):
+        scalar_out = engine.encrypt(iv, data)
+    with fast_path(True):
+        fast_out = engine.encrypt(iv, data)
+        assert engine.decrypt(iv, fast_out) == data
+    assert scalar_out == fast_out

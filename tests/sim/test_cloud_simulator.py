@@ -1,0 +1,74 @@
+"""CloudSimulator: replaying mixed multi-tenant traces through the timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cloud import (
+    CloudSimulator,
+    TraceEvent,
+    cloud_trace_experiment,
+    default_mixed_trace,
+)
+from repro.errors import SimulationError
+
+
+def test_default_trace_is_mixed_and_deterministic():
+    trace = default_mixed_trace()
+    assert len(trace) == 9
+    assert {event.tenant for event in trace} == {
+        "tenant-vadd", "tenant-matmul", "tenant-affine",
+    }
+    assert trace == default_mixed_trace()
+
+
+def test_replay_respects_fifo_and_board_capacity():
+    trace = default_mixed_trace(jobs_per_tenant=2, arrival_gap_s=0.0)
+    simulator = CloudSimulator(num_boards=2)
+    records = simulator.replay(trace)
+    assert len(records) == len(trace)
+    # No board runs two jobs at once.
+    for board in range(2):
+        spans = sorted(
+            (r.start_s, r.finish_s) for r in records if r.board == board
+        )
+        for (_, earlier_end), (later_start, _) in zip(spans, spans[1:]):
+            assert later_start >= earlier_end
+    # All six jobs arrive at t=0; with two boards, four of them must wait.
+    assert sum(1 for r in records if r.wait_s > 0) >= 4
+
+
+def test_more_boards_reduce_makespan():
+    trace = default_mixed_trace(jobs_per_tenant=2, arrival_gap_s=0.0)
+    makespan = {
+        boards: max(r.finish_s for r in CloudSimulator(num_boards=boards).replay(trace))
+        for boards in (1, 2, 4)
+    }
+    assert makespan[1] > makespan[2] > makespan[4]
+
+
+def test_replay_experiment_rows_and_metadata():
+    result = cloud_trace_experiment(num_boards=2)
+    assert result.experiment_id == "cloud-trace"
+    assert len(result.rows) == 9
+    assert 0.0 < result.metadata["board_utilization"] <= 1.0
+    assert result.metadata["makespan_s"] > 0
+    for row in result.rows:
+        assert row["service_s"] > 0
+        assert row["turnaround_s"] >= row["service_s"]
+
+
+def test_empty_trace_and_empty_fleet_are_rejected():
+    simulator = CloudSimulator(num_boards=1)
+    with pytest.raises(SimulationError):
+        simulator.replay_experiment([])
+    with pytest.raises(SimulationError):
+        CloudSimulator(num_boards=0)
+
+
+def test_service_time_includes_shield_load_cost():
+    event = default_mixed_trace()[0]
+    with_load = CloudSimulator(num_boards=1, shield_load_seconds=6.2)
+    without_load = CloudSimulator(num_boards=1, shield_load_seconds=0.0)
+    difference = with_load.service_seconds(event) - without_load.service_seconds(event)
+    assert difference == pytest.approx(6.2)
