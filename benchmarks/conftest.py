@@ -4,11 +4,48 @@ Each benchmark regenerates one table or figure of the paper: the timed body is
 the experiment itself (so ``pytest-benchmark`` reports how long the model
 takes), and the resulting rows are printed so the run log contains the same
 series the paper reports.  EXPERIMENTS.md records paper-vs-measured values.
+
+The crypto fast-path benchmarks additionally record their measured speedup
+factors into a machine-readable ``BENCH_fastpath.json`` (path overridable via
+``BENCH_FASTPATH_JSON``); CI uploads it as a workflow artifact so the perf
+trajectory of the AES and MAC fast paths is tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
 from repro.sim.reporting import render_experiment
+
+
+def random_bytes(seed: int, length: int) -> bytes:
+    """Deterministic pseudo-random payload for the fast-path benchmarks."""
+    return np.random.default_rng(seed).integers(0, 256, length, dtype=np.uint8).tobytes()
+
+_BENCH_JSON = Path(
+    os.environ.get(
+        "BENCH_FASTPATH_JSON",
+        Path(__file__).resolve().parent.parent / "BENCH_fastpath.json",
+    )
+)
+
+
+def record_fastpath_speedup(name: str, speedup: float, **extra) -> None:
+    """Merge one fast-path speedup measurement into ``BENCH_fastpath.json``."""
+    data = {}
+    if _BENCH_JSON.exists():
+        try:
+            data = json.loads(_BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    entry = {"speedup": round(speedup, 2)}
+    entry.update(extra)
+    data[name] = entry
+    _BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def run_and_report(benchmark, experiment_fn, *args, **kwargs):

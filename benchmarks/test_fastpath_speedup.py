@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
+from benchmarks.conftest import random_bytes, record_fastpath_speedup
 from repro.core.engines import AesEngine
 
 REGION_BYTES = 1 << 20
@@ -23,14 +23,10 @@ CHUNK_BYTES = 4096
 MIN_SPEEDUP = 5.0
 
 
-def _random_bytes(seed: int, length: int) -> bytes:
-    return np.random.default_rng(seed).integers(0, 256, length, dtype=np.uint8).tobytes()
-
-
 def _chunks():
-    data = _random_bytes(0, REGION_BYTES)
+    data = random_bytes(0, REGION_BYTES)
     ivs = [
-        _random_bytes(1000 + index, 12)
+        random_bytes(1000 + index, 12)
         for index in range(REGION_BYTES // CHUNK_BYTES)
     ]
     chunks = [
@@ -49,7 +45,7 @@ def _round_trip(engine: AesEngine, ivs, chunks) -> tuple:
 
 
 def test_vectorized_round_trip_is_5x_faster_and_identical():
-    key = _random_bytes(2, 16)
+    key = random_bytes(2, 16)
     ivs, chunks = _chunks()
 
     scalar_engine = AesEngine(key, fast_crypto=False)
@@ -72,6 +68,12 @@ def test_vectorized_round_trip_is_5x_faster_and_identical():
         f"\n1 MiB round-trip: scalar {scalar_seconds:.2f}s, "
         f"fast {fast_seconds:.3f}s, speedup {speedup:.0f}x"
     )
+    record_fastpath_speedup(
+        "aes_ctr_1mib_round_trip",
+        speedup,
+        scalar_seconds=round(scalar_seconds, 3),
+        fast_seconds=round(fast_seconds, 4),
+    )
     assert speedup >= MIN_SPEEDUP, (
         f"vectorized path only {speedup:.1f}x faster (need >= {MIN_SPEEDUP}x)"
     )
@@ -89,7 +91,7 @@ def test_batched_seal_matches_per_chunk_on_large_region():
     fast = RegionSealer(
         b"\x42" * 32, region, EngineSetConfig(name="es", fast_crypto=True)
     )
-    plaintext = _random_bytes(3, 256 * 1024)
+    plaintext = random_bytes(3, 256 * 1024)
     sealed = fast.seal_region_data(plaintext)
     assert len(sealed) == region.num_chunks
     per_chunk = [
@@ -104,10 +106,10 @@ def test_batched_seal_matches_per_chunk_on_large_region():
 @pytest.mark.parametrize("chunk_bytes", [512, 4096])
 def test_fast_chunk_seal_throughput(benchmark, chunk_bytes):
     """pytest-benchmark view of one fast-path chunk seal (for trend tracking)."""
-    key = _random_bytes(4, 16)
+    key = random_bytes(4, 16)
     engine = AesEngine(key, fast_crypto=True)
-    iv = _random_bytes(5, 12)
-    chunk = _random_bytes(6, chunk_bytes)
+    iv = random_bytes(5, 12)
+    chunk = random_bytes(6, chunk_bytes)
     engine.encrypt(iv, chunk)  # warm the vectorized key schedule
     result = benchmark(engine.encrypt, iv, chunk)
     assert len(result) == chunk_bytes

@@ -117,11 +117,7 @@ class DataOwner:
     ) -> bytes:
         """Unseal output chunks whose write versions are known (replay-protected regions)."""
         sealer = self._sealer(shield_config, region_name, shield_id)
-        plaintext = b"".join(
-            sealer.unseal_chunk(chunk.chunk_index, chunk.ciphertext, chunk.tag, version)
-            for chunk, version in zip(sealed_chunks, versions)
-        )
-        return plaintext if length is None else plaintext[:length]
+        return sealer.unseal_region_data(sealed_chunks, length, versions)
 
     # -- register channel -----------------------------------------------------------------------
 
@@ -135,13 +131,26 @@ class DataOwner:
 
     @staticmethod
     def sealed_chunks_from_device(
-        shield_config: ShieldConfig, region_name: str, ciphertext: bytes, tags: list
+        shield_config: ShieldConfig,
+        region_name: str,
+        ciphertext: bytes,
+        tags: list,
+        offset_chunks: int = 0,
     ) -> list:
-        """Rebuild :class:`SealedChunk` objects from raw ciphertext + tags read back via DMA."""
+        """Rebuild :class:`SealedChunk` objects from raw ciphertext + tags read back via DMA.
+
+        ``offset_chunks`` is the region-relative index of the first downloaded
+        chunk (what :meth:`ShefHostRuntime.download_region` was called with).
+        Chunk indices must be rebuilt from the same offset: the MAC binds each
+        chunk's absolute address and its IV encodes the chunk index, so a
+        partial download labelled from 0 would fail verification.
+        """
         region = shield_config.region(region_name)
         chunk_size = region.chunk_size
         chunks = []
         for index, tag in enumerate(tags):
             piece = ciphertext[index * chunk_size : (index + 1) * chunk_size]
-            chunks.append(SealedChunk(chunk_index=index, ciphertext=piece, tag=tag))
+            chunks.append(
+                SealedChunk(chunk_index=offset_chunks + index, ciphertext=piece, tag=tag)
+            )
         return chunks

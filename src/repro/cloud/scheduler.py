@@ -38,7 +38,8 @@ class AcceleratorJob:
     #: Region name -> plaintext bytes the tenant wants staged (sealed client-side).
     inputs: dict = field(default_factory=dict)
     #: Region name -> plaintext length to download and unseal after the run
-    #: (None downloads the whole region).
+    #: (None downloads the whole region), or an ``(offset_chunks, length)``
+    #: pair for a partial download starting mid-region.
     output_regions: dict = field(default_factory=dict)
     #: Keyword arguments forwarded to ``accelerator.run``.
     params: dict = field(default_factory=dict)

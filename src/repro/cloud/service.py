@@ -248,13 +248,18 @@ class ShieldCloudService:
             return None
         job, board_name = placement
         slot = self.slots[board_name]
-        session = self._session(job.session_id)
         try:
+            # The session lookup itself can fail (a dangling session id), and
+            # that failure must release the board too -- otherwise the job is
+            # stuck RUNNING and the slot leaks out of the free pool forever.
+            session = self._session(job.session_id)
             self._execute(job, slot, session)
         except Exception as exc:  # noqa: BLE001 - job failures must free the board
             self.scheduler.release(job, completed=False, error=str(exc))
-            session.usage.jobs_failed += 1
             self.stats.jobs_failed += 1
+            session = self.sessions.get(job.session_id)
+            if session is not None:
+                session.usage.jobs_failed += 1
         else:
             self.scheduler.release(job, completed=True)
             session.usage.jobs_completed += 1
@@ -304,10 +309,16 @@ class ShieldCloudService:
             shield.flush()
 
             # Download requested output regions (still sealed) and unseal them
-            # with the tenant's own key ring.
-            for region_name, length in job.output_regions.items():
+            # with the tenant's own key ring.  Each spec is either a plaintext
+            # length (from chunk 0) or an ``(offset_chunks, length)`` pair for
+            # a partial download starting mid-region.
+            for region_name, spec in job.output_regions.items():
+                if isinstance(spec, (tuple, list)):
+                    offset_chunks, length = spec
+                else:
+                    offset_chunks, length = 0, spec
                 job.region_outputs[region_name] = self._download_output(
-                    session, shield, runtime, region_name, length
+                    session, shield, runtime, region_name, length, offset_chunks
                 )
             # Only a fully successful job (run AND downloads) publishes its
             # result: ``job.result is None`` is the failure signal consumers
@@ -338,15 +349,28 @@ class ShieldCloudService:
         runtime: ShefHostRuntime,
         region_name: str,
         length: int | None,
+        offset_chunks: int = 0,
     ) -> bytes:
         config = session.shield_config
         region = config.region(region_name)
+        if not 0 <= offset_chunks < region.num_chunks:
+            raise CloudError(
+                f"offset {offset_chunks} outside region {region_name!r} "
+                f"({region.num_chunks} chunks)"
+            )
         if length is None:
-            num_chunks = region.num_chunks
+            num_chunks = region.num_chunks - offset_chunks
         else:
             num_chunks = -(-length // region.chunk_size)
-        ciphertext, tags = runtime.download_region(region_name, num_chunks)
-        sealed = DataOwner.sealed_chunks_from_device(config, region_name, ciphertext, tags)
+        if offset_chunks + num_chunks > region.num_chunks:
+            raise CloudError(
+                f"download of {num_chunks} chunk(s) at offset {offset_chunks} "
+                f"runs past region {region_name!r} ({region.num_chunks} chunks)"
+            )
+        ciphertext, tags = runtime.download_region(region_name, num_chunks, offset_chunks)
+        sealed = DataOwner.sealed_chunks_from_device(
+            config, region_name, ciphertext, tags, offset_chunks
+        )
         if region.replay_protected:
             counters = shield.pipeline(region_name).counters
             versions = [counters.read(c.chunk_index) for c in sealed]

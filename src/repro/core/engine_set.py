@@ -56,6 +56,11 @@ class RegionPipeline:
         self._port = memory_port
         self._sealer = RegionSealer(data_encryption_key, region, engine_config)
         self.stats = PipelineStats()
+        #: Chunk indices this pipeline has sealed to DRAM at least once.  For
+        #: ``streaming_write_only`` regions this decides whether a partial
+        #: write may zero-fill the rest of the chunk (nothing stored yet) or
+        #: must read the sealed chunk back (a previous burst already landed).
+        self._sealed_chunk_indices: set = set()
 
         buffer_budget = engine_config.buffer_bytes if buffer_bytes is None else buffer_bytes
         if buffer_budget:
@@ -124,6 +129,7 @@ class RegionPipeline:
         self.stats.dram_bytes_written += len(sealed.ciphertext) + MAC_TAG_BYTES
         self.stats.tag_bytes += MAC_TAG_BYTES
         self.stats.chunks_written_back += 1
+        self._sealed_chunk_indices.add(sealed.chunk_index)
 
     # -- buffer-mediated access -----------------------------------------------------
 
@@ -139,13 +145,26 @@ class RegionPipeline:
             return plaintext
         return self._fetch_chunk(chunk_index)
 
+    def _zero_fill_ok(self, chunk_index: int) -> bool:
+        """Whether a partial write to a streaming chunk may start from zeros.
+
+        Only until the chunk's first seal: a ``streaming_write_only`` region
+        has no Data-Owner-staged contents to preserve, but once this pipeline
+        has sealed the chunk, earlier bursts live in DRAM and zero-filling
+        would silently destroy them -- the chunk must be read back instead.
+        """
+        return (
+            self.region.streaming_write_only
+            and chunk_index not in self._sealed_chunk_indices
+        )
+
     def _write_span(self, chunk_index: int, offset: int, data: bytes) -> None:
         chunk_size = self.region.chunk_size
         full_chunk_write = offset == 0 and len(data) == chunk_size
         if self.buffer.enabled:
             line = self.buffer.lookup(chunk_index)
             if line is None:
-                if full_chunk_write or self.region.streaming_write_only:
+                if full_chunk_write or self._zero_fill_ok(chunk_index):
                     base = bytearray(chunk_size)
                 else:
                     base = bytearray(self._fetch_chunk(chunk_index))
@@ -160,7 +179,7 @@ class RegionPipeline:
         if full_chunk_write:
             self._store_chunk(chunk_index, data)
             return
-        if self.region.streaming_write_only:
+        if self._zero_fill_ok(chunk_index):
             base = bytearray(chunk_size)
         else:
             base = bytearray(self._fetch_chunk(chunk_index))

@@ -108,10 +108,11 @@ class RegionSealer:
         ``versions`` is either one write version shared by every chunk or a
         per-chunk list (what a buffered pipeline flush produces).  Encryption
         for every chunk is submitted to the AES engine in a single
-        :meth:`~repro.core.engines.AesEngine.encrypt_many` call, so the
-        vectorized fast path amortizes the per-call overhead across the whole
-        batch; MAC tags are still computed per chunk (the tag binds per-chunk
-        context, exactly as in :meth:`seal_chunk`).
+        :meth:`~repro.core.engines.AesEngine.encrypt_many` call, and all chunk
+        MACs go through one :meth:`~repro.core.engines.MacEngine.tag_many`
+        pass (every tag still binds its own per-chunk context, exactly as in
+        :meth:`seal_chunk`) -- so the vectorized fast path amortizes both the
+        cipher and the authentication over the whole batch.
         """
         if isinstance(versions, int):
             versions = [versions] * len(indices)
@@ -127,12 +128,16 @@ class RegionSealer:
             for index, version in zip(indices, versions)
         ]
         ciphertexts = self._aes_engine.encrypt_many(ivs, plaintexts)
-        sealed = []
-        for index, version, ciphertext in zip(indices, versions, ciphertexts):
-            context = chunk_mac_context(self.region, index, version)
-            tag = self._mac_engine.tag(context + ciphertext)
-            sealed.append(SealedChunk(chunk_index=index, ciphertext=ciphertext, tag=tag))
-        return sealed
+        tags = self._mac_engine.tag_many(
+            [
+                chunk_mac_context(self.region, index, version) + ciphertext
+                for index, version, ciphertext in zip(indices, versions, ciphertexts)
+            ]
+        )
+        return [
+            SealedChunk(chunk_index=index, ciphertext=ciphertext, tag=tag)
+            for index, ciphertext, tag in zip(indices, ciphertexts, tags)
+        ]
 
     def seal_region_data(self, plaintext: bytes, start_chunk: int = 0) -> list:
         """Seal a contiguous run of chunks (padding the tail with zeros).
@@ -160,17 +165,34 @@ class RegionSealer:
             index += 1
         return self.seal_chunks(indices, pieces)
 
-    def unseal_region_data(self, sealed_chunks: list, length: int | None = None) -> bytes:
+    def unseal_region_data(
+        self, sealed_chunks: list, length: int | None = None, versions=0
+    ) -> bytes:
         """Unseal a list of :class:`SealedChunk` back into contiguous plaintext.
 
-        Tags are verified chunk by chunk first (any tampering raises
-        :class:`~repro.errors.IntegrityError` before a single byte is
+        ``versions`` is one write version shared by every chunk (0 for
+        write-once regions) or a per-chunk list (replay-protected regions).
+        All tags are verified first in one batched
+        :meth:`~repro.core.engines.MacEngine.verify_many` pass (any tampering
+        raises :class:`~repro.errors.IntegrityError` before a single byte is
         decrypted), then all ciphertexts go through one batched decrypt pass.
         """
-        for chunk in sealed_chunks:
-            context = chunk_mac_context(self.region, chunk.chunk_index, 0)
-            self._mac_engine.verify(context + chunk.ciphertext, chunk.tag)
-        ivs = [chunk_iv(self.region, c.chunk_index, 0) for c in sealed_chunks]
+        if isinstance(versions, int):
+            versions = [versions] * len(sealed_chunks)
+        if len(versions) != len(sealed_chunks):
+            raise ShieldError("unseal_region_data needs one version per chunk")
+        self._mac_engine.verify_many(
+            [
+                chunk_mac_context(self.region, chunk.chunk_index, version)
+                + chunk.ciphertext
+                for chunk, version in zip(sealed_chunks, versions)
+            ],
+            [chunk.tag for chunk in sealed_chunks],
+        )
+        ivs = [
+            chunk_iv(self.region, chunk.chunk_index, version)
+            for chunk, version in zip(sealed_chunks, versions)
+        ]
         pieces = self._aes_engine.decrypt_many(ivs, [c.ciphertext for c in sealed_chunks])
         plaintext = b"".join(pieces)
         return plaintext if length is None else plaintext[:length]

@@ -1,0 +1,278 @@
+"""Vectorized multi-message MACs: the Shield's authentication fast path.
+
+PR 1 vectorized AES-CTR, which moved the functional hot path's bottleneck to
+the scalar per-chunk MAC over the pure-Python SHA-256 -- exactly the
+authentication bottleneck the paper removes in Sections 6.2.3-6.2.4 by
+swapping HMAC for parallelizable PMAC.  This module removes it in simulation
+space: all chunk MACs of a region are computed in one numpy pass.
+
+The batched primitives are byte-identical to their scalar references in
+:mod:`repro.crypto.mac` / :mod:`repro.crypto.hashes`:
+
+* :func:`sha256_many` runs the FIPS 180-4 compression schedule over an
+  ``(n_messages, n_blocks * 16)`` word array of equal-length messages: the
+  eight working variables become ``(n,)`` uint32 arrays, so one Python-level
+  round updates every message at once.  All chunk-MAC messages of a region
+  are equal-length (22-byte context + ``chunk_size`` ciphertext), which is
+  what makes the region seal/unseal path a single batch.
+* :class:`BatchedMac` holds the per-key setup (HMAC key pads, or the AES key
+  schedule plus PMAC/CMAC subkeys) and tags whole batches: HMAC as one
+  batched inner pass over the messages plus one batched outer pass over the
+  32-byte inner digests; PMAC's independent masked-block encryptions as one
+  ``(n * blocks, 16)`` :meth:`~repro.crypto.fastaes.VectorAes.encrypt_blocks`
+  batch (the parallelism the Shield's PMAC engines exploit in hardware);
+  CMAC sequential per message but with all messages' CBC chains in lock-step.
+
+:class:`BatchedMac` groups messages by length, so callers may hand over
+ragged batches; the module-level ``fast_*_many`` conveniences mirror the
+scalar signatures and :func:`fast_mac_many` dispatches by algorithm name
+just like :func:`repro.crypto.mac.compute_mac`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.fastaes import VectorAes
+from repro.crypto.hashes import _INITIAL_STATE, _K, SHA256
+from repro.crypto.mac import _cmac_subkeys, _double, hmac_key_pads
+from repro.errors import CryptoError
+
+__all__ = [
+    "sha256_many",
+    "BatchedMac",
+    "fast_hmac_sha256_many",
+    "fast_aes_pmac_many",
+    "fast_aes_cmac_many",
+    "fast_mac_many",
+]
+
+_K_NP = np.array(_K, dtype=np.uint32)
+_STATE_NP = np.array(_INITIAL_STATE, dtype=np.uint32)
+
+
+def _rotr(values: np.ndarray, amount: int) -> np.ndarray:
+    """Rotate every uint32 lane right by ``amount`` (1 <= amount <= 31)."""
+    return (values >> np.uint32(amount)) | (values << np.uint32(32 - amount))
+
+
+def _compress_many(state: list, words: np.ndarray) -> None:
+    """One SHA-256 compression round over an ``(n, 16)`` uint32 block batch."""
+    n = words.shape[0]
+    w = np.empty((64, n), dtype=np.uint32)
+    w[:16] = words.T
+    for i in range(16, 64):
+        x15, x2 = w[i - 15], w[i - 2]
+        s0 = _rotr(x15, 7) ^ _rotr(x15, 18) ^ (x15 >> np.uint32(3))
+        s1 = _rotr(x2, 17) ^ _rotr(x2, 19) ^ (x2 >> np.uint32(10))
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1
+
+    a, b, c, d, e, f, g, h = state
+    for i in range(64):
+        s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = h + s1 + ch + _K_NP[i] + w[i]
+        s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = s0 + maj
+        h = g
+        g = f
+        f = e
+        e = d + temp1
+        d = c
+        c = b
+        b = a
+        a = temp1 + temp2
+
+    for index, value in enumerate((a, b, c, d, e, f, g, h)):
+        state[index] = state[index] + value
+
+
+def sha256_many(messages: list) -> list:
+    """SHA-256 of many *equal-length* messages in one vectorized pass.
+
+    Returns one 32-byte digest per message, bit-compatible with
+    :class:`repro.crypto.hashes.SHA256`.  Raises :class:`CryptoError` on a
+    ragged batch -- mixed lengths are the callers' job
+    (:class:`BatchedMac` groups by length before descending here).
+    """
+    if not messages:
+        return []
+    length = len(messages[0])
+    if any(len(message) != length for message in messages):
+        raise CryptoError("sha256_many requires equal-length messages")
+    # FIPS 180-4 padding is a function of the length only, so one padding
+    # suffix serves the whole batch.
+    padding = (
+        b"\x80" + b"\x00" * ((55 - length) % 64) + struct.pack(">Q", length * 8)
+    )
+    blob = b"".join(message + padding for message in messages)
+    n = len(messages)
+    words = (
+        np.frombuffer(blob, dtype=">u4").astype(np.uint32).reshape(n, -1)
+    )
+    state = [np.full(n, value, dtype=np.uint32) for value in _STATE_NP]
+    for block in range(words.shape[1] // 16):
+        _compress_many(state, words[:, block * 16 : (block + 1) * 16])
+    digests = np.stack(state, axis=1).astype(">u4").view(np.uint8).reshape(n, 32)
+    return [row.tobytes() for row in digests]
+
+
+class BatchedMac:
+    """Prepared multi-message MAC state for one (algorithm, key) pair.
+
+    Construction performs the per-key setup once -- the HMAC key pads, or the
+    AES key schedule, :class:`VectorAes` round-key tables, and PMAC/CMAC
+    subkeys -- so an engine that tags many batches under the same key
+    (:class:`~repro.core.engines.MacEngine` keeps one instance) does not pay
+    it on every call.
+    """
+
+    def __init__(self, algorithm: str, key: bytes):
+        if algorithm not in ("HMAC", "PMAC", "CMAC"):
+            raise CryptoError(f"unknown MAC algorithm {algorithm!r}")
+        self.algorithm = algorithm
+        if algorithm == "HMAC":
+            self._i_key_pad, self._o_key_pad = hmac_key_pads(key)
+        else:
+            cipher = AES(key)
+            self._vector = VectorAes(cipher)
+            if algorithm == "PMAC":
+                l_value = int.from_bytes(
+                    cipher.encrypt_block(b"\x00" * BLOCK_SIZE), "big"
+                )
+                l_inv = _double(_double(l_value))
+                self._l_inv_np = np.frombuffer(l_inv.to_bytes(16, "big"), dtype=np.uint8)
+                # The PMAC offset sequence L, 2L, 4L... is key-only state; it
+                # is grown lazily to the longest message seen and reused.
+                self._offsets = np.empty((0, BLOCK_SIZE), dtype=np.uint8)
+                self._next_offset = l_value
+            else:
+                self._k1, self._k2 = _cmac_subkeys(cipher)
+
+    # -- public API ---------------------------------------------------------------
+
+    def tag_many(self, messages: list) -> list:
+        """Tag a batch (possibly ragged); one scalar-identical tag per message."""
+        if not messages:
+            return []
+        groups: dict = {}
+        for index, message in enumerate(messages):
+            groups.setdefault(len(message), []).append(index)
+        compute = getattr(self, f"_{self.algorithm.lower()}_equal_length")
+        tags: list = [None] * len(messages)
+        for indices in groups.values():
+            batch = compute([messages[i] for i in indices])
+            for index, tag in zip(indices, batch):
+                tags[index] = tag
+        return tags
+
+    # -- per-algorithm equal-length batches ------------------------------------------
+
+    def _hmac_equal_length(self, messages: list) -> list:
+        inner = sha256_many([self._i_key_pad + message for message in messages])
+        return sha256_many([self._o_key_pad + digest for digest in inner])
+
+    def _pmac_offsets(self, count: int) -> np.ndarray:
+        while len(self._offsets) < count:
+            grown = np.empty(
+                (max(count, 2 * len(self._offsets)), BLOCK_SIZE), dtype=np.uint8
+            )
+            grown[: len(self._offsets)] = self._offsets
+            offset = self._next_offset
+            for i in range(len(self._offsets), len(grown)):
+                grown[i] = np.frombuffer(offset.to_bytes(16, "big"), dtype=np.uint8)
+                offset = _double(offset)
+            self._offsets = grown
+            self._next_offset = offset
+        return self._offsets[:count]
+
+    def _pmac_equal_length(self, messages: list) -> list:
+        vector = self._vector
+        n = len(messages)
+        length = len(messages[0])
+        full_blocks, remainder = divmod(length, BLOCK_SIZE)
+        last_full = full_blocks - (1 if remainder == 0 and full_blocks > 0 else 0)
+
+        message_array = np.frombuffer(b"".join(messages), dtype=np.uint8).reshape(
+            n, length
+        )
+
+        if last_full:
+            offsets = self._pmac_offsets(last_full)
+            blocks = message_array[:, : last_full * BLOCK_SIZE].reshape(
+                n, last_full, BLOCK_SIZE
+            )
+            encrypted = vector.encrypt_blocks(
+                (blocks ^ offsets[None, :, :]).reshape(n * last_full, BLOCK_SIZE)
+            ).reshape(n, last_full, BLOCK_SIZE)
+            sigma = np.bitwise_xor.reduce(encrypted, axis=1)
+        else:
+            sigma = np.zeros((n, BLOCK_SIZE), dtype=np.uint8)
+
+        if remainder == 0 and full_blocks > 0:
+            final = message_array[:, (full_blocks - 1) * BLOCK_SIZE :]
+            sigma = sigma ^ final ^ self._l_inv_np
+        else:
+            padded = np.zeros((n, BLOCK_SIZE), dtype=np.uint8)
+            padded[:, :remainder] = message_array[:, full_blocks * BLOCK_SIZE :]
+            padded[:, remainder] = 0x80
+            sigma = sigma ^ padded
+
+        tags = vector.encrypt_blocks(np.ascontiguousarray(sigma))
+        return [row.tobytes() for row in tags]
+
+    def _cmac_equal_length(self, messages: list) -> list:
+        vector = self._vector
+        n = len(messages)
+        length = len(messages[0])
+        message_array = np.frombuffer(b"".join(messages), dtype=np.uint8).reshape(
+            n, length
+        )
+        if length and length % BLOCK_SIZE == 0:
+            padded = message_array
+            last_mask = self._k1
+        else:
+            padded = np.zeros(
+                (n, (length // BLOCK_SIZE + 1) * BLOCK_SIZE), dtype=np.uint8
+            )
+            padded[:, :length] = message_array
+            padded[:, length] = 0x80
+            last_mask = self._k2
+        num_blocks = padded.shape[1] // BLOCK_SIZE
+        blocks = padded.reshape(n, num_blocks, BLOCK_SIZE)
+
+        state = np.zeros((n, BLOCK_SIZE), dtype=np.uint8)
+        mask = np.frombuffer(last_mask, dtype=np.uint8)
+        for index in range(num_blocks):
+            block = blocks[:, index, :]
+            if index == num_blocks - 1:
+                block = block ^ mask
+            state = vector.encrypt_blocks(np.ascontiguousarray(state ^ block))
+        return [row.tobytes() for row in state]
+
+
+# -- module-level conveniences (mirror repro.crypto.mac signatures) ----------------
+
+
+def fast_hmac_sha256_many(key: bytes, messages: list) -> list:
+    """Batched :func:`repro.crypto.mac.hmac_sha256`; one 32-byte tag per message."""
+    return BatchedMac("HMAC", key).tag_many(messages)
+
+
+def fast_aes_pmac_many(key: bytes, messages: list) -> list:
+    """Batched :func:`repro.crypto.mac.aes_pmac`; one 16-byte tag per message."""
+    return BatchedMac("PMAC", key).tag_many(messages)
+
+
+def fast_aes_cmac_many(key: bytes, messages: list) -> list:
+    """Batched :func:`repro.crypto.mac.aes_cmac`; one 16-byte tag per message."""
+    return BatchedMac("CMAC", key).tag_many(messages)
+
+
+def fast_mac_many(algorithm: str, key: bytes, messages: list) -> list:
+    """Batched :func:`repro.crypto.mac.compute_mac` by algorithm name."""
+    return BatchedMac(algorithm, key).tag_many(messages)

@@ -30,14 +30,23 @@ def constant_time_equal(a: bytes, b: bytes) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """Compute HMAC-SHA256 (RFC 2104) of ``message`` under ``key``."""
+def hmac_key_pads(key: bytes) -> tuple[bytes, bytes]:
+    """Derive the RFC 2104 ``(i_key_pad, o_key_pad)`` pair for ``key``.
+
+    Shared with the batched fast path (:mod:`repro.crypto.fasthash`) so the
+    key-preparation rule -- hash over-long keys, zero-pad, XOR with
+    0x36/0x5C -- lives in exactly one place.
+    """
     block_size = SHA256.block_size
     if len(key) > block_size:
         key = SHA256(key).digest()
     key = key + b"\x00" * (block_size - len(key))
-    o_key_pad = bytes(b ^ 0x5C for b in key)
-    i_key_pad = bytes(b ^ 0x36 for b in key)
+    return bytes(b ^ 0x36 for b in key), bytes(b ^ 0x5C for b in key)
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256 (RFC 2104) of ``message`` under ``key``."""
+    i_key_pad, o_key_pad = hmac_key_pads(key)
     inner = SHA256(i_key_pad + message).digest()
     return SHA256(o_key_pad + inner).digest()
 
@@ -181,6 +190,7 @@ def verify_mac(algorithm: str, key: bytes, message: bytes, tag: bytes) -> None:
 
 __all__ = [
     "constant_time_equal",
+    "hmac_key_pads",
     "hmac_sha256",
     "verify_hmac_sha256",
     "aes_cmac",

@@ -160,6 +160,31 @@ def test_same_session_runs_many_jobs_on_one_board():
     assert len(session.job_stats) == 3
 
 
+def test_dangling_session_id_still_frees_the_board():
+    """Regression: the session lookup in run_next_job happens after the board
+    is acquired, so a dangling session id used to leave the job RUNNING and
+    the board leaked out of the free pool forever."""
+    service = ShieldCloudService(num_boards=1, fast_crypto=True)
+    accel = VectorAddAccelerator(8 * 1024)
+    session = service.admit_tenant("ghost", accel)
+    orphan = service.submit_job(session.session_id, inputs=accel.prepare_inputs(seed=6))
+    # Simulate state corruption / an out-of-band teardown losing the session.
+    del service.sessions[session.session_id]
+
+    job = service.run_next_job()
+    assert job is orphan
+    assert job.state is JobState.FAILED
+    assert "no session" in (job.error or "")
+    assert service.stats.jobs_failed == 1
+    assert service.scheduler.free_boards == 1
+
+    # The freed board serves the next tenant normally.
+    other = service.admit_tenant("alive", accel)
+    ok = service.submit_job(other.session_id, inputs=accel.prepare_inputs(seed=7))
+    service.run_until_idle()
+    assert ok.state is JobState.COMPLETED, ok.error
+
+
 def test_failed_job_frees_the_board():
     service = ShieldCloudService(num_boards=1, fast_crypto=True)
     accel = VectorAddAccelerator(8 * 1024)

@@ -1,0 +1,85 @@
+"""Regression tests: sub-chunk bursts into streaming write-only regions.
+
+The bufferless write path used to zero-fill the rest of the chunk on *every*
+partial write to a ``streaming_write_only`` region, so the second 64-byte
+burst into a 4 KiB chunk silently destroyed the first.  Zero-filling is only
+safe until the chunk's first seal; after that the pipeline must read the
+sealed chunk back before merging the new span.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RegionConfig
+from repro.sim.simulator import build_test_shield
+from tests.conftest import make_small_shield_config
+
+
+def _streaming_config(buffer_bytes: int, replay_protected: bool = False):
+    config = make_small_shield_config(
+        buffer_bytes=buffer_bytes, replay_protected_output=False
+    )
+    config.regions[1] = RegionConfig(
+        name="output", base_address=4096, size_bytes=4096, chunk_size=256,
+        engine_set="es-out", streaming_write_only=True,
+        replay_protected=replay_protected,
+    )
+    return config
+
+
+def test_sub_chunk_bursts_accumulate_without_buffer():
+    shield = build_test_shield(_streaming_config(buffer_bytes=0)).shield
+    # Stream one 256-byte chunk in four 64-byte bursts (buffer_bytes=0, so
+    # every burst seals the chunk to DRAM immediately).
+    bursts = [bytes([0x10 + i]) * 64 for i in range(4)]
+    for i, burst in enumerate(bursts):
+        shield.memory_write(4096 + 64 * i, burst)
+    assert shield.memory_read(4096, 256) == b"".join(bursts)
+
+
+def test_out_of_order_and_overlapping_bursts_without_buffer():
+    shield = build_test_shield(_streaming_config(buffer_bytes=0)).shield
+    shield.memory_write(4096 + 128, b"\xbb" * 64)   # later span first
+    shield.memory_write(4096, b"\xaa" * 64)          # must not erase the \xbb span
+    shield.memory_write(4096 + 120, b"\xcc" * 16)    # overlap straddling both
+    chunk = shield.memory_read(4096, 256)
+    assert chunk[:64] == b"\xaa" * 64
+    assert chunk[64:120] == b"\x00" * 56             # untouched bytes stay zero
+    assert chunk[120:136] == b"\xcc" * 16
+    assert chunk[136:192] == b"\xbb" * 56
+    assert chunk[192:] == b"\x00" * 64
+
+
+def test_sub_chunk_bursts_accumulate_with_replay_protection():
+    shield = build_test_shield(
+        _streaming_config(buffer_bytes=0, replay_protected=True)
+    ).shield
+    pipeline = shield.pipeline("output")
+    bursts = [bytes([0x40 + i]) * 64 for i in range(4)]
+    for i, burst in enumerate(bursts):
+        shield.memory_write(4096 + 64 * i, burst)
+    # Each burst re-sealed the chunk under a bumped integrity counter.
+    assert pipeline.counters is not None and pipeline.counters.read(0) == 4
+    assert shield.memory_read(4096, 256) == b"".join(bursts)
+
+
+def test_evicted_streaming_chunk_survives_a_later_burst():
+    # A one-line buffer: writing chunk 1 evicts (and seals) chunk 0, so the
+    # second burst into chunk 0 must read the sealed chunk back, not zero it.
+    shield = build_test_shield(_streaming_config(buffer_bytes=256)).shield
+    shield.memory_write(4096, b"\x11" * 64)          # chunk 0, first burst
+    shield.memory_write(4096 + 256, b"\x22" * 64)    # chunk 1 -> evicts chunk 0
+    shield.memory_write(4096 + 64, b"\x33" * 64)     # chunk 0, second burst
+    shield.flush()
+    assert shield.memory_read(4096, 128) == b"\x11" * 64 + b"\x33" * 64
+    assert shield.memory_read(4096 + 256, 64) == b"\x22" * 64
+
+
+def test_full_chunk_write_still_skips_the_read_back():
+    shield = build_test_shield(_streaming_config(buffer_bytes=0)).shield
+    harness_stats = shield.pipeline("output").stats
+    shield.memory_write(4096, b"\x55" * 256)         # full chunk: no fetch
+    shield.memory_write(4096, b"\x66" * 256)         # overwrite: still no fetch
+    assert harness_stats.chunks_fetched == 0
+    assert shield.memory_read(4096, 256) == b"\x66" * 256

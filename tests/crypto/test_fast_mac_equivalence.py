@@ -1,0 +1,251 @@
+"""Differential conformance: the batched MAC fast path vs the scalar references.
+
+Mirrors ``test_fast_path_equivalence`` for the authentication side: the
+vectorized multi-message SHA-256 / HMAC / PMAC / CMAC in
+:mod:`repro.crypto.fasthash` are only allowed to exist because they are
+byte-identical to the scalar implementations in :mod:`repro.crypto.hashes`
+and :mod:`repro.crypto.mac`.  Seeded random loops sweep message counts,
+lengths (including ragged batches), key lengths, and tamperings so every
+failure replays deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import EngineSetConfig, RegionConfig
+from repro.core.engines import MacEngine
+from repro.core.sealing import RegionSealer
+from repro.crypto.fasthash import (
+    fast_aes_cmac_many,
+    fast_aes_pmac_many,
+    fast_hmac_sha256_many,
+    fast_mac_many,
+    sha256_many,
+)
+from repro.crypto.fastpath import fast_path
+from repro.crypto.hashes import sha256
+from repro.crypto.mac import aes_cmac, aes_pmac, compute_mac, hmac_sha256
+from repro.errors import CryptoError, IntegrityError
+
+
+def _rand_bytes(rnd: random.Random, length: int) -> bytes:
+    return bytes(rnd.randrange(256) for _ in range(length))
+
+
+# ---------------------------------------------------------------------------
+# Multi-message SHA-256
+# ---------------------------------------------------------------------------
+
+
+def test_sha256_many_matches_scalar_on_padding_boundaries():
+    rnd = random.Random(200)
+    # 55/56/63/64 straddle the one-vs-two-padding-block boundary of FIPS 180-4.
+    for length in (0, 1, 54, 55, 56, 63, 64, 65, 119, 120, 128, 1000):
+        messages = [_rand_bytes(rnd, length) for _ in range(7)]
+        assert sha256_many(messages) == [sha256(m) for m in messages]
+
+
+def test_sha256_many_random_sweep():
+    rnd = random.Random(201)
+    for _ in range(20):
+        length = rnd.randrange(0, 600)
+        count = rnd.randrange(1, 20)
+        messages = [_rand_bytes(rnd, length) for _ in range(count)]
+        assert sha256_many(messages) == [sha256(m) for m in messages]
+
+
+def test_sha256_many_rejects_ragged_batches_and_accepts_empty():
+    assert sha256_many([]) == []
+    with pytest.raises(CryptoError):
+        sha256_many([b"a", b"ab"])
+
+
+# ---------------------------------------------------------------------------
+# Batched MACs vs scalar references (property-style sweeps)
+# ---------------------------------------------------------------------------
+
+
+def test_batched_hmac_matches_scalar_across_key_and_message_lengths():
+    rnd = random.Random(202)
+    for _ in range(25):
+        # Keys longer than the SHA-256 block are themselves hashed first.
+        key = _rand_bytes(rnd, rnd.choice([0, 1, 16, 32, 64, 65, 200]))
+        count = rnd.randrange(1, 12)
+        messages = [_rand_bytes(rnd, rnd.randrange(0, 400)) for _ in range(count)]
+        assert fast_hmac_sha256_many(key, messages) == [
+            hmac_sha256(key, m) for m in messages
+        ]
+
+
+@pytest.mark.parametrize("key_len", [16, 24, 32])
+def test_batched_pmac_matches_scalar_for_every_key_size(key_len):
+    rnd = random.Random(300 + key_len)
+    key = _rand_bytes(rnd, key_len)
+    for _ in range(15):
+        count = rnd.randrange(1, 10)
+        messages = [_rand_bytes(rnd, rnd.randrange(0, 300)) for _ in range(count)]
+        assert fast_aes_pmac_many(key, messages) == [aes_pmac(key, m) for m in messages]
+
+
+def test_batched_pmac_block_boundaries():
+    # 0 / partial / exactly-one / exactly-many blocks hit all PMAC branches.
+    rnd = random.Random(204)
+    key = _rand_bytes(rnd, 16)
+    lengths = [0, 1, 15, 16, 17, 31, 32, 33, 48, 160]
+    messages = [_rand_bytes(rnd, length) for length in lengths]
+    assert fast_aes_pmac_many(key, messages) == [aes_pmac(key, m) for m in messages]
+
+
+def test_batched_cmac_matches_scalar():
+    rnd = random.Random(205)
+    key = _rand_bytes(rnd, 16)
+    lengths = [0, 1, 15, 16, 17, 32, 33, 64, 100]
+    messages = [_rand_bytes(rnd, length) for length in lengths]
+    assert fast_aes_cmac_many(key, messages) == [aes_cmac(key, m) for m in messages]
+    for _ in range(10):
+        batch = [_rand_bytes(rnd, rnd.randrange(0, 200)) for _ in range(rnd.randrange(1, 9))]
+        assert fast_aes_cmac_many(key, batch) == [aes_cmac(key, m) for m in batch]
+
+
+@pytest.mark.parametrize("algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_fast_mac_many_dispatch_matches_compute_mac(algorithm):
+    rnd = random.Random(206)
+    key = _rand_bytes(rnd, 32 if algorithm == "HMAC" else 16)
+    messages = [_rand_bytes(rnd, rnd.randrange(0, 250)) for _ in range(8)]
+    assert fast_mac_many(algorithm, key, messages) == [
+        compute_mac(algorithm, key, m) for m in messages
+    ]
+
+
+def test_fast_mac_many_rejects_unknown_algorithm():
+    with pytest.raises(CryptoError):
+        fast_mac_many("GMAC", bytes(16), [b"x"])
+
+
+@pytest.mark.parametrize("algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_batched_mac_state_is_reusable_across_ragged_batches(algorithm):
+    """A cached BatchedMac (what MacEngine holds) stays scalar-identical over
+    repeated batches of varying lengths, including the lazily grown PMAC
+    offset sequence (short batch first, longer batch after)."""
+    from repro.crypto.fasthash import BatchedMac
+
+    rnd = random.Random(213)
+    key = _rand_bytes(rnd, 32 if algorithm == "HMAC" else 16)
+    batched = BatchedMac(algorithm, key)
+    for lengths in ([5, 17], [160, 0, 31], [320, 16, 160], [48]):
+        messages = [_rand_bytes(rnd, length) for length in lengths]
+        assert batched.tag_many(messages) == [
+            compute_mac(algorithm, key, m) for m in messages
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Engine level: tag_many / verify_many across both paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_engine_tag_many_identical_between_paths(algorithm):
+    rnd = random.Random(207)
+    key = _rand_bytes(rnd, 32)
+    scalar_engine = MacEngine(key, algorithm, fast_crypto=False)
+    fast_engine = MacEngine(key, algorithm, fast_crypto=True)
+    messages = [_rand_bytes(rnd, rnd.randrange(0, 300)) for _ in range(9)]
+    scalar_tags = scalar_engine.tag_many(messages)
+    fast_tags = fast_engine.tag_many(messages)
+    assert scalar_tags == fast_tags
+    # Batched tags equal per-message tag() (truncated to 16 bytes) on both paths.
+    assert fast_tags == [scalar_engine.tag(m) for m in messages]
+    assert all(len(tag) == 16 for tag in fast_tags)
+    # Cross-path verification: tags from one path verify on the other.
+    scalar_engine.verify_many(messages, fast_tags)
+    fast_engine.verify_many(messages, scalar_tags)
+
+
+def test_engine_tag_many_inherits_process_wide_switch():
+    rnd = random.Random(208)
+    engine = MacEngine(_rand_bytes(rnd, 32))
+    messages = [_rand_bytes(rnd, 100) for _ in range(4)]
+    with fast_path(False):
+        scalar_tags = engine.tag_many(messages)
+        assert not engine.uses_fast_path
+    with fast_path(True):
+        assert engine.uses_fast_path
+        assert engine.tag_many(messages) == scalar_tags
+
+
+@pytest.mark.parametrize("fast", [False, True])
+def test_engine_verify_many_rejects_tampering(fast):
+    rnd = random.Random(209)
+    engine = MacEngine(_rand_bytes(rnd, 32), "HMAC", fast_crypto=fast)
+    messages = [_rand_bytes(rnd, 128) for _ in range(6)]
+    tags = engine.tag_many(messages)
+    for victim in (0, 3, 5):
+        bad_tags = list(tags)
+        flipped = bytearray(bad_tags[victim])
+        flipped[rnd.randrange(16)] ^= 1 << rnd.randrange(8)
+        bad_tags[victim] = bytes(flipped)
+        with pytest.raises(IntegrityError):
+            engine.verify_many(messages, bad_tags)
+    with pytest.raises(IntegrityError):
+        engine.verify_many(messages, tags[:-1])
+    engine.verify_many(messages, tags)  # untampered batch still verifies
+    engine.verify_many([], [])  # empty batch is trivially valid
+
+
+# ---------------------------------------------------------------------------
+# Sealer level: a whole region's chunk MACs in one batch
+# ---------------------------------------------------------------------------
+
+
+def _sealer(fast: bool | None, mac_algorithm: str) -> RegionSealer:
+    region = RegionConfig(
+        name="mac-conformance", base_address=0, size_bytes=8192, chunk_size=512,
+        engine_set="es",
+    )
+    engine_config = EngineSetConfig(
+        name="es", mac_algorithm=mac_algorithm, fast_crypto=fast
+    )
+    return RegionSealer(b"\x77" * 32, region, engine_config)
+
+
+@pytest.mark.parametrize("mac_algorithm", ["HMAC", "PMAC", "CMAC"])
+def test_batched_region_seal_tags_identical_between_paths(mac_algorithm):
+    rnd = random.Random(210)
+    plaintext = _rand_bytes(rnd, 8192 - 123)  # exercises tail padding
+    scalar = _sealer(False, mac_algorithm).seal_region_data(plaintext)
+    fast = _sealer(True, mac_algorithm).seal_region_data(plaintext)
+    assert [c.tag for c in scalar] == [c.tag for c in fast]
+    assert [c.ciphertext for c in scalar] == [c.ciphertext for c in fast]
+    # Cross-path round-trips: sealed on one path, unsealed on the other.
+    assert _sealer(False, mac_algorithm).unseal_region_data(fast, len(plaintext)) == plaintext
+    assert _sealer(True, mac_algorithm).unseal_region_data(scalar, len(plaintext)) == plaintext
+
+
+def test_batched_unseal_rejects_tampered_chunk_on_both_paths():
+    rnd = random.Random(211)
+    sealed = _sealer(True, "HMAC").seal_region_data(_rand_bytes(rnd, 4096))
+    victim = rnd.randrange(len(sealed))
+    bad_tag = bytearray(sealed[victim].tag)
+    bad_tag[rnd.randrange(16)] ^= 0x40
+    sealed[victim].tag = bytes(bad_tag)
+    for path in (False, True):
+        with pytest.raises(IntegrityError):
+            _sealer(path, "HMAC").unseal_region_data(sealed)
+
+
+def test_batched_unseal_with_versions_identical_between_paths():
+    rnd = random.Random(212)
+    versions = [rnd.randrange(5) for _ in range(4)]
+    plaintexts = [_rand_bytes(rnd, 512) for _ in range(4)]
+    scalar_sealer = _sealer(False, "HMAC")
+    fast_sealer = _sealer(True, "HMAC")
+    sealed = scalar_sealer.seal_chunks(list(range(4)), plaintexts, versions)
+    assert sealed == fast_sealer.seal_chunks(list(range(4)), plaintexts, versions)
+    recovered = fast_sealer.unseal_region_data(sealed, versions=versions)
+    assert recovered == b"".join(plaintexts)
+    with pytest.raises(IntegrityError):
+        fast_sealer.unseal_region_data(sealed, versions=[v + 1 for v in versions])

@@ -68,6 +68,30 @@ def test_runtime_uploads_and_downloads_sealed_regions(provisioned_shield):
     assert recovered == plaintext[:512]
 
 
+def test_offset_chunk_download_unseals(provisioned_shield):
+    """Regression: chunks fetched with ``offset_chunks != 0`` must be rebuilt
+    with their true region-relative indices, or MAC verification fails (the
+    tag binds the chunk's absolute address and the IV encodes its index)."""
+    harness = provisioned_shield
+    config = harness.shield_config
+    runtime = ShefHostRuntime(harness.board.shell, config)
+
+    plaintext = bytes((3 * i + 1) % 256 for i in range(1024))  # 4 chunks of 256
+    harness.shield.memory_write(4096, plaintext)
+    harness.shield.flush()
+
+    # Download only chunks 2..3 of the output region.
+    ciphertext, tags = runtime.download_region("output", num_chunks=2, offset_chunks=2)
+    chunks = harness.data_owner.sealed_chunks_from_device(
+        config, "output", ciphertext, tags, offset_chunks=2
+    )
+    assert [c.chunk_index for c in chunks] == [2, 3]
+    recovered = harness.data_owner.unseal_output_with_versions(
+        config, "output", chunks, versions=[1, 1], length=512, shield_id=config.shield_id
+    )
+    assert recovered == plaintext[512:]
+
+
 def test_runtime_register_command_roundtrip(provisioned_shield):
     harness = provisioned_shield
     runtime = ShefHostRuntime(harness.board.shell, harness.shield_config)
