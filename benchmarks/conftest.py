@@ -7,8 +7,10 @@ series the paper reports.  EXPERIMENTS.md records paper-vs-measured values.
 
 The crypto fast-path benchmarks additionally record their measured speedup
 factors into a machine-readable ``BENCH_fastpath.json`` (path overridable via
-``BENCH_FASTPATH_JSON``); CI uploads it as a workflow artifact so the perf
-trajectory of the AES and MAC fast paths is tracked across PRs.
+``BENCH_FASTPATH_JSON``), and the scheduling benchmarks record warm-affinity
+makespan ratios into ``BENCH_sched.json`` (``BENCH_SCHED_JSON``); CI uploads
+both as workflow artifacts so the perf trajectory of the fast paths and the
+scheduler is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -26,26 +28,39 @@ def random_bytes(seed: int, length: int) -> bytes:
     """Deterministic pseudo-random payload for the fast-path benchmarks."""
     return np.random.default_rng(seed).integers(0, 256, length, dtype=np.uint8).tobytes()
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
 _BENCH_JSON = Path(
-    os.environ.get(
-        "BENCH_FASTPATH_JSON",
-        Path(__file__).resolve().parent.parent / "BENCH_fastpath.json",
-    )
+    os.environ.get("BENCH_FASTPATH_JSON", _REPO_ROOT / "BENCH_fastpath.json")
 )
+
+_BENCH_SCHED_JSON = Path(
+    os.environ.get("BENCH_SCHED_JSON", _REPO_ROOT / "BENCH_sched.json")
+)
+
+
+def _merge_bench_entry(path: Path, name: str, entry: dict) -> None:
+    """Merge one named measurement into a machine-readable bench JSON."""
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}
+    data[name] = entry
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def record_fastpath_speedup(name: str, speedup: float, **extra) -> None:
     """Merge one fast-path speedup measurement into ``BENCH_fastpath.json``."""
-    data = {}
-    if _BENCH_JSON.exists():
-        try:
-            data = json.loads(_BENCH_JSON.read_text())
-        except ValueError:
-            data = {}
     entry = {"speedup": round(speedup, 2)}
     entry.update(extra)
-    data[name] = entry
-    _BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _merge_bench_entry(_BENCH_JSON, name, entry)
+
+
+def record_sched_metric(name: str, **fields) -> None:
+    """Merge one scheduling measurement into ``BENCH_sched.json``."""
+    _merge_bench_entry(_BENCH_SCHED_JSON, name, dict(fields))
 
 
 def run_and_report(benchmark, experiment_fn, *args, **kwargs):

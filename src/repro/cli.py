@@ -10,6 +10,9 @@ Three subcommands cover the common workflows without writing any Python:
   fleet through :class:`~repro.cloud.service.ShieldCloudService`, check every
   tenant's outputs against its single-tenant baseline, and audit the host
   ledger for plaintext leaks;
+* ``cloud-trace`` -- replay a multi-tenant trace through the timed
+  :class:`~repro.sim.cloud.CloudSimulator` under a chosen scheduling policy,
+  with or without warm-board Shield affinity;
 * ``list`` -- enumerate the available accelerators, experiments, and board
   profiles.
 
@@ -18,7 +21,8 @@ Usage::
     python -m repro.cli experiments table-2
     python -m repro.cli experiments all --export-dir results/
     python -m repro.cli deploy-demo dnnweaver --board aws-f1
-    python -m repro.cli cloud-demo --boards 2 --fast-crypto
+    python -m repro.cli cloud-demo --boards 2 --fast-crypto --policy fair
+    python -m repro.cli cloud-trace --policy sjf --repeated-tenant
     python -m repro.cli list
 """
 
@@ -29,6 +33,7 @@ import os
 import sys
 
 from repro.accelerators import ALL_ACCELERATORS
+from repro.cloud.policies import POLICY_NAMES
 from repro.hw.board import BoardModel
 from repro.sim import experiments as experiments_module
 from repro.sim.cloud import cloud_trace_experiment
@@ -91,9 +96,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the vectorized AES-CTR fast path for every session",
     )
+    _add_scheduling_flags(cloud_parser)
+    cloud_parser.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        help="fleet-wide pending-queue cap (jobs beyond it are REJECTED)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "cloud-trace",
+        help="replay a multi-tenant trace through the timed fleet simulator",
+    )
+    trace_parser.add_argument(
+        "--boards", type=int, default=2, help="number of boards in the fleet"
+    )
+    _add_scheduling_flags(trace_parser)
+    trace_parser.add_argument(
+        "--repeated-tenant",
+        action="store_true",
+        help="replay the single-tenant repeated-job trace (the affinity showcase) "
+        "instead of the default mixed-tenant trace",
+    )
+    trace_parser.add_argument(
+        "--jobs", type=int, default=8, help="jobs in the repeated-tenant trace"
+    )
 
     subparsers.add_parser("list", help="list accelerators, experiments, and boards")
     return parser
+
+
+def _add_scheduling_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared scheduling knobs: one policy zoo for service and simulator."""
+    parser.add_argument(
+        "--policy",
+        choices=list(POLICY_NAMES),
+        default="fifo",
+        help="scheduling policy (shared by the functional service and the simulator)",
+    )
+    parser.add_argument(
+        "--no-affinity",
+        action="store_true",
+        help="disable warm-board Shield affinity (tear down + reload on every job)",
+    )
 
 
 def run_experiments(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -134,7 +179,7 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
         MatMulAccelerator,
         VectorAddAccelerator,
     )
-    from repro.cloud import ShieldCloudService
+    from repro.cloud import JobState, ShieldCloudService
     from repro.crypto.fastpath import fast_path_enabled
     from repro.sim.simulator import outputs_equal, run_unshielded_baseline
 
@@ -151,7 +196,11 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
         "carol": AffineTransformAccelerator(64),
     }
     service = ShieldCloudService(
-        num_boards=args.boards, fast_crypto=True if args.fast_crypto else None
+        num_boards=args.boards,
+        fast_crypto=True if args.fast_crypto else None,
+        policy=args.policy,
+        affinity=not args.no_affinity,
+        queue_cap=args.queue_cap,
     )
     sessions = {
         tenant: service.admit_tenant(tenant, accelerator)
@@ -168,13 +217,21 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
             )
     service.run_until_idle()
 
+    summary = service.fleet_summary()
     print(f"fleet               : {args.boards} board(s), "
           f"{len(tenants)} concurrent tenants", file=out)
+    print(f"policy              : {summary['policy']} "
+          f"(affinity {'on' if summary['affinity'] else 'off'})", file=out)
     mismatches = 0
     failures = 0
     for round_index in range(args.jobs_per_tenant):
         for tenant, accelerator in tenants.items():
             job = jobs[tenant][round_index]
+            if job.state is JobState.REJECTED:
+                # Backpressure under --queue-cap is an expected outcome, not a
+                # failure; the count is already in the summary line below.
+                print(f"job {job.job_id} ({tenant}) rejected: {job.error}", file=out)
+                continue
             if job.result is None:
                 failures += 1
                 print(f"job {job.job_id} ({tenant}) failed: {job.error}", file=out)
@@ -200,6 +257,10 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
             file=out,
         )
     print(f"failed jobs         : {failures}", file=out)
+    print(f"rejected jobs       : {summary['jobs_rejected']}", file=out)
+    print(f"shield loads        : {summary['shield_loads']} "
+          f"(affinity hits {summary['affinity_hits']}, "
+          f"hit rate {summary['affinity_hit_rate']:.0%})", file=out)
     print(f"baseline mismatches : {mismatches}", file=out)
     print(f"plaintext leaks     : {leaks}", file=out)
     print(
@@ -207,6 +268,38 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
         file=out,
     )
     return 0 if mismatches == 0 and leaks == 0 and failures == 0 else 1
+
+
+def run_cloud_trace(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Timed fleet replay: policy + affinity knobs over the CloudSimulator."""
+    from repro.sim.cloud import CloudSimulator, default_mixed_trace, repeated_tenant_trace
+
+    if args.boards < 1:
+        print("error: --boards must be at least 1", file=out)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=out)
+        return 2
+    trace = (
+        repeated_tenant_trace(num_jobs=args.jobs)
+        if args.repeated_tenant
+        else default_mixed_trace()
+    )
+    simulator = CloudSimulator(
+        num_boards=args.boards, policy=args.policy, affinity=not args.no_affinity
+    )
+    result = simulator.replay_experiment(trace)
+    print(render_experiment(result), file=out)
+    meta = result.metadata
+    print(file=out)
+    print(f"policy            : {meta['policy']} "
+          f"(affinity {'on' if meta['affinity'] else 'off'})", file=out)
+    print(f"makespan          : {meta['makespan_s']} s", file=out)
+    print(f"board utilization : {meta['board_utilization']:.0%}", file=out)
+    print(f"shield loads      : {meta['shield_loads']} "
+          f"(warm hits {meta['affinity_hits']}, "
+          f"hit rate {meta['affinity_hit_rate']:.0%})", file=out)
+    return 0
 
 
 def run_list(out=sys.stdout) -> int:
@@ -231,6 +324,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return run_deploy_demo(args, out=out)
     if args.command == "cloud-demo":
         return run_cloud_demo(args, out=out)
+    if args.command == "cloud-trace":
+        return run_cloud_trace(args, out=out)
     return run_list(out=out)
 
 

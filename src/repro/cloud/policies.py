@@ -1,0 +1,190 @@
+"""The shared scheduling core: one policy implementation, two consumers.
+
+Scheduling logic used to live twice -- functionally in
+:class:`~repro.cloud.scheduler.FleetScheduler` (which moves real bytes) and
+analytically in :class:`~repro.sim.cloud.CloudSimulator` (which prices time)
+-- and the two could silently diverge.  This module is the single source of
+truth both import:
+
+* a **policy zoo** deciding *which* queued job runs next -- FIFO, strict
+  priority, weighted fair-share per tenant, and shortest-job-first -- over a
+  neutral :class:`JobRequest` view that either consumer can build from its
+  own job representation, and
+* a **placement rule**, :func:`choose_board`, deciding *where* the job runs:
+  among the available boards, prefer one whose resident (warm) Shield already
+  belongs to the job's session, otherwise the longest-idle board.  Warm
+  placement is what turns the paper's ~6.2 s partial-reconfiguration Shield
+  load (Section 6.1) from a per-job cost into a per-session one.
+
+Policies are small stateful objects (weighted fair-share accumulates served
+cost per tenant), so each scheduler or simulator instantiates its own via
+:func:`make_policy` and replays stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A policy's view of one queued job (no bytes, no Shield, no board)."""
+
+    key: str
+    tenant: str
+    session_id: str
+    #: Monotonic submission sequence number -- the FIFO axis and the
+    #: deterministic tie-break for every other policy.
+    seq: int
+    #: Larger runs earlier under :class:`PriorityPolicy`.
+    priority: int = 0
+    #: Fair-share weight of the job's tenant (> 0).
+    weight: float = 1.0
+    #: Estimated service cost: modelled seconds in the simulator, a
+    #: caller-supplied estimate (default 1.0 == "count jobs") functionally.
+    cost_estimate: float = 1.0
+
+
+@dataclass(frozen=True)
+class BoardView:
+    """A policy's view of one *available* board at placement time."""
+
+    name: str
+    #: Preference order among the available boards (0 = longest idle /
+    #: earliest released).  Ties never occur: ranks are distinct by
+    #: construction.
+    rank: int
+    #: Session whose Shield is still resident (warm) on the board, if any.
+    resident_session: Optional[str] = None
+
+
+class SchedulingPolicy:
+    """Base class: pick the next job out of the queue.
+
+    ``select`` returns an *index* into the queue snapshot it is given; the
+    caller pops that entry.  ``record_service`` feeds served cost back so
+    stateful policies (fair-share) can steer future picks; stateless policies
+    ignore it.
+    """
+
+    name = "base"
+
+    def select(self, queue: Sequence[JobRequest]) -> int:
+        raise NotImplementedError
+
+    def record_service(self, request: JobRequest, cost: Optional[float] = None) -> None:
+        """Account ``cost`` (default: the request's estimate) as served."""
+
+    def snapshot(self) -> dict:
+        """Policy-internal state for reporting (empty for stateless policies)."""
+        return {}
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Strict arrival order (the seed's only behaviour)."""
+
+    name = "fifo"
+
+    def select(self, queue: Sequence[JobRequest]) -> int:
+        return min(range(len(queue)), key=lambda i: queue[i].seq)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Highest priority first; FIFO among equals."""
+
+    name = "priority"
+
+    def select(self, queue: Sequence[JobRequest]) -> int:
+        return min(range(len(queue)), key=lambda i: (-queue[i].priority, queue[i].seq))
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Smallest estimated cost first; FIFO among equals (minimizes mean wait)."""
+
+    name = "sjf"
+
+    def select(self, queue: Sequence[JobRequest]) -> int:
+        return min(range(len(queue)), key=lambda i: (queue[i].cost_estimate, queue[i].seq))
+
+
+class WeightedFairSharePolicy(SchedulingPolicy):
+    """Serve the tenant with the smallest weighted served cost.
+
+    Each tenant accumulates ``served / weight``; the next job comes from the
+    queued tenant with the lowest normalized share (FIFO within a tenant, and
+    FIFO between tenants at equal share).  With unit costs and unit weights
+    this degrades to round-robin over tenants -- the textbook max-min share.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._served: dict = {}
+
+    def select(self, queue: Sequence[JobRequest]) -> int:
+        def rank(i: int):
+            request = queue[i]
+            share = self._served.get(request.tenant, 0.0) / max(request.weight, 1e-12)
+            return (share, request.seq)
+
+        return min(range(len(queue)), key=rank)
+
+    def record_service(self, request: JobRequest, cost: Optional[float] = None) -> None:
+        amount = request.cost_estimate if cost is None else cost
+        self._served[request.tenant] = self._served.get(request.tenant, 0.0) + amount
+
+    def snapshot(self) -> dict:
+        return {"served": dict(self._served)}
+
+
+#: Registry of the policy zoo, keyed by CLI-facing name.
+POLICIES = {
+    policy.name: policy
+    for policy in (FifoPolicy, PriorityPolicy, WeightedFairSharePolicy, ShortestJobFirstPolicy)
+}
+
+POLICY_NAMES = tuple(sorted(POLICIES))
+
+
+def make_policy(policy) -> SchedulingPolicy:
+    """Resolve a policy name / class / instance into a fresh-enough instance.
+
+    Names and classes construct a new instance (so two schedulers never share
+    fair-share state); an instance is passed through as-is for callers that
+    want to pre-seed or share state deliberately.
+    """
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    if isinstance(policy, type) and issubclass(policy, SchedulingPolicy):
+        return policy()
+    try:
+        return POLICIES[policy]()
+    except (KeyError, TypeError):
+        raise SchedulingError(
+            f"unknown scheduling policy {policy!r}; known: {', '.join(POLICY_NAMES)}"
+        ) from None
+
+
+def choose_board(
+    request: JobRequest,
+    boards: Sequence[BoardView],
+    prefer_affinity: bool = True,
+) -> BoardView:
+    """Pick the board for a selected job: warm affinity first, then rank.
+
+    With ``prefer_affinity``, a board whose resident Shield belongs to the
+    job's session wins (skipping the partial-reconfiguration load); otherwise
+    -- and among several warm candidates -- the lowest rank (longest idle)
+    wins, which rotates load across the fleet exactly like the seed's
+    round-robin.
+    """
+    if not boards:
+        raise SchedulingError("choose_board needs at least one available board")
+    if prefer_affinity:
+        warm = [b for b in boards if b.resident_session == request.session_id]
+        if warm:
+            return min(warm, key=lambda b: b.rank)
+    return min(boards, key=lambda b: b.rank)

@@ -1,16 +1,21 @@
-"""Fleet scheduling: a FIFO work queue over a pool of FPGA boards.
+"""Fleet scheduling: a policy-driven work queue over a pool of FPGA boards.
 
-The scheduler is deliberately simple and deterministic -- jobs run in
-submission order, each on the free board that has been idle longest
-(round-robin rotation over the fleet) -- so tests can assert exact
-placements.  It knows nothing about tenants or keys: admission control and
-isolation live in :class:`~repro.cloud.service.ShieldCloudService`; the
-scheduler only decides *when* and *where* a job runs.
+The scheduler is deterministic -- job order comes from a pluggable
+:mod:`~repro.cloud.policies` policy (FIFO by default), and placement prefers
+a board whose *warm* resident Shield already belongs to the job's session,
+falling back to the free board that has been idle longest (round-robin
+rotation over the fleet) -- so tests can assert exact placements.  It knows
+nothing about tenants' keys: isolation lives in
+:class:`~repro.cloud.service.ShieldCloudService`; the scheduler decides
+*when* and *where* a job runs and enforces admission limits (a fleet-wide
+queue cap and per-tenant queue quotas) at submit time.
 
-Boards are released as soon as a job finishes (the Shield is torn off the
-board between jobs), so a two-board fleet time-multiplexes any number of
-concurrent tenant sessions, and the rotation spreads Shield loads across the
-fleet even when jobs happen to execute back-to-back.
+Boards are released as soon as a job finishes.  With affinity enabled the
+session's Shield stays resident on the released board, and a later job of the
+same session placed there is a *warm hit* -- the service skips the
+teardown+reload and the timed simulator prices the Shield load at zero.  A
+different session landing on the board evicts the resident Shield first, so
+the clean-slate guarantee between tenants is unchanged.
 """
 
 from __future__ import annotations
@@ -19,7 +24,14 @@ import enum
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.errors import SchedulingError
+from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
+from repro.errors import AdmissionError, SchedulingError
+
+#: Default per-board placement-history ring size.  Under sustained traffic the
+#: history used to grow without bound; the ring keeps the recent tail for the
+#: Admin story ("which tenants shared this board?") while
+#: ``placement_totals`` preserves exact lifetime counts.
+DEFAULT_HISTORY_LIMIT = 256
 
 
 class JobState(enum.Enum):
@@ -27,6 +39,10 @@ class JobState(enum.Enum):
     RUNNING = "running"
     COMPLETED = "completed"
     FAILED = "failed"
+    #: Refused at submit time by admission control (queue cap / tenant quota).
+    REJECTED = "rejected"
+    #: Dropped from the queue before placement (session closed).
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -35,6 +51,8 @@ class AcceleratorJob:
 
     job_id: str
     session_id: str
+    #: Owning tenant (fair-share accounting key; set by the service).
+    tenant: str = ""
     #: Region name -> plaintext bytes the tenant wants staged (sealed client-side).
     inputs: dict = field(default_factory=dict)
     #: Region name -> plaintext length to download and unseal after the run
@@ -43,38 +61,122 @@ class AcceleratorJob:
     output_regions: dict = field(default_factory=dict)
     #: Keyword arguments forwarded to ``accelerator.run``.
     params: dict = field(default_factory=dict)
+    #: Scheduling metadata consumed by the policy zoo.
+    priority: int = 0
+    weight: float = 1.0
+    cost_estimate: float = 1.0
+    #: Submission sequence number (assigned by the scheduler).
+    seq: int = -1
     state: JobState = JobState.QUEUED
     board_name: str | None = None
+    #: True when the job was placed on a board already holding its session's
+    #: Shield (the load was skipped).
+    warm_start: bool = False
     #: AcceleratorResult of the shielded run (set on completion).
     result: object | None = None
     #: Region name -> unsealed plaintext downloaded after the run.
     region_outputs: dict = field(default_factory=dict)
     error: str | None = None
 
+    def request_view(self) -> JobRequest:
+        """The policy-facing projection of this job."""
+        return JobRequest(
+            key=self.job_id,
+            tenant=self.tenant or self.session_id,
+            session_id=self.session_id,
+            seq=self.seq,
+            priority=self.priority,
+            weight=self.weight,
+            cost_estimate=self.cost_estimate,
+        )
+
 
 class FleetScheduler:
-    """FIFO queue + longest-idle-board (round-robin) placement over a fixed fleet."""
+    """Policy-driven queue + warm-affinity placement over a fixed fleet."""
 
-    def __init__(self, board_names: list):
+    def __init__(
+        self,
+        board_names: list,
+        policy="fifo",
+        affinity: bool = True,
+        queue_cap: int | None = None,
+        tenant_quota: int | None = None,
+        history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+    ):
         if not board_names:
             raise SchedulingError("a fleet needs at least one board")
+        if queue_cap is not None and queue_cap < 1:
+            raise SchedulingError("queue_cap must be positive (or None for unbounded)")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise SchedulingError("tenant_quota must be positive (or None for unbounded)")
         self._board_names = list(board_names)
         self._free_boards = deque(board_names)
-        self._queue: deque = deque()
-        #: board name -> session ids that have run on it, in order (for tests
-        #: and for the Admin story "which tenants shared this board?").
-        self.placement_history: dict = {name: [] for name in board_names}
+        self._queue: list = []
+        self.policy = make_policy(policy)
+        self.affinity = bool(affinity)
+        self.queue_cap = queue_cap
+        self.tenant_quota = tenant_quota
+        #: board name -> session the board's resident (warm) Shield belongs to.
+        self.resident_sessions: dict = {name: None for name in board_names}
+        #: board name -> recent session ids placed on it (bounded ring).
+        self._history: dict = {
+            name: deque(maxlen=history_limit) for name in board_names
+        }
+        #: board name -> lifetime placement count (survives ring eviction).
+        self.placement_totals: dict = {name: 0 for name in board_names}
+        self._seq = 0
+        self.affinity_hits = 0
+        self.jobs_rejected = 0
+        self.jobs_cancelled = 0
+
+    @property
+    def placement_history(self) -> dict:
+        """board name -> recent session ids, oldest first (ring-buffered)."""
+        return {name: list(ring) for name, ring in self._history.items()}
 
     # -- queueing -----------------------------------------------------------------
 
     def submit(self, job: AcceleratorJob) -> None:
+        """Queue a job, enforcing the fleet cap and the tenant quota.
+
+        Raises :class:`~repro.errors.AdmissionError` (and marks the job
+        ``REJECTED``) when a limit is hit -- backpressure is a first-class
+        outcome, not a crash.
+        """
         if job.state is not JobState.QUEUED:
             raise SchedulingError(f"job {job.job_id!r} is not in the QUEUED state")
+        if self.queue_cap is not None and len(self._queue) >= self.queue_cap:
+            self._reject(job, f"fleet queue is full ({self.queue_cap} job(s) pending)")
+        if self.tenant_quota is not None:
+            tenant = job.tenant or job.session_id
+            pending = sum(
+                1 for queued in self._queue
+                if (queued.tenant or queued.session_id) == tenant
+            )
+            if pending >= self.tenant_quota:
+                self._reject(
+                    job,
+                    f"tenant {tenant!r} already has {pending} job(s) queued "
+                    f"(quota {self.tenant_quota})",
+                )
+        self._seq += 1
+        job.seq = self._seq
         self._queue.append(job)
+
+    def _reject(self, job: AcceleratorJob, reason: str) -> None:
+        job.state = JobState.REJECTED
+        job.error = reason
+        self.jobs_rejected += 1
+        raise AdmissionError(reason)
 
     @property
     def pending_jobs(self) -> int:
         return len(self._queue)
+
+    def pending_for_tenant(self, tenant: str) -> int:
+        return sum(
+            1 for job in self._queue if (job.tenant or job.session_id) == tenant
+        )
 
     @property
     def free_boards(self) -> int:
@@ -87,29 +189,68 @@ class FleetScheduler:
     # -- placement ----------------------------------------------------------------
 
     def acquire(self) -> tuple | None:
-        """Pop the next job and a free board; ``None`` if either is missing."""
+        """Pick (policy) and place (affinity) the next job.
+
+        Returns ``(job, board_name, warm)`` -- ``warm`` is True when the board
+        already holds the job's session's Shield -- or ``None`` if the queue
+        is empty or the fleet is saturated.
+        """
         if not self._queue or not self._free_boards:
             return None
-        job = self._queue.popleft()
-        board_name = self._free_boards.popleft()
+        views = [job.request_view() for job in self._queue]
+        index = self.policy.select(views)
+        job = self._queue.pop(index)
+        view = views[index]
+        boards = [
+            BoardView(name=name, rank=rank, resident_session=self.resident_sessions[name])
+            for rank, name in enumerate(self._free_boards)
+        ]
+        chosen = choose_board(view, boards, prefer_affinity=self.affinity)
+        self._free_boards.remove(chosen.name)
+        warm = self.affinity and chosen.resident_session == job.session_id
+        if warm:
+            self.affinity_hits += 1
         job.state = JobState.RUNNING
-        job.board_name = board_name
-        self.placement_history[board_name].append(job.session_id)
-        return job, board_name
+        job.board_name = chosen.name
+        job.warm_start = warm
+        self._history[chosen.name].append(job.session_id)
+        self.placement_totals[chosen.name] += 1
+        self.policy.record_service(view)
+        return job, chosen.name, warm
 
     def release(self, job: AcceleratorJob, completed: bool, error: str | None = None) -> None:
-        """Return the job's board to the free pool and finalize its state."""
+        """Return the job's board to the free pool and finalize its state.
+
+        With affinity enabled, a *successful* job leaves its session's Shield
+        resident on the board (the next same-session job is a warm hit); a
+        failed job never does -- the service tears the Shield down to restore
+        the clean slate, and the residency record must agree.
+        """
         if job.state is not JobState.RUNNING or job.board_name is None:
             raise SchedulingError(f"job {job.job_id!r} is not running on any board")
         self._free_boards.append(job.board_name)
+        keep_warm = self.affinity and completed
+        self.resident_sessions[job.board_name] = job.session_id if keep_warm else None
         job.state = JobState.COMPLETED if completed else JobState.FAILED
         job.error = error
 
-    def drop_session_jobs(self, session_id: str) -> list:
-        """Remove still-queued jobs of a session (used at session teardown)."""
-        dropped = [job for job in self._queue if job.session_id == session_id]
-        for job in dropped:
+    def evict(self, board_name: str) -> None:
+        """Forget the board's resident Shield (the service tore it down)."""
+        self.resident_sessions[board_name] = None
+
+    def boards_resident_for(self, session_id: str) -> list:
+        """Boards currently holding this session's warm Shield."""
+        return [
+            name for name, resident in self.resident_sessions.items()
+            if resident == session_id
+        ]
+
+    def cancel_session_jobs(self, session_id: str) -> list:
+        """Cancel still-queued jobs of a session (used at session teardown)."""
+        cancelled = [job for job in self._queue if job.session_id == session_id]
+        for job in cancelled:
             self._queue.remove(job)
-            job.state = JobState.FAILED
+            job.state = JobState.CANCELLED
             job.error = "session closed before the job was scheduled"
-        return dropped
+        self.jobs_cancelled += len(cancelled)
+        return cancelled

@@ -2,8 +2,11 @@
 
 :class:`ShieldCloudService` plays the CSP: it owns a fleet of FPGA boards and
 admits many concurrent tenant sessions, each with its own Data Owner, Load
-Key, and Shield configuration.  Jobs are queued through a deterministic FIFO
-scheduler and executed by time-multiplexing Shields onto free boards:
+Key, and Shield configuration.  Jobs are queued through a deterministic
+policy-driven scheduler (FIFO / priority / weighted fair-share /
+shortest-job-first -- the same :mod:`repro.cloud.policies` core that drives
+the timed :class:`~repro.sim.cloud.CloudSimulator`) and executed by
+time-multiplexing Shields onto free boards:
 
 1. **admit** -- the tenant picks an accelerator; the service mints a
    session-scoped Shield key pair and the tenant wraps a fresh Data
@@ -14,8 +17,13 @@ scheduler and executed by time-multiplexing Shields onto free boards:
    ciphertext, the accelerator executes behind the Shield, and outputs come
    back sealed; the service then unseals them on the tenant's behalf with the
    tenant's own key ring (never a shared key).
-4. **teardown** -- the Shield is torn off the board (on-chip allocations
-   freed, register port disconnected) so the next tenant gets a clean slate.
+4. **teardown** -- with warm-board affinity (the default) a successful job
+   leaves its session's Shield *resident* on the board, so the next job of
+   the same session skips the teardown+reload (the paper's ~6.2 s partial
+   reconfiguration) entirely -- the datapath is still re-keyed per job.  A
+   different session landing on the board, a job failure, a closed session,
+   or ``affinity=False`` evicts the Shield first (on-chip allocations freed,
+   register port disconnected) so the next tenant gets a clean slate.
 
 Isolation is structural, not policed: every byte that crosses the host is
 ciphertext under a per-session key, so even a malicious
@@ -32,12 +40,12 @@ from dataclasses import dataclass, replace
 
 from repro.accelerators.base import ShieldMemoryAdapter
 from repro.attestation.data_owner import DataOwner
-from repro.cloud.scheduler import AcceleratorJob, FleetScheduler
+from repro.cloud.scheduler import DEFAULT_HISTORY_LIMIT, AcceleratorJob, FleetScheduler
 from repro.cloud.tenant import SessionState, TenantSession
 from repro.core.config import ShieldConfig
 from repro.core.shield import Shield
 from repro.crypto.rsa import RsaPrivateKey
-from repro.errors import CloudError, SchedulingError, TenantIsolationError
+from repro.errors import AdmissionError, CloudError, SchedulingError, TenantIsolationError
 from repro.host.runtime import ShefHostRuntime
 from repro.hw.board import BoardModel, FpgaBoard, make_board
 
@@ -51,6 +59,12 @@ class BoardSlot:
     shield_loads: int = 0
     #: Session currently loaded on the board (None between jobs).
     active_session: str | None = None
+    #: The warm Shield left resident between jobs (affinity), if any.
+    shield: Shield | None = None
+    #: Session the resident Shield belongs to.
+    resident_session: str | None = None
+    affinity_hits: int = 0
+    evictions: int = 0
 
 
 @dataclass
@@ -71,7 +85,11 @@ class CloudServiceStats:
     jobs_submitted: int = 0
     jobs_completed: int = 0
     jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_rejected: int = 0
     shield_loads: int = 0
+    affinity_hits: int = 0
+    evictions: int = 0
 
 
 class ShieldCloudService:
@@ -84,18 +102,32 @@ class ShieldCloudService:
         fast_crypto: bool | None = None,
         serial_prefix: str = "cloud-fpga",
         ledger_limit: int | None = None,
+        policy="fifo",
+        affinity: bool = True,
+        queue_cap: int | None = None,
+        tenant_quota: int | None = None,
+        history_limit: int | None = None,
     ):
         """``ledger_limit`` bounds the host-observation ledger (oldest entries
         are evicted first).  The default keeps everything, which is what the
         isolation tests and demos want -- the ledger stores every DMA'd blob
         verbatim, so a long-lived service should set a limit and audit
-        incrementally."""
+        incrementally.
+
+        ``policy`` names a :mod:`~repro.cloud.policies` scheduling policy
+        (``fifo``/``priority``/``fair``/``sjf``); ``affinity`` keeps a
+        session's Shield warm on its board between jobs so repeated-tenant
+        traffic skips the teardown+reload; ``queue_cap``/``tenant_quota``
+        bound the pending queue fleet-wide and per tenant (violations come
+        back as ``JobState.REJECTED``); ``history_limit`` caps each board's
+        placement-history ring (None uses the scheduler default)."""
         if num_boards < 1:
             raise CloudError("the fleet needs at least one board")
         if ledger_limit is not None and ledger_limit < 1:
             raise CloudError("ledger_limit must be positive (or None for unbounded)")
         self.fast_crypto = fast_crypto
         self.ledger_limit = ledger_limit
+        self.affinity = bool(affinity)
         self.slots: dict[str, BoardSlot] = {}
         for index in range(num_boards):
             name = f"board-{index}"
@@ -108,7 +140,14 @@ class ShieldCloudService:
             # check -- a regression that DMA'd plaintext would land here.
             board.shell.install_dma_tap(self._make_dma_tap(slot))
             self.slots[name] = slot
-        self.scheduler = FleetScheduler(list(self.slots))
+        self.scheduler = FleetScheduler(
+            list(self.slots),
+            policy=policy,
+            affinity=self.affinity,
+            queue_cap=queue_cap,
+            tenant_quota=tenant_quota,
+            history_limit=DEFAULT_HISTORY_LIMIT if history_limit is None else history_limit,
+        )
         self.sessions: dict[str, TenantSession] = {}
         self.jobs: dict[str, AcceleratorJob] = {}
         self.stats = CloudServiceStats()
@@ -135,6 +174,7 @@ class ShieldCloudService:
         tenant: str,
         accelerator,
         shield_config: ShieldConfig | None = None,
+        weight: float = 1.0,
     ) -> TenantSession:
         """Admit a tenant and provision a session-scoped trust domain.
 
@@ -142,7 +182,13 @@ class ShieldCloudService:
         essentials: a per-session Shield Encryption Key pair stands in for the
         attested bitstream, and the returned session already holds the wrapped
         Load Key that the host runtime will forward at first load.
+
+        ``weight`` is the tenant's fair-share weight: under the ``fair``
+        scheduling policy a weight-2 tenant is served twice the share of a
+        weight-1 tenant.
         """
+        if weight <= 0:
+            raise CloudError("a tenant's fair-share weight must be positive")
         self._session_counter += 1
         session_id = f"sess-{self._session_counter:04d}"
         base_config = shield_config or accelerator.build_shield_config()
@@ -168,6 +214,7 @@ class ShieldCloudService:
             shield_private_key=private_key,
             load_key=load_key,
             state=SessionState.ADMITTED,
+            weight=weight,
         )
         self.sessions[session_id] = session
         self.stats.sessions_admitted += 1
@@ -190,21 +237,26 @@ class ShieldCloudService:
         return config
 
     def close_session(self, session_id: str) -> list:
-        """Tear a session down; still-queued jobs are dropped and reported.
+        """Tear a session down: cancel its queued jobs, free its warm Shields.
 
-        Idempotent: closing an already-closed session is a no-op.
+        Still-queued jobs move to ``JobState.CANCELLED`` (they never ran, so
+        they are not failures), and any board still holding the session's
+        warm Shield is evicted so the next tenant gets a clean slate -- and
+        the tenant's key material stops being resident on hardware it no
+        longer pays for.  Idempotent: closing an already-closed session is a
+        no-op.
         """
         session = self._session(session_id)
         if session.is_closed:
             return []
         session.state = SessionState.CLOSED
         self.stats.sessions_closed += 1
-        dropped = self.scheduler.drop_session_jobs(session_id)
-        # Dropped jobs count as failures so submitted == completed + failed
-        # holds on both the tenant's bill and the fleet dashboard.
-        session.usage.jobs_failed += len(dropped)
-        self.stats.jobs_failed += len(dropped)
-        return dropped
+        cancelled = self.scheduler.cancel_session_jobs(session_id)
+        session.usage.jobs_cancelled += len(cancelled)
+        self.stats.jobs_cancelled += len(cancelled)
+        for board_name in self.scheduler.boards_resident_for(session_id):
+            self._evict(self.slots[board_name])
+        return cancelled
 
     def _session(self, session_id: str) -> TenantSession:
         try:
@@ -219,9 +271,19 @@ class ShieldCloudService:
         session_id: str,
         inputs: dict | None = None,
         output_regions: dict | None = None,
+        priority: int = 0,
+        cost_estimate: float = 1.0,
         **params,
     ) -> AcceleratorJob:
-        """Queue one accelerator run for a provisioned session."""
+        """Queue one accelerator run for a provisioned session.
+
+        ``priority`` and ``cost_estimate`` feed the scheduling policy
+        (``priority`` and ``sjf`` respectively); the job's fair-share weight
+        comes from the session.  When admission control refuses the job
+        (fleet queue cap or tenant quota), the returned job carries
+        ``JobState.REJECTED`` and the reason in ``job.error`` -- backpressure
+        is an outcome the caller checks, not an exception it catches.
+        """
         session = self._session(session_id)
         if not session.is_provisioned:
             raise SchedulingError(
@@ -232,13 +294,21 @@ class ShieldCloudService:
         job = AcceleratorJob(
             job_id=f"job-{self._job_counter:04d}",
             session_id=session_id,
+            tenant=session.tenant,
             inputs=dict(inputs or {}),
             output_regions=dict(output_regions or {}),
             params=dict(params),
+            priority=priority,
+            weight=session.weight,
+            cost_estimate=cost_estimate,
         )
         self.jobs[job.job_id] = job
-        self.scheduler.submit(job)
         self.stats.jobs_submitted += 1
+        try:
+            self.scheduler.submit(job)
+        except AdmissionError:
+            self.stats.jobs_rejected += 1
+            session.usage.jobs_rejected += 1
         return job
 
     def run_next_job(self) -> AcceleratorJob | None:
@@ -246,15 +316,18 @@ class ShieldCloudService:
         placement = self.scheduler.acquire()
         if placement is None:
             return None
-        job, board_name = placement
+        job, board_name, warm = placement
         slot = self.slots[board_name]
         try:
             # The session lookup itself can fail (a dangling session id), and
             # that failure must release the board too -- otherwise the job is
             # stuck RUNNING and the slot leaks out of the free pool forever.
             session = self._session(job.session_id)
-            self._execute(job, slot, session)
+            self._execute(job, slot, session, warm)
         except Exception as exc:  # noqa: BLE001 - job failures must free the board
+            # A failed job never leaves a warm Shield behind: the board is
+            # wiped back to the clean slate before anything else lands on it.
+            self._evict(slot)
             self.scheduler.release(job, completed=False, error=str(exc))
             self.stats.jobs_failed += 1
             session = self.sessions.get(job.session_id)
@@ -276,14 +349,37 @@ class ShieldCloudService:
             finished.append(job)
         return finished
 
-    def _execute(self, job: AcceleratorJob, slot: BoardSlot, session: TenantSession) -> None:
+    def _execute(
+        self,
+        job: AcceleratorJob,
+        slot: BoardSlot,
+        session: TenantSession,
+        warm: bool = False,
+    ) -> None:
         board = slot.board
         config = session.shield_config
-        allocations_before = set(board.on_chip_memory.allocation_names())
-        shield = Shield(config, board.shell, board.on_chip_memory, session.shield_private_key)
+        if warm and slot.shield is not None and slot.resident_session == session.session_id:
+            # Warm hit: the session's Shield is still resident from its last
+            # job, so the teardown+reload (the paper's ~6.2 s partial
+            # reconfiguration) is skipped entirely.  The datapath is still
+            # re-keyed below -- a fresh Data Encryption Key per job -- so
+            # keystream never repeats across jobs.
+            shield = slot.shield
+            slot.affinity_hits += 1
+            self.stats.affinity_hits += 1
+        else:
+            # Cold load.  Whatever Shield is resident belongs to a different
+            # session (or the warm path is off): tear it down first so the new
+            # tenant starts from the clean slate, then load fresh.
+            self._evict(slot)
+            shield = Shield(
+                config, board.shell, board.on_chip_memory, session.shield_private_key
+            )
+            slot.shield = shield
+            slot.resident_session = session.session_id
+            slot.shield_loads += 1
+            self.stats.shield_loads += 1
         runtime = ShefHostRuntime(board.shell, config, label=session.session_id)
-        slot.shield_loads += 1
-        self.stats.shield_loads += 1
         slot.active_session = session.session_id
         session.boards_used.append(slot.name)
         try:
@@ -339,7 +435,12 @@ class ShieldCloudService:
                         session_id=runtime.log.label, board_name=slot.name, entry=entry
                     )
                 )
-            self._unload(slot, allocations_before)
+            if not self.affinity:
+                # Affinity off restores the seed behaviour: the Shield is torn
+                # off the board after every job.  With affinity on, a
+                # *successful* job leaves the Shield resident (warm); failures
+                # are evicted by run_next_job's error path.
+                self._evict(slot)
             slot.active_session = None
 
     def _download_output(
@@ -381,13 +482,20 @@ class ShieldCloudService:
             config, region_name, sealed, length, shield_id=config.shield_id
         )
 
-    def _unload(self, slot: BoardSlot, allocations_before: set) -> None:
-        """Tear the Shield off the board: free on-chip memory, drop the port."""
-        on_chip = slot.board.on_chip_memory
-        for name in on_chip.allocation_names():
-            if name not in allocations_before:
-                on_chip.free(name)
-        slot.board.shell.disconnect_user_logic()
+    def _evict(self, slot: BoardSlot) -> None:
+        """Tear the resident Shield off a board: free on-chip memory, drop the
+        register port, and forget the residency.  No-op on an empty board."""
+        if slot.shield is not None:
+            slot.shield.unload()
+            slot.evictions += 1
+            self.stats.evictions += 1
+        else:
+            # Defensive: even without a tracked Shield, leave the user region
+            # disconnected (partial reconfiguration of an empty slot).
+            slot.board.shell.disconnect_user_logic()
+        slot.shield = None
+        slot.resident_session = None
+        self.scheduler.evict(slot.name)
 
     # -- results and auditing -------------------------------------------------------
 
@@ -441,16 +549,63 @@ class ShieldCloudService:
     # -- reporting -------------------------------------------------------------------
 
     def fleet_summary(self) -> dict:
-        """Board-by-board load counts plus service totals (for demos/CLI)."""
+        """Board-by-board load counts plus service totals (for demos/CLI).
+
+        Placement history per board is the ring-buffered recent tail;
+        ``placements_total`` carries the exact lifetime count so sustained
+        traffic never inflates memory.  ``affinity_hit_rate`` is warm
+        placements over all placements, and ``tenants`` reports per-tenant
+        fairness: each tenant's completed-job share of everything the fleet
+        completed.
+        """
+        history = self.scheduler.placement_history
+        placements = sum(self.scheduler.placement_totals.values())
+        tenants: dict = {}
+        for session in self.sessions.values():
+            usage = session.usage
+            entry = tenants.setdefault(
+                session.tenant,
+                {
+                    "jobs_completed": 0,
+                    "jobs_failed": 0,
+                    "jobs_cancelled": 0,
+                    "jobs_rejected": 0,
+                    "weight": session.weight,
+                },
+            )
+            entry["jobs_completed"] += usage.jobs_completed
+            entry["jobs_failed"] += usage.jobs_failed
+            entry["jobs_cancelled"] += usage.jobs_cancelled
+            entry["jobs_rejected"] += usage.jobs_rejected
+        for entry in tenants.values():
+            entry["completed_share"] = (
+                entry["jobs_completed"] / self.stats.jobs_completed
+                if self.stats.jobs_completed
+                else 0.0
+            )
         return {
+            "policy": self.scheduler.policy.name,
+            "affinity": self.affinity,
             "boards": {
                 name: {
                     "shield_loads": slot.shield_loads,
-                    "sessions": list(self.scheduler.placement_history[name]),
+                    "affinity_hits": slot.affinity_hits,
+                    "evictions": slot.evictions,
+                    "resident_session": slot.resident_session,
+                    "sessions": history[name],
+                    "placements_total": self.scheduler.placement_totals[name],
                 }
                 for name, slot in self.slots.items()
             },
             "sessions_admitted": self.stats.sessions_admitted,
             "jobs_completed": self.stats.jobs_completed,
             "jobs_failed": self.stats.jobs_failed,
+            "jobs_cancelled": self.stats.jobs_cancelled,
+            "jobs_rejected": self.stats.jobs_rejected,
+            "shield_loads": self.stats.shield_loads,
+            "affinity_hits": self.stats.affinity_hits,
+            "affinity_hit_rate": (
+                self.stats.affinity_hits / placements if placements else 0.0
+            ),
+            "tenants": tenants,
         }

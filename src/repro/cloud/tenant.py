@@ -49,6 +49,8 @@ class TenantUsage:
 
     jobs_completed: int = 0
     jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_rejected: int = 0
     accel_bytes_read: int = 0
     accel_bytes_written: int = 0
     dram_bytes_read: int = 0
@@ -89,6 +91,8 @@ class TenantSession:
     shield_private_key: RsaPrivateKey
     load_key: LoadKeyDelivery
     state: SessionState = SessionState.ADMITTED
+    #: Fair-share weight under the ``fair`` scheduling policy (> 0).
+    weight: float = 1.0
     usage: TenantUsage = field(default_factory=TenantUsage)
     #: Shield statistics captured after each job (most recent last).
     job_stats: list = field(default_factory=list)

@@ -65,6 +65,7 @@ class Shield:
         self.key_store = ShieldKeyStore(shield_private_key)
         self.burst_decoder = BurstDecoder(config)
         self._pipelines: dict[str, RegionPipeline] = {}
+        self._pipeline_allocations: list[str] = []
         self._register_file: Optional[ShieldedRegisterFile] = None
         # The Shield owns the Shell's register slave port from the moment it
         # is loaded; before key provisioning it rejects everything.
@@ -73,13 +74,37 @@ class Shield:
     # -- key provisioning ----------------------------------------------------------
 
     def provision_load_key(self, wrapped_key: bytes, slot: str = "default") -> None:
-        """Unwrap a Load Key and bring the datapath online."""
+        """Unwrap a Load Key and bring the datapath online.
+
+        Re-provisioning a fresh Load Key on an already-operational Shield
+        re-keys the datapath: the old pipelines (and their on-chip
+        allocations) are discarded and rebuilt under the new Data Encryption
+        Key.  This is what lets a *warm* Shield stay resident on a board
+        between jobs of the same session without reusing AES-CTR keystream.
+        """
         self.key_store.provision_load_key(wrapped_key, slot)
         data_key = self.key_store.data_key(slot)
         self._register_file = ShieldedRegisterFile(self.config.register_interface, data_key)
         self._build_pipelines(data_key)
 
     def _build_pipelines(self, data_key: bytes) -> None:
+        for name in self._pipeline_allocations:
+            self.on_chip_memory.free(name)
+        self._pipeline_allocations = []
+        self._pipelines = {}
+        allocations_before = set(self.on_chip_memory.allocation_names())
+        try:
+            self._build_pipelines_inner(data_key)
+        finally:
+            # Track even the allocations of a build that failed midway, so
+            # ``unload`` always restores the board to its pre-load state.
+            self._pipeline_allocations = [
+                name
+                for name in self.on_chip_memory.allocation_names()
+                if name not in allocations_before
+            ]
+
+    def _build_pipelines_inner(self, data_key: bytes) -> None:
         for region in self.config.regions:
             engine_config = self.config.engine_set(region.engine_set)
             served = self.config.regions_for_engine_set(region.engine_set)
@@ -95,6 +120,21 @@ class Shield:
                 on_chip_memory=self.on_chip_memory,
                 buffer_bytes=buffer_share,
             )
+
+    def unload(self) -> None:
+        """Tear the Shield off the board: free on-chip state, drop the port.
+
+        Idempotent -- the serving layer calls this both per-job (affinity
+        off) and at warm-Shield eviction (a different session is about to
+        load, or the owning session closed).
+        """
+        for name in self._pipeline_allocations:
+            self.on_chip_memory.free(name)
+        self._pipeline_allocations = []
+        self._pipelines = {}
+        self._register_file = None
+        self.key_store.clear()
+        self.shell.disconnect_user_logic()
 
     @property
     def operational(self) -> bool:

@@ -97,5 +97,11 @@ class SchedulingError(CloudError):
     """A job could not be queued or placed on the board fleet."""
 
 
+class AdmissionError(SchedulingError):
+    """A job was refused at submit time by admission control (backpressure):
+    the fleet-wide queue cap or the submitting tenant's queue quota was hit.
+    The job object carries ``JobState.REJECTED`` and the reason."""
+
+
 class TenantIsolationError(CloudError):
     """An operation would have crossed a tenant-isolation boundary."""

@@ -6,6 +6,7 @@ from repro.sim.cloud import (
     TraceEvent,
     cloud_trace_experiment,
     default_mixed_trace,
+    repeated_tenant_trace,
 )
 from repro.sim.experiments import (
     FIGURE5_SIZES_KB,
@@ -39,6 +40,7 @@ __all__ = [
     "TraceEvent",
     "cloud_trace_experiment",
     "default_mixed_trace",
+    "repeated_tenant_trace",
     "FIGURE5_SIZES_KB",
     "FIGURE6_CONFIGS",
     "TABLE2_DESIGNS",

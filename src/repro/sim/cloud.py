@@ -4,19 +4,26 @@ The functional :class:`~repro.cloud.service.ShieldCloudService` moves real
 bytes; this module answers the capacity-planning questions -- how does a
 board fleet behave under heavy mixed-tenant traffic?  A trace is a list of
 :class:`TraceEvent` arrivals (tenant, workload profile, Shield config); the
-:class:`CloudSimulator` replays it against an N-board fleet in FIFO arrival
-order on the earliest-available board (the timed analogue of the functional
-scheduler's round-robin over free boards), pricing each
-job's service time with :class:`~repro.core.timing.TimingModel` plus a
-fixed per-load Shield setup cost (partial reconfiguration + Load-Key
-delivery).  The result reports per-job wait/service/turnaround times, board
-utilization, and makespan, and renders/exports like every other experiment.
+:class:`CloudSimulator` replays it against an N-board fleet with the **same
+scheduling core the functional service uses** -- the policy zoo and
+warm-affinity placement rule of :mod:`repro.cloud.policies` -- pricing each
+job's service time with :class:`~repro.core.timing.TimingModel` plus a fixed
+per-load Shield setup cost (partial reconfiguration + Load-Key delivery).
+With affinity enabled, a job placed on a board whose previous job belonged to
+the same session is a *warm hit* and the load cost is zero -- so a
+repeated-tenant trace pays one reconfiguration instead of N.  The result
+reports per-job wait/service/turnaround times, warm hits, board utilization,
+per-tenant fairness, and makespan, and renders/exports like every other
+experiment.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass
 
+from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
 from repro.core.config import ShieldConfig
 from repro.core.timing import TimingModel, WorkloadProfile
 from repro.errors import SimulationError
@@ -38,10 +45,20 @@ class TraceEvent:
     tenant: str
     profile: WorkloadProfile
     shield_config: ShieldConfig
+    #: Affinity key: jobs of the same session can share a warm Shield.
+    #: Defaults to the tenant (one session per tenant).
+    session_id: str | None = None
+    #: Scheduling metadata for the priority / fair-share policies.
+    priority: int = 0
+    weight: float = 1.0
 
     @property
     def workload(self) -> str:
         return self.profile.name
+
+    @property
+    def session(self) -> str:
+        return self.session_id or self.tenant
 
 
 @dataclass(frozen=True)
@@ -54,6 +71,10 @@ class CloudJobRecord:
     arrival_s: float
     start_s: float
     finish_s: float
+    #: True when the board already held the session's Shield (load cost 0).
+    warm: bool = False
+    #: Shield load seconds actually paid by this job.
+    load_s: float = 0.0
 
     @property
     def wait_s(self) -> float:
@@ -69,7 +90,14 @@ class CloudJobRecord:
 
 
 class CloudSimulator:
-    """Replays a multi-tenant trace over an N-board fleet using the timing model."""
+    """Replays a multi-tenant trace over an N-board fleet using the timing model.
+
+    ``policy`` and ``affinity`` mirror
+    :class:`~repro.cloud.service.ShieldCloudService` exactly -- both import
+    the implementation from :mod:`repro.cloud.policies`, so the simulator's
+    capacity plan and the functional service's execution can never diverge on
+    scheduling semantics.
+    """
 
     def __init__(
         self,
@@ -77,6 +105,8 @@ class CloudSimulator:
         model: TimingModel | None = None,
         clock_hz: float = DEFAULT_CLOCK_HZ,
         shield_load_seconds: float = DEFAULT_SHIELD_LOAD_SECONDS,
+        policy="fifo",
+        affinity: bool = True,
     ):
         if num_boards < 1:
             raise SimulationError("the simulated fleet needs at least one board")
@@ -84,33 +114,111 @@ class CloudSimulator:
         self.model = model or TimingModel()
         self.clock_hz = clock_hz
         self.shield_load_seconds = shield_load_seconds
+        self.policy = policy
+        self.affinity = bool(affinity)
+
+    # -- pricing ------------------------------------------------------------------
+
+    def execution_seconds(self, event: TraceEvent) -> float:
+        """Modelled shielded-execution time of one job (no load cost)."""
+        cycles = self.model.shielded(event.profile, event.shield_config).total_cycles
+        return cycles / self.clock_hz
+
+    def service_seconds(self, event: TraceEvent, warm: bool = False) -> float:
+        """Modelled on-board time: Shield load (zero on a warm hit) + execution."""
+        load = 0.0 if warm else self.shield_load_seconds
+        return load + self.execution_seconds(event)
 
     # -- replay -------------------------------------------------------------------
 
-    def service_seconds(self, event: TraceEvent) -> float:
-        """Modelled on-board time of one job: Shield load + shielded execution."""
-        cycles = self.model.shielded(event.profile, event.shield_config).total_cycles
-        return self.shield_load_seconds + cycles / self.clock_hz
-
     def replay(self, trace: list) -> list:
-        """Schedule the trace FIFO-by-arrival on the first free board."""
-        records: list[CloudJobRecord] = []
-        board_free = [0.0] * self.num_boards
-        for event in sorted(trace, key=lambda e: e.arrival_s):
-            board = min(range(self.num_boards), key=lambda i: board_free[i])
-            start = max(event.arrival_s, board_free[board])
-            finish = start + self.service_seconds(event)
-            board_free[board] = finish
-            records.append(
-                CloudJobRecord(
-                    tenant=event.tenant,
-                    workload=event.workload,
-                    board=board,
-                    arrival_s=event.arrival_s,
-                    start_s=start,
-                    finish_s=finish,
-                )
+        """Replay the trace through the shared policy + affinity placement core.
+
+        Event-driven: arrivals join the queue at their arrival time; whenever
+        a board is free and the queue is non-empty, the policy picks the next
+        job and :func:`~repro.cloud.policies.choose_board` places it --
+        preferring a board whose last job belonged to the same session (warm,
+        load cost zero).  Free boards are ranked in release order (seeded by
+        board index), the timed analogue of the functional scheduler's
+        longest-idle rotation, so placements are deterministic and match the
+        functional fleet wherever time permits a comparison.
+        """
+        policy = make_policy(self.policy)
+        # seq is the *arrival-order* position (ties broken by trace index), so
+        # FIFO -- and every policy's tie-break -- is first-come-first-served
+        # even when the caller's trace list is not sorted by arrival.
+        arrivals = deque(
+            (seq, index, event)
+            for seq, (index, event) in enumerate(
+                sorted(enumerate(trace), key=lambda pair: (pair[1].arrival_s, pair[0]))
             )
+        )
+        free: deque = deque(range(self.num_boards))
+        resident: dict = {board: None for board in range(self.num_boards)}
+        busy: list = []  # (finish_s, board) min-heap
+        queue: list = []  # (JobRequest, TraceEvent) awaiting placement
+        records: list[CloudJobRecord] = []
+        now = 0.0
+        while arrivals or queue or busy:
+            while arrivals and arrivals[0][2].arrival_s <= now:
+                seq, index, event = arrivals.popleft()
+                queue.append(
+                    (
+                        JobRequest(
+                            key=f"trace-{index}",
+                            tenant=event.tenant,
+                            session_id=event.session,
+                            seq=seq,
+                            priority=event.priority,
+                            weight=event.weight,
+                            cost_estimate=self.execution_seconds(event),
+                        ),
+                        event,
+                    )
+                )
+            if queue and free:
+                views = [request for request, _ in queue]
+                index = policy.select(views)
+                request, event = queue.pop(index)
+                boards = [
+                    BoardView(name=str(b), rank=rank, resident_session=resident[b])
+                    for rank, b in enumerate(free)
+                ]
+                chosen = choose_board(request, boards, prefer_affinity=self.affinity)
+                board = int(chosen.name)
+                free.remove(board)
+                warm = self.affinity and resident[board] == request.session_id
+                load = 0.0 if warm else self.shield_load_seconds
+                start = max(now, event.arrival_s)
+                finish = start + load + request.cost_estimate
+                heapq.heappush(busy, (finish, board))
+                resident[board] = request.session_id if self.affinity else None
+                policy.record_service(request)
+                records.append(
+                    CloudJobRecord(
+                        tenant=event.tenant,
+                        workload=event.workload,
+                        board=board,
+                        arrival_s=event.arrival_s,
+                        start_s=start,
+                        finish_s=finish,
+                        warm=warm,
+                        load_s=load,
+                    )
+                )
+                continue
+            # Nothing placeable: advance time to the next arrival or finish,
+            # releasing boards in deterministic (finish, board-index) order.
+            frontier = []
+            if arrivals:
+                frontier.append(arrivals[0][2].arrival_s)
+            if busy:
+                frontier.append(busy[0][0])
+            if not frontier:
+                break
+            now = max(now, min(frontier))
+            while busy and busy[0][0] <= now:
+                free.append(heapq.heappop(busy)[1])
         return records
 
     def replay_experiment(
@@ -122,18 +230,35 @@ class CloudSimulator:
             raise SimulationError("cannot replay an empty trace")
         makespan = max(r.finish_s for r in records)
         busy = sum(r.service_s for r in records)
+        warm_hits = sum(1 for r in records if r.warm)
+        tenant_fairness = {}
+        for record in records:
+            entry = tenant_fairness.setdefault(record.tenant, {"jobs": 0, "busy_s": 0.0})
+            entry["jobs"] += 1
+            entry["busy_s"] += record.service_s
+        for entry in tenant_fairness.values():
+            entry["busy_s"] = round(entry["busy_s"], 3)
+            entry["service_share"] = round(entry["busy_s"] / busy, 3) if busy else 0.0
         result = ExperimentResult(
             experiment_id=experiment_id,
             description=(
                 f"{len(records)} jobs from "
                 f"{len({r.tenant for r in records})} tenants on "
-                f"{self.num_boards} boards"
+                f"{self.num_boards} boards "
+                f"({make_policy(self.policy).name} policy, "
+                f"affinity {'on' if self.affinity else 'off'})"
             ),
             metadata={
                 "num_boards": self.num_boards,
+                "policy": make_policy(self.policy).name,
+                "affinity": self.affinity,
                 "makespan_s": round(makespan, 3),
                 "board_utilization": round(busy / (self.num_boards * makespan), 3),
                 "mean_wait_s": round(sum(r.wait_s for r in records) / len(records), 3),
+                "shield_loads": len(records) - warm_hits,
+                "affinity_hits": warm_hits,
+                "affinity_hit_rate": round(warm_hits / len(records), 3),
+                "tenant_fairness": tenant_fairness,
             },
         )
         for record in records:
@@ -141,8 +266,10 @@ class CloudSimulator:
                 tenant=record.tenant,
                 workload=record.workload,
                 board=record.board,
+                warm=record.warm,
                 arrival_s=round(record.arrival_s, 3),
                 wait_s=round(record.wait_s, 3),
+                load_s=round(record.load_s, 3),
                 service_s=round(record.service_s, 3),
                 turnaround_s=round(record.turnaround_s, 3),
             )
@@ -187,7 +314,36 @@ def default_mixed_trace(jobs_per_tenant: int = 3, arrival_gap_s: float = 2.0) ->
     return trace
 
 
-def cloud_trace_experiment(num_boards: int = 2) -> ExperimentResult:
+def repeated_tenant_trace(num_jobs: int = 8, arrival_gap_s: float = 1.0) -> list:
+    """One tenant submitting ``num_jobs`` back-to-back jobs.
+
+    The warm-affinity showcase: without affinity every job pays the ~6.2 s
+    Shield load; with affinity the fleet pays it once per board the session
+    touches, so makespan collapses from N reconfigurations to one.
+    """
+    from repro.accelerators import VectorAddAccelerator
+
+    accelerator = VectorAddAccelerator(256 * 1024)
+    profile = accelerator.profile()
+    config = (
+        accelerator.paper_shield_config()
+        if hasattr(accelerator, "paper_shield_config")
+        else accelerator.build_shield_config()
+    )
+    return [
+        TraceEvent(
+            arrival_s=index * arrival_gap_s,
+            tenant="tenant-repeat",
+            profile=profile,
+            shield_config=config,
+        )
+        for index in range(num_jobs)
+    ]
+
+
+def cloud_trace_experiment(
+    num_boards: int = 2, policy="fifo", affinity: bool = True
+) -> ExperimentResult:
     """The CLI-facing experiment: replay the default mixed trace on a fleet."""
-    simulator = CloudSimulator(num_boards=num_boards)
+    simulator = CloudSimulator(num_boards=num_boards, policy=policy, affinity=affinity)
     return simulator.replay_experiment(default_mixed_trace())

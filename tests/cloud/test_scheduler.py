@@ -1,9 +1,10 @@
 """Scheduling and admission control on the cloud serving layer.
 
-Covers the FleetScheduler contract (FIFO ordering, first-free-board
-placement, release semantics) and the service-level rules: unprovisioned or
-closed sessions cannot submit, queued jobs die with their session, and a
-board is reusable by other tenants after a session tears down.
+Covers the FleetScheduler contract (policy-driven ordering, longest-idle
+placement with warm affinity, release semantics) and the service-level
+rules: unprovisioned or closed sessions cannot submit, queued jobs are
+cancelled with their session, and a board is reusable by other tenants after
+a session tears down.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ def test_jobs_run_in_submission_order():
         placement = scheduler.acquire()
         if placement is None:
             break
-        job, board = placement
+        job, board, warm = placement
         order.append(job.job_id)
         scheduler.release(job, completed=True)
     assert order == ["j0", "j1", "j2", "j3"]
@@ -45,13 +46,14 @@ def test_placement_rotates_over_free_boards_and_blocks_when_full():
     scheduler = FleetScheduler(["b0", "b1"])
     for i in range(3):
         scheduler.submit(_job(f"j{i}", session_id=f"s{i}"))
-    first, board0 = scheduler.acquire()
-    second, board1 = scheduler.acquire()
+    first, board0, _ = scheduler.acquire()
+    second, board1, _ = scheduler.acquire()
     assert (board0, board1) == ("b0", "b1")
     assert scheduler.acquire() is None  # fleet saturated, j2 must wait
     scheduler.release(first, completed=True)
-    third, board2 = scheduler.acquire()
+    third, board2, warm = scheduler.acquire()
     assert third.job_id == "j2" and board2 == "b0"
+    assert not warm  # different session: b0's resident Shield does not match
     assert scheduler.placement_history["b0"] == ["s0", "s2"]
 
 
@@ -61,7 +63,7 @@ def test_release_requires_running_job():
     with pytest.raises(SchedulingError):
         scheduler.release(job, completed=True)
     scheduler.submit(job)
-    running, _ = scheduler.acquire()
+    running, _, _ = scheduler.acquire()
     assert running is job
     with pytest.raises(SchedulingError):
         scheduler.submit(job)  # a RUNNING job cannot be re-queued
@@ -93,7 +95,7 @@ def test_closed_session_cannot_submit():
         service.submit_job(session.session_id, inputs=accel.prepare_inputs())
 
 
-def test_closing_a_session_drops_its_queued_jobs():
+def test_closing_a_session_cancels_its_queued_jobs():
     service = ShieldCloudService(num_boards=1, fast_crypto=True)
     accel = VectorAddAccelerator(8 * 1024)
     doomed = service.admit_tenant("doomed", accel)
@@ -102,17 +104,24 @@ def test_closing_a_session_drops_its_queued_jobs():
     survivor_job = service.submit_job(
         survivor.session_id, inputs=accel.prepare_inputs(seed=2)
     )
-    dropped = service.close_session(doomed.session_id)
-    assert dropped == [doomed_job]
-    assert doomed_job.state is JobState.FAILED
-    # Dropped jobs are billed as failures on both ledgers.
-    assert doomed.usage.jobs_failed == 1
-    assert service.stats.jobs_failed == 1
+    cancelled = service.close_session(doomed.session_id)
+    assert cancelled == [doomed_job]
+    # A job that never ran is CANCELLED, not FAILED -- and billed as such.
+    assert doomed_job.state is JobState.CANCELLED
+    assert "session closed" in doomed_job.error
+    assert doomed.usage.jobs_cancelled == 1
+    assert doomed.usage.jobs_failed == 0
+    assert service.stats.jobs_cancelled == 1
+    assert service.stats.jobs_failed == 0
     finished = service.run_until_idle()
     assert finished == [survivor_job]
     assert survivor_job.state is JobState.COMPLETED
+    # Job conservation: every submission is accounted for exactly once.
     assert service.stats.jobs_submitted == (
-        service.stats.jobs_completed + service.stats.jobs_failed
+        service.stats.jobs_completed
+        + service.stats.jobs_failed
+        + service.stats.jobs_cancelled
+        + service.stats.jobs_rejected
     )
 
 

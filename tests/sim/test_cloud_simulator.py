@@ -9,6 +9,7 @@ from repro.sim.cloud import (
     TraceEvent,
     cloud_trace_experiment,
     default_mixed_trace,
+    repeated_tenant_trace,
 )
 from repro.errors import SimulationError
 
@@ -72,3 +73,138 @@ def test_service_time_includes_shield_load_cost():
     without_load = CloudSimulator(num_boards=1, shield_load_seconds=0.0)
     difference = with_load.service_seconds(event) - without_load.service_seconds(event)
     assert difference == pytest.approx(6.2)
+    # A warm hit prices the load at zero.
+    assert with_load.service_seconds(event, warm=True) == pytest.approx(
+        with_load.execution_seconds(event)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Warm-board affinity in the timed model
+# ---------------------------------------------------------------------------
+
+
+def test_affinity_cuts_repeated_tenant_makespan():
+    """The acceptance gate: a repeated-tenant trace pays one Shield load per
+    board with affinity instead of one per job, so makespan must drop."""
+    trace = repeated_tenant_trace(num_jobs=8)
+    warm = CloudSimulator(num_boards=2, affinity=True).replay_experiment(trace)
+    cold = CloudSimulator(num_boards=2, affinity=False).replay_experiment(trace)
+    assert warm.metadata["makespan_s"] < cold.metadata["makespan_s"]
+    # One cold load per board touched; everything else is a warm hit.
+    assert warm.metadata["shield_loads"] <= 2
+    assert warm.metadata["affinity_hits"] == len(trace) - warm.metadata["shield_loads"]
+    assert cold.metadata["affinity_hits"] == 0
+    # N x 6.2 s of reconfiguration collapsed to (at most) one per board.
+    saved = 6.2 * (cold.metadata["shield_loads"] - warm.metadata["shield_loads"])
+    assert cold.metadata["makespan_s"] - warm.metadata["makespan_s"] == pytest.approx(
+        saved, rel=0.5
+    )
+
+
+def test_warm_records_pay_zero_load():
+    records = CloudSimulator(num_boards=1, affinity=True).replay(
+        repeated_tenant_trace(num_jobs=4)
+    )
+    assert [r.warm for r in records] == [False, True, True, True]
+    assert records[0].load_s == pytest.approx(6.2)
+    assert all(r.load_s == 0.0 for r in records[1:])
+    # Same board throughout: affinity pinned the session.
+    assert {r.board for r in records} == {0}
+
+
+def test_affinity_never_crosses_sessions():
+    """Interleaved tenants on one board: a board warmed by tenant A is never
+    a warm hit for tenant B."""
+    records = CloudSimulator(num_boards=1, affinity=True).replay(
+        default_mixed_trace(jobs_per_tenant=2, arrival_gap_s=0.0)
+    )
+    previous = None
+    for record in records:
+        if record.warm:
+            assert record.tenant == previous
+        previous = record.tenant
+
+
+# ---------------------------------------------------------------------------
+# The policy zoo drives the timed replay
+# ---------------------------------------------------------------------------
+
+
+def _uniform_trace(specs):
+    """Events sharing one workload (uniform cost) with varied metadata."""
+    base = default_mixed_trace()[0]
+    return [
+        TraceEvent(
+            arrival_s=arrival,
+            tenant=tenant,
+            profile=base.profile,
+            shield_config=base.shield_config,
+            priority=priority,
+        )
+        for arrival, tenant, priority in specs
+    ]
+
+
+def test_priority_policy_jumps_the_queue():
+    trace = _uniform_trace(
+        [(0.0, "low-a", 0), (0.0, "low-b", 0), (0.0, "vip", 9)]
+    )
+    records = CloudSimulator(num_boards=1, policy="priority", affinity=False).replay(trace)
+    assert [r.tenant for r in records] == ["vip", "low-a", "low-b"]
+    fifo = CloudSimulator(num_boards=1, policy="fifo", affinity=False).replay(trace)
+    assert [r.tenant for r in fifo] == ["low-a", "low-b", "vip"]
+
+
+def test_fair_share_interleaves_a_flooding_tenant():
+    trace = _uniform_trace(
+        [(0.0, "hog", 0)] * 3 + [(0.0, "meek", 0)] * 2
+    )
+    records = CloudSimulator(num_boards=1, policy="fair", affinity=False).replay(trace)
+    assert [r.tenant for r in records] == ["hog", "meek", "hog", "meek", "hog"]
+
+
+def test_sjf_reduces_mean_wait_on_skewed_traces():
+    """One long job ahead of several short ones: SJF must beat FIFO on mean
+    wait (the textbook convoy effect)."""
+    base = default_mixed_trace()
+    # Zero load cost isolates the ordering effect; pick the actually-longest
+    # and actually-shortest workloads by their modelled execution time.
+    probe = CloudSimulator(num_boards=1, shield_load_seconds=0.0)
+    by_cost = sorted(base[:3], key=probe.execution_seconds)
+    short_event, long_event = by_cost[0], by_cost[-1]
+    assert probe.execution_seconds(long_event) > 2 * probe.execution_seconds(short_event)
+    trace = [
+        TraceEvent(0.0, "long", long_event.profile, long_event.shield_config)
+    ] + [
+        TraceEvent(0.0, f"short-{i}", short_event.profile, short_event.shield_config)
+        for i in range(3)
+    ]
+    sjf = CloudSimulator(
+        num_boards=1, policy="sjf", affinity=False, shield_load_seconds=0.0
+    ).replay(trace)
+    fifo = CloudSimulator(
+        num_boards=1, policy="fifo", affinity=False, shield_load_seconds=0.0
+    ).replay(trace)
+
+    def mean_wait(records):
+        return sum(r.wait_s for r in records) / len(records)
+
+    assert mean_wait(sjf) < mean_wait(fifo)
+    # The long job runs last under SJF.
+    assert sjf[-1].tenant == "long"
+
+
+def test_experiment_metadata_reports_policy_and_fairness():
+    result = CloudSimulator(num_boards=2, policy="fair").replay_experiment(
+        default_mixed_trace()
+    )
+    meta = result.metadata
+    assert meta["policy"] == "fair"
+    assert meta["affinity"] is True
+    assert meta["shield_loads"] + meta["affinity_hits"] == len(result.rows)
+    shares = [entry["service_share"] for entry in meta["tenant_fairness"].values()]
+    assert sum(shares) == pytest.approx(1.0, abs=0.01)
+    for row in result.rows:
+        assert row["load_s"] in (0.0, pytest.approx(6.2))
+        assert row["service_s"] >= row["load_s"]

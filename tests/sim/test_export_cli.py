@@ -52,6 +52,27 @@ def test_cli_list_command():
     assert "dnnweaver" in text and "table-2" in text and "aws-f1" in text
 
 
+def test_cli_cloud_trace_threads_policy_and_affinity():
+    warm_out, cold_out = io.StringIO(), io.StringIO()
+    warm_args = ["cloud-trace", "--policy", "sjf", "--repeated-tenant", "--jobs", "4"]
+    assert main(warm_args, out=warm_out) == 0
+    assert main(warm_args + ["--no-affinity"], out=cold_out) == 0
+    warm_text, cold_text = warm_out.getvalue(), cold_out.getvalue()
+    assert "sjf (affinity on)" in warm_text
+    assert "sjf (affinity off)" in cold_text
+    # One board fleet default is 2; the repeated tenant warms at most 2 boards
+    # while the cold run reloads all 4 jobs.
+    assert "shield loads      : 4" in cold_text
+    assert "warm hits 0" in cold_text
+    assert "warm hits" in warm_text and "warm hits 0" not in warm_text
+
+
+def test_cli_cloud_trace_rejects_bad_sizes():
+    out = io.StringIO()
+    assert main(["cloud-trace", "--boards", "0"], out=out) == 2
+    assert main(["cloud-trace", "--jobs", "0"], out=out) == 2
+
+
 def test_cli_runs_single_experiment(tmp_path):
     out = io.StringIO()
     code = main(["experiments", "table-2", "--export-dir", str(tmp_path)], out=out)
