@@ -7,10 +7,17 @@ series the paper reports.  EXPERIMENTS.md records paper-vs-measured values.
 
 The crypto fast-path benchmarks additionally record their measured speedup
 factors into a machine-readable ``BENCH_fastpath.json`` (path overridable via
-``BENCH_FASTPATH_JSON``), and the scheduling benchmarks record warm-affinity
-makespan ratios into ``BENCH_sched.json`` (``BENCH_SCHED_JSON``); CI uploads
-both as workflow artifacts so the perf trajectory of the fast paths and the
-scheduler is tracked across PRs.
+``BENCH_FASTPATH_JSON``), the scheduling benchmarks record warm-affinity
+makespan ratios into ``BENCH_sched.json`` (``BENCH_SCHED_JSON``), and the
+observability overhead gate records its disabled/enabled ratios into
+``BENCH_obs.json`` (``BENCH_OBS_JSON``); CI uploads all three as workflow
+artifacts so the perf trajectory of the fast paths, the scheduler, and the
+observability layer is tracked across PRs.
+
+``record_stage_percentiles`` stamps per-stage latency percentiles (from a
+live metrics registry's ``cloud.stage_seconds`` histograms) into any of the
+bench JSONs, so BENCH_sched/BENCH_fastpath entries carry stage timings
+alongside their headline ratios.
 """
 
 from __future__ import annotations
@@ -61,6 +68,66 @@ def record_fastpath_speedup(name: str, speedup: float, **extra) -> None:
 def record_sched_metric(name: str, **fields) -> None:
     """Merge one scheduling measurement into ``BENCH_sched.json``."""
     _merge_bench_entry(_BENCH_SCHED_JSON, name, dict(fields))
+
+
+_BENCH_OBS_JSON = Path(
+    os.environ.get("BENCH_OBS_JSON", _REPO_ROOT / "BENCH_obs.json")
+)
+
+
+def record_obs_metric(name: str, **fields) -> None:
+    """Merge one observability measurement into ``BENCH_obs.json``."""
+    _merge_bench_entry(_BENCH_OBS_JSON, name, dict(fields))
+
+
+def stage_percentiles(metrics, stages=("shield_load", "input_seal", "execute")) -> dict:
+    """Per-stage p50/p95/p99 (seconds) from ``cloud.stage_seconds`` histograms.
+
+    Reads the labelled histograms a :class:`~repro.cloud.service
+    .ShieldCloudService` run populates; stages with no samples are skipped so
+    a partial run still produces a well-formed entry.
+    """
+    out = {}
+    for stage in stages:
+        summary = metrics.histogram("cloud.stage_seconds", stage=stage).summary()
+        if summary["count"]:
+            out[stage] = {
+                "p50_s": summary["p50"],
+                "p95_s": summary["p95"],
+                "p99_s": summary["p99"],
+            }
+    return out
+
+
+def record_stage_percentiles(record_fn, name: str, metrics, **extra) -> None:
+    """Stamp per-stage timing percentiles into a bench JSON via ``record_fn``.
+
+    ``record_fn`` is one of :func:`record_sched_metric` /
+    :func:`record_fastpath_speedup`-style writers taking ``(name, **fields)``.
+    """
+    stages = stage_percentiles(metrics)
+    if stages:
+        record_fn(name, stages=stages, **extra)
+
+
+def crypto_percentiles(metrics) -> dict:
+    """Seal/unseal duration percentiles per crypto path from a live registry.
+
+    Reads the ``crypto.{seal,unseal}_seconds`` histograms a
+    :class:`~repro.core.sealing.RegionSealer` populates (labelled
+    ``fast``/``scalar``); empty series are skipped.
+    """
+    out = {}
+    for op in ("seal", "unseal"):
+        for path in ("fast", "scalar"):
+            summary = metrics.histogram(f"crypto.{op}_seconds", path=path).summary()
+            if summary["count"]:
+                out[f"{op}_{path}"] = {
+                    "count": summary["count"],
+                    "p50_s": summary["p50"],
+                    "p99_s": summary["p99"],
+                }
+    return out
 
 
 def run_and_report(benchmark, experiment_fn, *args, **kwargs):

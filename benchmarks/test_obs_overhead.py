@@ -1,0 +1,115 @@
+"""The observability overhead gate: tracing must be near-free when off.
+
+Replays the scheduling benchmark's repeated-tenant trace through the timed
+:class:`~repro.sim.cloud.CloudSimulator` three ways -- twice with the null
+observability backend (the second run is the "disabled" measurement against
+the first as baseline, bounding the one-attribute-check cost plus timer
+noise) and once with metrics + tracing fully enabled.  The three
+configurations are timed interleaved, a few replays per timed window, and
+the gate takes the least-noise per-round ratio so scheduler jitter and
+clock drift do not fail it.
+
+Gates (recorded in ``BENCH_obs.json`` for the CI artifact):
+
+* disabled / baseline <= 1.05 -- the no-op backend stays within noise;
+* enabled / baseline <= 1.15 -- full event + metrics recording costs at
+  most 15% on the replay hot path.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import repro.obs as obs_api
+from benchmarks.conftest import record_obs_metric
+from repro.sim.cloud import CloudSimulator, repeated_tenant_trace
+
+NUM_JOBS = 80
+NUM_BOARDS = 2
+REPEATS = 7
+#: Replays per timed window: one replay is only ~3 ms, so timing several
+#: back-to-back amortizes timer granularity and scheduler noise per window.
+INNER = 3
+MAX_DISABLED_RATIO = 1.05
+MAX_ENABLED_RATIO = 1.15
+
+
+def _timed_replay(simulator, trace, repeats: int = 1) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        simulator.replay(trace)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_observability_overhead_within_budget():
+    trace = repeated_tenant_trace(num_jobs=NUM_JOBS)
+    live = obs_api.Observability(
+        metrics=obs_api.MetricsRegistry(), tracer=obs_api.Tracer()
+    )
+    null_sim = CloudSimulator(num_boards=NUM_BOARDS, obs=obs_api.NULL_OBS)
+    live_sim = CloudSimulator(num_boards=NUM_BOARDS, obs=live)
+
+    # Warm caches (timing-model results, allocator) before any measurement.
+    _timed_replay(null_sim, trace)
+    _timed_replay(live_sim, trace)
+
+    # The three configurations are measured *interleaved* (one window of
+    # each per round) and the gate takes the *least-noise* (minimum)
+    # per-round ratio: the three windows of one round run back-to-back
+    # within ~30 ms, so a ratio computed inside a round is immune to the
+    # clock-frequency drift that makes cross-round comparisons
+    # (min-of-baseline vs min-of-enabled from different rounds) swing by
+    # tens of percent, and scheduler noise only ever *adds* time to a
+    # window, so the smallest observed ratio is the closest to the
+    # intrinsic instrumentation cost the gate is meant to bound.  Each
+    # window times INNER back-to-back replays to amortize per-window
+    # noise, and GC is held off so a collection pass over a large heap
+    # (this test runs late in the full suite) cannot land inside a
+    # measurement window.
+    baseline_s = float("inf")
+    disabled_ratios = []
+    enabled_ratios = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            round_baseline = _timed_replay(null_sim, trace, INNER)
+            round_disabled = _timed_replay(null_sim, trace, INNER)
+            live.tracer.clear()
+            round_enabled = _timed_replay(live_sim, trace, INNER)
+            baseline_s = min(baseline_s, round_baseline)
+            disabled_ratios.append(round_disabled / round_baseline)
+            enabled_ratios.append(round_enabled / round_baseline)
+    finally:
+        gc.enable()
+
+    disabled_ratio = min(disabled_ratios)
+    enabled_ratio = min(enabled_ratios)
+    events_per_replay = len(live.tracer.events) // INNER
+    print(
+        f"\nobs overhead on {NUM_JOBS}-job replay: baseline {baseline_s*1e3:.2f} ms, "
+        f"disabled {disabled_ratio:.3f}x, enabled {enabled_ratio:.3f}x "
+        f"({events_per_replay} events/replay)"
+    )
+    record_obs_metric(
+        "sim_replay_overhead",
+        baseline_ms=round(baseline_s * 1e3, 3),
+        disabled_ratio=round(disabled_ratio, 3),
+        enabled_ratio=round(enabled_ratio, 3),
+        jobs=NUM_JOBS,
+        boards=NUM_BOARDS,
+        events_per_replay=events_per_replay,
+        max_disabled_ratio=MAX_DISABLED_RATIO,
+        max_enabled_ratio=MAX_ENABLED_RATIO,
+    )
+    # The enabled replay must actually have recorded the full lifecycle.
+    assert events_per_replay >= NUM_JOBS * 8
+    assert disabled_ratio <= MAX_DISABLED_RATIO, (
+        f"null observability backend cost {disabled_ratio:.3f}x "
+        f"(budget {MAX_DISABLED_RATIO}x)"
+    )
+    assert enabled_ratio <= MAX_ENABLED_RATIO, (
+        f"enabled observability cost {enabled_ratio:.3f}x "
+        f"(budget {MAX_ENABLED_RATIO}x)"
+    )

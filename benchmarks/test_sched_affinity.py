@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import record_sched_metric
+from benchmarks.conftest import record_sched_metric, stage_percentiles
 from repro.sim.cloud import CloudSimulator, repeated_tenant_trace
 
 NUM_JOBS = 12
@@ -78,3 +78,30 @@ def test_policy_zoo_mean_waits_recorded():
     print(f"\nmean wait by policy (s): {waits}")
     record_sched_metric("policy_mean_wait_s", **waits)
     assert all(wait >= 0 for wait in waits.values())
+
+
+def test_functional_stage_timings_recorded():
+    """Not a gate -- a tracked series: per-stage wall-clock percentiles of a
+    functional serving-layer run (from the service's own ``cloud.stage_seconds``
+    histograms), stamped into ``BENCH_sched.json`` next to the makespan ratio."""
+    from repro.accelerators import VectorAddAccelerator
+    from repro.cloud import ShieldCloudService
+
+    service = ShieldCloudService(num_boards=2, fast_crypto=True)
+    accelerator = VectorAddAccelerator(8 * 1024)
+    session = service.admit_tenant("bench", accelerator)
+    inputs = accelerator.prepare_inputs(seed=3)
+    for _ in range(4):
+        service.submit_job(
+            session.session_id, inputs=inputs, output_regions={"c0": None}
+        )
+    service.run_until_idle()
+
+    stages = stage_percentiles(
+        service.metrics,
+        stages=("shield_load", "input_seal", "execute", "download", "output_unseal"),
+    )
+    print(f"\nfunctional per-stage timings: {stages}")
+    record_sched_metric("functional_stage_seconds", **stages)
+    assert service.stats.jobs_completed == 4
+    assert {"shield_load", "input_seal", "execute"} <= set(stages)

@@ -13,8 +13,15 @@ Three subcommands cover the common workflows without writing any Python:
 * ``cloud-trace`` -- replay a multi-tenant trace through the timed
   :class:`~repro.sim.cloud.CloudSimulator` under a chosen scheduling policy,
   with or without warm-board Shield affinity;
+* ``trace-report`` -- render per-stage latency percentiles and per-tenant
+  breakdowns from a JSONL trace written by ``--trace``;
 * ``list`` -- enumerate the available accelerators, experiments, and board
   profiles.
+
+``cloud-demo`` and ``cloud-trace`` share the observability flags: ``--trace``
+writes the lifecycle event stream as JSONL, ``--chrome-trace`` writes a
+``chrome://tracing``-loadable timeline, and ``--metrics`` dumps the metrics
+registry in Prometheus text format (``-`` for stdout).
 
 Usage::
 
@@ -22,15 +29,20 @@ Usage::
     python -m repro.cli experiments all --export-dir results/
     python -m repro.cli deploy-demo dnnweaver --board aws-f1
     python -m repro.cli cloud-demo --boards 2 --fast-crypto --policy fair
+    python -m repro.cli cloud-demo --trace run.jsonl --metrics -
     python -m repro.cli cloud-trace --policy sjf --repeated-tenant
+    python -m repro.cli trace-report run.jsonl
     python -m repro.cli list
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
+
+import repro.obs as obs_api
 
 from repro.accelerators import ALL_ACCELERATORS
 from repro.cloud.policies import POLICY_NAMES
@@ -97,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the vectorized AES-CTR fast path for every session",
     )
     _add_scheduling_flags(cloud_parser)
+    _add_obs_flags(cloud_parser)
     cloud_parser.add_argument(
         "--queue-cap",
         type=int,
@@ -121,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument(
         "--jobs", type=int, default=8, help="jobs in the repeated-tenant trace"
     )
+    _add_obs_flags(trace_parser)
+
+    report_parser = subparsers.add_parser(
+        "trace-report",
+        help="render per-stage percentiles and per-tenant totals from a JSONL trace",
+    )
+    report_parser.add_argument("trace_file", help="JSONL trace written by --trace")
 
     subparsers.add_parser("list", help="list accelerators, experiments, and boards")
     return parser
@@ -139,6 +159,59 @@ def _add_scheduling_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable warm-board Shield affinity (tear down + reload on every job)",
     )
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability exports for cloud-demo and cloud-trace."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the lifecycle/security event stream as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="write a chrome://tracing-loadable timeline JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="dump the metrics registry as Prometheus text to PATH ('-' for stdout)",
+    )
+
+
+def _obs_scope(args):
+    """A scoped live observability handle when any export flag asks for one.
+
+    Without flags the process-wide handle (normally the null backend) is used
+    unchanged, so the demos stay on the no-op hot path.
+    """
+    if args.trace or args.chrome_trace or args.metrics:
+        return obs_api.scoped()
+    return contextlib.nullcontext(obs_api.current())
+
+
+def _export_obs(args, handle, out) -> None:
+    """Write whichever of --trace/--chrome-trace/--metrics were requested."""
+    from repro.obs.exporters import prometheus_text, write_chrome_trace, write_jsonl
+
+    if args.trace:
+        write_jsonl(handle.tracer.events, args.trace)
+        print(f"wrote {len(handle.tracer.events)} event(s) to {args.trace}", file=out)
+    if args.chrome_trace:
+        write_chrome_trace(handle.tracer.events, args.chrome_trace)
+        print(f"wrote chrome trace to {args.chrome_trace}", file=out)
+    if args.metrics:
+        text = prometheus_text(handle.metrics)
+        if args.metrics == "-":
+            out.write(text)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as metrics_file:
+                metrics_file.write(text)
+            print(f"wrote metrics to {args.metrics}", file=out)
 
 
 def run_experiments(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -195,78 +268,80 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
         "bob": MatMulAccelerator(32),
         "carol": AffineTransformAccelerator(64),
     }
-    service = ShieldCloudService(
-        num_boards=args.boards,
-        fast_crypto=True if args.fast_crypto else None,
-        policy=args.policy,
-        affinity=not args.no_affinity,
-        queue_cap=args.queue_cap,
-    )
-    sessions = {
-        tenant: service.admit_tenant(tenant, accelerator)
-        for tenant, accelerator in tenants.items()
-    }
-    jobs: dict = {tenant: [] for tenant in tenants}
-    all_inputs: dict = {}
-    for round_index in range(args.jobs_per_tenant):
-        for tenant, accelerator in tenants.items():
-            inputs = accelerator.prepare_inputs(seed=round_index)
-            all_inputs[(tenant, round_index)] = inputs
-            jobs[tenant].append(
-                service.submit_job(sessions[tenant].session_id, inputs=inputs)
-            )
-    service.run_until_idle()
+    with _obs_scope(args) as obs_handle:
+        service = ShieldCloudService(
+            num_boards=args.boards,
+            fast_crypto=True if args.fast_crypto else None,
+            policy=args.policy,
+            affinity=not args.no_affinity,
+            queue_cap=args.queue_cap,
+        )
+        sessions = {
+            tenant: service.admit_tenant(tenant, accelerator)
+            for tenant, accelerator in tenants.items()
+        }
+        jobs: dict = {tenant: [] for tenant in tenants}
+        all_inputs: dict = {}
+        for round_index in range(args.jobs_per_tenant):
+            for tenant, accelerator in tenants.items():
+                inputs = accelerator.prepare_inputs(seed=round_index)
+                all_inputs[(tenant, round_index)] = inputs
+                jobs[tenant].append(
+                    service.submit_job(sessions[tenant].session_id, inputs=inputs)
+                )
+        service.run_until_idle()
 
-    summary = service.fleet_summary()
-    print(f"fleet               : {args.boards} board(s), "
-          f"{len(tenants)} concurrent tenants", file=out)
-    print(f"policy              : {summary['policy']} "
-          f"(affinity {'on' if summary['affinity'] else 'off'})", file=out)
-    mismatches = 0
-    failures = 0
-    for round_index in range(args.jobs_per_tenant):
-        for tenant, accelerator in tenants.items():
-            job = jobs[tenant][round_index]
-            if job.state is JobState.REJECTED:
-                # Backpressure under --queue-cap is an expected outcome, not a
-                # failure; the count is already in the summary line below.
-                print(f"job {job.job_id} ({tenant}) rejected: {job.error}", file=out)
-                continue
-            if job.result is None:
-                failures += 1
-                print(f"job {job.job_id} ({tenant}) failed: {job.error}", file=out)
-                continue
-            baseline = run_unshielded_baseline(
-                accelerator,
-                accelerator.build_shield_config(),
-                all_inputs[(tenant, round_index)],
+        summary = service.fleet_summary()
+        print(f"fleet               : {args.boards} board(s), "
+              f"{len(tenants)} concurrent tenants", file=out)
+        print(f"policy              : {summary['policy']} "
+              f"(affinity {'on' if summary['affinity'] else 'off'})", file=out)
+        mismatches = 0
+        failures = 0
+        for round_index in range(args.jobs_per_tenant):
+            for tenant, accelerator in tenants.items():
+                job = jobs[tenant][round_index]
+                if job.state is JobState.REJECTED:
+                    # Backpressure under --queue-cap is an expected outcome, not a
+                    # failure; the count is already in the summary line below.
+                    print(f"job {job.job_id} ({tenant}) rejected: {job.error}", file=out)
+                    continue
+                if job.result is None:
+                    failures += 1
+                    print(f"job {job.job_id} ({tenant}) failed: {job.error}", file=out)
+                    continue
+                baseline = run_unshielded_baseline(
+                    accelerator,
+                    accelerator.build_shield_config(),
+                    all_inputs[(tenant, round_index)],
+                )
+                if not outputs_equal(baseline.outputs, job.result.outputs):
+                    mismatches += 1
+        leaks = sum(
+            len(service.plaintext_exposures(plaintext))
+            for inputs in all_inputs.values()
+            for plaintext in inputs.values()
+        )
+        for tenant, session in sessions.items():
+            usage = session.usage
+            print(
+                f"tenant {tenant:<12} : {usage.jobs_completed} job(s) on "
+                f"board(s) {sorted(set(session.boards_used))}, "
+                f"{usage.dram_bytes_read + usage.dram_bytes_written} DRAM bytes moved",
+                file=out,
             )
-            if not outputs_equal(baseline.outputs, job.result.outputs):
-                mismatches += 1
-    leaks = sum(
-        len(service.plaintext_exposures(plaintext))
-        for inputs in all_inputs.values()
-        for plaintext in inputs.values()
-    )
-    for tenant, session in sessions.items():
-        usage = session.usage
+        print(f"failed jobs         : {failures}", file=out)
+        print(f"rejected jobs       : {summary['jobs_rejected']}", file=out)
+        print(f"shield loads        : {summary['shield_loads']} "
+              f"(affinity hits {summary['affinity_hits']}, "
+              f"hit rate {summary['affinity_hit_rate']:.0%})", file=out)
+        print(f"baseline mismatches : {mismatches}", file=out)
+        print(f"plaintext leaks     : {leaks}", file=out)
         print(
-            f"tenant {tenant:<12} : {usage.jobs_completed} job(s) on "
-            f"board(s) {sorted(set(session.boards_used))}, "
-            f"{usage.dram_bytes_read + usage.dram_bytes_written} DRAM bytes moved",
+            f"fast crypto         : {bool(args.fast_crypto) or fast_path_enabled()}",
             file=out,
         )
-    print(f"failed jobs         : {failures}", file=out)
-    print(f"rejected jobs       : {summary['jobs_rejected']}", file=out)
-    print(f"shield loads        : {summary['shield_loads']} "
-          f"(affinity hits {summary['affinity_hits']}, "
-          f"hit rate {summary['affinity_hit_rate']:.0%})", file=out)
-    print(f"baseline mismatches : {mismatches}", file=out)
-    print(f"plaintext leaks     : {leaks}", file=out)
-    print(
-        f"fast crypto         : {bool(args.fast_crypto) or fast_path_enabled()}",
-        file=out,
-    )
+        _export_obs(args, obs_handle, out)
     return 0 if mismatches == 0 and leaks == 0 and failures == 0 else 1
 
 
@@ -285,20 +360,41 @@ def run_cloud_trace(args: argparse.Namespace, out=sys.stdout) -> int:
         if args.repeated_tenant
         else default_mixed_trace()
     )
-    simulator = CloudSimulator(
-        num_boards=args.boards, policy=args.policy, affinity=not args.no_affinity
-    )
-    result = simulator.replay_experiment(trace)
-    print(render_experiment(result), file=out)
-    meta = result.metadata
-    print(file=out)
-    print(f"policy            : {meta['policy']} "
-          f"(affinity {'on' if meta['affinity'] else 'off'})", file=out)
-    print(f"makespan          : {meta['makespan_s']} s", file=out)
-    print(f"board utilization : {meta['board_utilization']:.0%}", file=out)
-    print(f"shield loads      : {meta['shield_loads']} "
-          f"(warm hits {meta['affinity_hits']}, "
-          f"hit rate {meta['affinity_hit_rate']:.0%})", file=out)
+    with _obs_scope(args) as obs_handle:
+        simulator = CloudSimulator(
+            num_boards=args.boards, policy=args.policy, affinity=not args.no_affinity
+        )
+        result = simulator.replay_experiment(trace)
+        print(render_experiment(result), file=out)
+        meta = result.metadata
+        print(file=out)
+        print(f"policy            : {meta['policy']} "
+              f"(affinity {'on' if meta['affinity'] else 'off'})", file=out)
+        print(f"makespan          : {meta['makespan_s']} s", file=out)
+        print(f"board utilization : {meta['board_utilization']:.0%}", file=out)
+        print(f"shield loads      : {meta['shield_loads']} "
+              f"(warm hits {meta['affinity_hits']}, "
+              f"hit rate {meta['affinity_hit_rate']:.0%})", file=out)
+        print(f"wait p50 / p99    : {meta['wait_p50_s']} s / {meta['wait_p99_s']} s",
+              file=out)
+        _export_obs(args, obs_handle, out)
+    return 0
+
+
+def run_trace_report(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Render the per-stage/per-tenant report from a JSONL trace file."""
+    from repro.obs.exporters import read_jsonl
+    from repro.obs.report import render_trace_report
+
+    try:
+        events = read_jsonl(args.trace_file)
+    except FileNotFoundError:
+        print(f"error: no trace file at {args.trace_file!r}", file=out)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    print(render_trace_report(events), file=out)
     return 0
 
 
@@ -326,6 +422,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return run_cloud_demo(args, out=out)
     if args.command == "cloud-trace":
         return run_cloud_trace(args, out=out)
+    if args.command == "trace-report":
+        return run_trace_report(args, out=out)
     return run_list(out=out)
 
 

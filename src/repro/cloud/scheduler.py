@@ -24,6 +24,7 @@ import enum
 from collections import deque
 from dataclasses import dataclass, field
 
+import repro.obs as obs_api
 from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
 from repro.errors import AdmissionError, SchedulingError
 
@@ -102,7 +103,12 @@ class FleetScheduler:
         queue_cap: int | None = None,
         tenant_quota: int | None = None,
         history_limit: int | None = DEFAULT_HISTORY_LIMIT,
+        metrics=None,
     ):
+        """``metrics`` is the registry the scheduler publishes its queue-depth
+        and busy-board gauges into; the default snapshots the process-wide
+        :func:`repro.obs.current` registry at construction time (the service
+        passes its own, so the gauges land next to the service counters)."""
         if not board_names:
             raise SchedulingError("a fleet needs at least one board")
         if queue_cap is not None and queue_cap < 1:
@@ -128,6 +134,12 @@ class FleetScheduler:
         self.affinity_hits = 0
         self.jobs_rejected = 0
         self.jobs_cancelled = 0
+        self.metrics = metrics if metrics is not None else obs_api.current().metrics
+        self._gauge_update()
+
+    def _gauge_update(self) -> None:
+        self.metrics.gauge("cloud.queue_depth").set(len(self._queue))
+        self.metrics.gauge("cloud.busy_boards").set(self.busy_boards)
 
     @property
     def placement_history(self) -> dict:
@@ -162,6 +174,7 @@ class FleetScheduler:
         self._seq += 1
         job.seq = self._seq
         self._queue.append(job)
+        self._gauge_update()
 
     def _reject(self, job: AcceleratorJob, reason: str) -> None:
         job.state = JobState.REJECTED
@@ -216,6 +229,7 @@ class FleetScheduler:
         self._history[chosen.name].append(job.session_id)
         self.placement_totals[chosen.name] += 1
         self.policy.record_service(view)
+        self._gauge_update()
         return job, chosen.name, warm
 
     def release(self, job: AcceleratorJob, completed: bool, error: str | None = None) -> None:
@@ -233,6 +247,7 @@ class FleetScheduler:
         self.resident_sessions[job.board_name] = job.session_id if keep_warm else None
         job.state = JobState.COMPLETED if completed else JobState.FAILED
         job.error = error
+        self._gauge_update()
 
     def evict(self, board_name: str) -> None:
         """Forget the board's resident Shield (the service tore it down)."""
@@ -253,4 +268,5 @@ class FleetScheduler:
             job.state = JobState.CANCELLED
             job.error = "session closed before the job was scheduled"
         self.jobs_cancelled += len(cancelled)
+        self._gauge_update()
         return cancelled

@@ -31,13 +31,24 @@ ciphertext under a per-session key, so even a malicious
 observes nothing.  :meth:`ShieldCloudService.plaintext_exposures` lets tests
 and demos audit the service-wide host ledger for leaks, and
 :meth:`job_result` refuses to hand one tenant another tenant's outputs.
+
+Every job also leaves a full lifecycle trail on the observability stream
+(:mod:`repro.obs`): per-stage spans (``queue``/``place``/``shield_load``/
+``input_seal``/``execute``/``download``/``output_unseal``), a queue-depth
+gauge, and security events (DMA-tap observations, MAC failures, warm-Shield
+evictions, attack detections).  All service counters -- ``stats``, the
+per-board numbers in :meth:`fleet_summary`, and :class:`BoardSlot`'s
+load/hit/eviction counts -- are *views over the metrics registry*, so the
+dashboard can never drift from the event stream.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, replace
 
+import repro.obs as obs_api
 from repro.accelerators.base import ShieldMemoryAdapter
 from repro.attestation.data_owner import DataOwner
 from repro.cloud.scheduler import DEFAULT_HISTORY_LIMIT, AcceleratorJob, FleetScheduler
@@ -45,26 +56,49 @@ from repro.cloud.tenant import SessionState, TenantSession
 from repro.core.config import ShieldConfig
 from repro.core.shield import Shield
 from repro.crypto.rsa import RsaPrivateKey
-from repro.errors import AdmissionError, CloudError, SchedulingError, TenantIsolationError
+from repro.errors import (
+    AdmissionError,
+    CloudError,
+    IntegrityError,
+    SchedulingError,
+    TenantIsolationError,
+)
 from repro.host.runtime import ShefHostRuntime
 from repro.hw.board import BoardModel, FpgaBoard, make_board
+from repro.obs.metrics import MetricsRegistry
 
 
-@dataclass
 class BoardSlot:
-    """One board of the fleet plus its serving-side bookkeeping."""
+    """One board of the fleet plus its serving-side bookkeeping.
 
-    name: str
-    board: FpgaBoard
-    shield_loads: int = 0
-    #: Session currently loaded on the board (None between jobs).
-    active_session: str | None = None
-    #: The warm Shield left resident between jobs (affinity), if any.
-    shield: Shield | None = None
-    #: Session the resident Shield belongs to.
-    resident_session: str | None = None
-    affinity_hits: int = 0
-    evictions: int = 0
+    The load/hit/eviction counts are read-only views over the service's
+    metrics registry (labelled by board), so the per-board numbers shown in
+    :meth:`ShieldCloudService.fleet_summary` and the per-event trace stream
+    share one source of truth.
+    """
+
+    def __init__(self, name: str, board: FpgaBoard, metrics: MetricsRegistry):
+        self.name = name
+        self.board = board
+        self._metrics = metrics
+        #: Session currently loaded on the board (None between jobs).
+        self.active_session: str | None = None
+        #: The warm Shield left resident between jobs (affinity), if any.
+        self.shield: Shield | None = None
+        #: Session the resident Shield belongs to.
+        self.resident_session: str | None = None
+
+    @property
+    def shield_loads(self) -> int:
+        return int(self._metrics.counter("cloud.shield_loads", board=self.name).value)
+
+    @property
+    def affinity_hits(self) -> int:
+        return int(self._metrics.counter("cloud.affinity_hits", board=self.name).value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._metrics.counter("cloud.evictions", board=self.name).value)
 
 
 @dataclass
@@ -76,20 +110,38 @@ class HostObservation:
     entry: tuple
 
 
-@dataclass
 class CloudServiceStats:
-    """Service-wide counters (the CSP's dashboard)."""
+    """Service-wide counters (the CSP's dashboard).
 
-    sessions_admitted: int = 0
-    sessions_closed: int = 0
-    jobs_submitted: int = 0
-    jobs_completed: int = 0
-    jobs_failed: int = 0
-    jobs_cancelled: int = 0
-    jobs_rejected: int = 0
-    shield_loads: int = 0
-    affinity_hits: int = 0
-    evictions: int = 0
+    A read-only view over the metrics registry: each attribute sums the
+    matching counter across every label set, so these totals, the per-board
+    numbers, and the Prometheus dump can never disagree.
+    """
+
+    _FIELDS = (
+        "sessions_admitted",
+        "sessions_closed",
+        "jobs_submitted",
+        "jobs_completed",
+        "jobs_failed",
+        "jobs_cancelled",
+        "jobs_rejected",
+        "shield_loads",
+        "affinity_hits",
+        "evictions",
+    )
+
+    def __init__(self, metrics: MetricsRegistry):
+        self._metrics = metrics
+
+    def __getattr__(self, name: str) -> int:
+        if name in CloudServiceStats._FIELDS:
+            return int(self._metrics.counter_total(f"cloud.{name}"))
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)}" for name in self._FIELDS)
+        return f"CloudServiceStats({body})"
 
 
 class ShieldCloudService:
@@ -107,6 +159,7 @@ class ShieldCloudService:
         queue_cap: int | None = None,
         tenant_quota: int | None = None,
         history_limit: int | None = None,
+        obs=None,
     ):
         """``ledger_limit`` bounds the host-observation ledger (oldest entries
         are evicted first).  The default keeps everything, which is what the
@@ -120,11 +173,29 @@ class ShieldCloudService:
         traffic skips the teardown+reload; ``queue_cap``/``tenant_quota``
         bound the pending queue fleet-wide and per tenant (violations come
         back as ``JobState.REJECTED``); ``history_limit`` caps each board's
-        placement-history ring (None uses the scheduler default)."""
+        placement-history ring (None uses the scheduler default).
+
+        ``obs`` is the :class:`~repro.obs.Observability` handle to record
+        into; the default snapshots :func:`repro.obs.current` at construction
+        time.  The service always keeps a *real* metrics registry for its own
+        counters (``stats`` / ``fleet_summary`` are views over it); a null
+        ``obs`` only disables the span/security event stream.
+        """
         if num_boards < 1:
             raise CloudError("the fleet needs at least one board")
         if ledger_limit is not None and ledger_limit < 1:
             raise CloudError("ledger_limit must be positive (or None for unbounded)")
+        self.obs = obs if obs is not None else obs_api.current()
+        # stats/fleet_summary derive from the registry, so the service needs a
+        # recording one even when observability is off for the process.
+        self.metrics = (
+            self.obs.metrics if self.obs.metrics.enabled else MetricsRegistry()
+        )
+        self.tracer = self.obs.tracer
+        # Stage metrics need real durations even when tracing is off (the
+        # null tracer's clock is frozen at 0.0), so fall back to the wall
+        # clock for the service's internal timestamps in that case.
+        self._now = self.tracer.now if self.tracer.enabled else time.perf_counter
         self.fast_crypto = fast_crypto
         self.ledger_limit = ledger_limit
         self.affinity = bool(affinity)
@@ -132,7 +203,7 @@ class ShieldCloudService:
         for index in range(num_boards):
             name = f"board-{index}"
             board = make_board(board_model, serial=f"{serial_prefix}-{index:04d}")
-            slot = BoardSlot(name=name, board=board)
+            slot = BoardSlot(name=name, board=board, metrics=self.metrics)
             # The service audits its own boards: every DMA transfer (the only
             # way bulk data crosses the host boundary) is recorded verbatim
             # into the ledger, attributed to whichever session holds the
@@ -147,13 +218,22 @@ class ShieldCloudService:
             queue_cap=queue_cap,
             tenant_quota=tenant_quota,
             history_limit=DEFAULT_HISTORY_LIMIT if history_limit is None else history_limit,
+            metrics=self.metrics,
         )
         self.sessions: dict[str, TenantSession] = {}
         self.jobs: dict[str, AcceleratorJob] = {}
-        self.stats = CloudServiceStats()
+        self.stats = CloudServiceStats(self.metrics)
         self._host_ledger: deque = deque(maxlen=ledger_limit)
         self._session_counter = 0
         self._job_counter = 0
+        #: job id -> tracer timestamp at submission (feeds the ``queue`` span).
+        self._submit_ts: dict = {}
+
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        self.metrics.counter(f"cloud.{name}", **labels).inc(amount)
+
+    def _observe_stage(self, stage: str, seconds: float) -> None:
+        self.metrics.histogram("cloud.stage_seconds", stage=stage).observe(seconds)
 
     def _make_dma_tap(self, slot: BoardSlot):
         def tap(direction: str, address: int, data: bytes) -> None:
@@ -164,6 +244,17 @@ class ShieldCloudService:
                     entry=(f"dma-{direction}", address, data),
                 )
             )
+            if self.tracer.enabled:
+                session = self.sessions.get(slot.active_session or "")
+                self.tracer.security(
+                    "dma_tap",
+                    tenant=session.tenant if session is not None else None,
+                    session=slot.active_session,
+                    board=slot.name,
+                    direction=direction,
+                    address=address,
+                    bytes=len(data),
+                )
 
         return tap
 
@@ -189,6 +280,7 @@ class ShieldCloudService:
         """
         if weight <= 0:
             raise CloudError("a tenant's fair-share weight must be positive")
+        admit_start = self._now()
         self._session_counter += 1
         session_id = f"sess-{self._session_counter:04d}"
         base_config = shield_config or accelerator.build_shield_config()
@@ -217,12 +309,19 @@ class ShieldCloudService:
             weight=weight,
         )
         self.sessions[session_id] = session
-        self.stats.sessions_admitted += 1
+        self._count("sessions_admitted")
         # Attestation is compressed to its key-material essentials (the
         # wrapped Load Key above), so admission completes provisioning
         # immediately; a fuller ceremony would hold the session in ADMITTED
         # until the attestation transcript verifies.
         session.state = SessionState.PROVISIONED
+        self.tracer.record_span(
+            "admit",
+            admit_start,
+            self._now() - admit_start,
+            tenant=tenant,
+            session=session_id,
+        )
         return session
 
     def _session_config(self, base: ShieldConfig, session_id: str) -> ShieldConfig:
@@ -250,10 +349,16 @@ class ShieldCloudService:
         if session.is_closed:
             return []
         session.state = SessionState.CLOSED
-        self.stats.sessions_closed += 1
+        self._count("sessions_closed")
         cancelled = self.scheduler.cancel_session_jobs(session_id)
         session.usage.jobs_cancelled += len(cancelled)
-        self.stats.jobs_cancelled += len(cancelled)
+        self._count("jobs_cancelled", len(cancelled))
+        self.tracer.mark(
+            "session_closed",
+            tenant=session.tenant,
+            session=session_id,
+            cancelled_jobs=len(cancelled),
+        )
         for board_name in self.scheduler.boards_resident_for(session_id):
             self._evict(self.slots[board_name])
         return cancelled
@@ -303,21 +408,51 @@ class ShieldCloudService:
             cost_estimate=cost_estimate,
         )
         self.jobs[job.job_id] = job
-        self.stats.jobs_submitted += 1
+        self._count("jobs_submitted")
+        self._submit_ts[job.job_id] = self._now()
         try:
             self.scheduler.submit(job)
         except AdmissionError:
-            self.stats.jobs_rejected += 1
+            self._count("jobs_rejected")
             session.usage.jobs_rejected += 1
+            self._submit_ts.pop(job.job_id, None)
+            self.tracer.mark(
+                "rejected",
+                tenant=job.tenant,
+                session=session_id,
+                job=job.job_id,
+                reason=job.error,
+            )
         return job
 
     def run_next_job(self) -> AcceleratorJob | None:
         """Place and execute the next queued job; ``None`` if nothing runnable."""
+        place_start = self._now()
         placement = self.scheduler.acquire()
         if placement is None:
             return None
         job, board_name, warm = placement
         slot = self.slots[board_name]
+        queue_start = self._submit_ts.pop(job.job_id, place_start)
+        self.tracer.record_span(
+            "queue",
+            queue_start,
+            place_start - queue_start,
+            tenant=job.tenant,
+            session=job.session_id,
+            job=job.job_id,
+            board=board_name,
+        )
+        place_end = self._now()
+        self.tracer.record_span(
+            "place",
+            place_start,
+            place_end - place_start,
+            tenant=job.tenant,
+            session=job.session_id,
+            job=job.job_id,
+            board=board_name,
+        )
         try:
             # The session lookup itself can fail (a dangling session id), and
             # that failure must release the board too -- otherwise the job is
@@ -327,16 +462,37 @@ class ShieldCloudService:
         except Exception as exc:  # noqa: BLE001 - job failures must free the board
             # A failed job never leaves a warm Shield behind: the board is
             # wiped back to the clean slate before anything else lands on it.
+            if isinstance(exc, IntegrityError):
+                self.tracer.security(
+                    "attack_detected",
+                    tenant=job.tenant,
+                    session=job.session_id,
+                    job=job.job_id,
+                    board=board_name,
+                    error=str(exc),
+                )
             self._evict(slot)
             self.scheduler.release(job, completed=False, error=str(exc))
-            self.stats.jobs_failed += 1
+            self._count("jobs_failed")
             session = self.sessions.get(job.session_id)
             if session is not None:
                 session.usage.jobs_failed += 1
         else:
             self.scheduler.release(job, completed=True)
             session.usage.jobs_completed += 1
-            self.stats.jobs_completed += 1
+            self._count("jobs_completed")
+        finish = self._now()
+        self.tracer.record_span(
+            "job",
+            queue_start,
+            finish - queue_start,
+            tenant=job.tenant,
+            session=job.session_id,
+            job=job.job_id,
+            board=board_name,
+            warm=warm,
+            completed=job.result is not None,
+        )
         return job
 
     def run_until_idle(self) -> list:
@@ -358,6 +514,7 @@ class ShieldCloudService:
     ) -> None:
         board = slot.board
         config = session.shield_config
+        load_start = self._now()
         if warm and slot.shield is not None and slot.resident_session == session.session_id:
             # Warm hit: the session's Shield is still resident from its last
             # job, so the teardown+reload (the paper's ~6.2 s partial
@@ -365,23 +522,28 @@ class ShieldCloudService:
             # re-keyed below -- a fresh Data Encryption Key per job -- so
             # keystream never repeats across jobs.
             shield = slot.shield
-            slot.affinity_hits += 1
-            self.stats.affinity_hits += 1
+            self._count("affinity_hits", board=slot.name)
         else:
             # Cold load.  Whatever Shield is resident belongs to a different
             # session (or the warm path is off): tear it down first so the new
             # tenant starts from the clean slate, then load fresh.
             self._evict(slot)
             shield = Shield(
-                config, board.shell, board.on_chip_memory, session.shield_private_key
+                config,
+                board.shell,
+                board.on_chip_memory,
+                session.shield_private_key,
+                obs=self.obs,
             )
             slot.shield = shield
             slot.resident_session = session.session_id
-            slot.shield_loads += 1
-            self.stats.shield_loads += 1
+            self._count("shield_loads", board=slot.name)
         runtime = ShefHostRuntime(board.shell, config, label=session.session_id)
         slot.active_session = session.session_id
         session.boards_used.append(slot.name)
+        ids = dict(
+            tenant=job.tenant, session=session.session_id, job=job.job_id, board=slot.name
+        )
         try:
             # Rotate the session's Data Encryption Key for this job: region
             # sub-keys and chunk IVs restart with every Shield load, so a
@@ -393,29 +555,68 @@ class ShieldCloudService:
                 session.shield_private_key.public_key.encode(), config.shield_id
             )
             runtime.deliver_load_key(shield, session.load_key)
+            load_end = self._now()
+            self.tracer.record_span(
+                "shield_load", load_start, load_end - load_start, warm=warm, **ids
+            )
+            self._observe_stage("shield_load", load_end - load_start)
 
             # Stage sealed inputs through the untrusted host (ciphertext only).
+            seal_start = self._now()
+            input_bytes = 0
             for region_name, plaintext in job.inputs.items():
                 staged = session.data_owner.seal_input(
                     config, region_name, plaintext, shield_id=config.shield_id
                 )
+                input_bytes += len(plaintext)
                 runtime.upload_region(staged)
+            seal_end = self._now()
+            self.tracer.record_span(
+                "input_seal", seal_start, seal_end - seal_start, bytes=input_bytes, **ids
+            )
+            self._observe_stage("input_seal", seal_end - seal_start)
 
+            execute_start = self._now()
             result = session.accelerator.run(ShieldMemoryAdapter(shield), **job.params)
             shield.flush()
+            execute_end = self._now()
+            self.tracer.record_span(
+                "execute", execute_start, execute_end - execute_start, **ids
+            )
+            self._observe_stage("execute", execute_end - execute_start)
 
             # Download requested output regions (still sealed) and unseal them
             # with the tenant's own key ring.  Each spec is either a plaintext
             # length (from chunk 0) or an ``(offset_chunks, length)`` pair for
-            # a partial download starting mid-region.
+            # a partial download starting mid-region.  The per-region download
+            # and unseal times are aggregated into one span each, so every job
+            # emits exactly one ``download`` and one ``output_unseal`` event
+            # (zero-duration when no outputs were requested) -- the same shape
+            # the simulator emits.
+            download_start = self._now()
+            download_s = 0.0
+            unseal_s = 0.0
+            output_bytes = 0
             for region_name, spec in job.output_regions.items():
                 if isinstance(spec, (tuple, list)):
                     offset_chunks, length = spec
                 else:
                     offset_chunks, length = 0, spec
-                job.region_outputs[region_name] = self._download_output(
+                plaintext, region_download_s, region_unseal_s = self._download_output(
                     session, shield, runtime, region_name, length, offset_chunks
                 )
+                job.region_outputs[region_name] = plaintext
+                download_s += region_download_s
+                unseal_s += region_unseal_s
+                output_bytes += len(plaintext)
+            self.tracer.record_span(
+                "download", download_start, download_s, bytes=output_bytes, **ids
+            )
+            self.tracer.record_span(
+                "output_unseal", download_start + download_s, unseal_s, **ids
+            )
+            self._observe_stage("download", download_s)
+            self._observe_stage("output_unseal", unseal_s)
             # Only a fully successful job (run AND downloads) publishes its
             # result: ``job.result is None`` is the failure signal consumers
             # rely on.
@@ -451,7 +652,9 @@ class ShieldCloudService:
         region_name: str,
         length: int | None,
         offset_chunks: int = 0,
-    ) -> bytes:
+    ) -> tuple:
+        """Download + unseal one output region; returns (plaintext, download
+        seconds, unseal seconds) so the caller can aggregate stage spans."""
         config = session.shield_config
         region = config.region(region_name)
         if not 0 <= offset_chunks < region.num_chunks:
@@ -468,27 +671,38 @@ class ShieldCloudService:
                 f"download of {num_chunks} chunk(s) at offset {offset_chunks} "
                 f"runs past region {region_name!r} ({region.num_chunks} chunks)"
             )
+        download_start = self._now()
         ciphertext, tags = runtime.download_region(region_name, num_chunks, offset_chunks)
         sealed = DataOwner.sealed_chunks_from_device(
             config, region_name, ciphertext, tags, offset_chunks
         )
+        unseal_start = self._now()
         if region.replay_protected:
             counters = shield.pipeline(region_name).counters
             versions = [counters.read(c.chunk_index) for c in sealed]
-            return session.data_owner.unseal_output_with_versions(
+            plaintext = session.data_owner.unseal_output_with_versions(
                 config, region_name, sealed, versions, length, shield_id=config.shield_id
             )
-        return session.data_owner.unseal_output(
-            config, region_name, sealed, length, shield_id=config.shield_id
-        )
+        else:
+            plaintext = session.data_owner.unseal_output(
+                config, region_name, sealed, length, shield_id=config.shield_id
+            )
+        unseal_end = self._now()
+        return plaintext, unseal_start - download_start, unseal_end - unseal_start
 
     def _evict(self, slot: BoardSlot) -> None:
         """Tear the resident Shield off a board: free on-chip memory, drop the
         register port, and forget the residency.  No-op on an empty board."""
         if slot.shield is not None:
             slot.shield.unload()
-            slot.evictions += 1
-            self.stats.evictions += 1
+            self._count("evictions", board=slot.name)
+            owner = self.sessions.get(slot.resident_session or "")
+            self.tracer.security(
+                "eviction",
+                tenant=owner.tenant if owner is not None else None,
+                session=slot.resident_session,
+                board=slot.name,
+            )
         else:
             # Defensive: even without a tracked Shield, leave the user region
             # disconnected (partial reconfiguration of an empty slot).
@@ -525,6 +739,10 @@ class ShieldCloudService:
         probe.  The ledger includes the verbatim bytes of every DMA transfer
         on every fleet board, so an empty result really means the host moved
         no recognizable plaintext -- only ciphertext and wrapped keys.
+
+        Every hit is also published as a ``plaintext_exposure`` security
+        event, so a leak found by an offline audit still lands on the same
+        stream the live security events use.
         """
         if not plaintext:
             probes = set()
@@ -543,6 +761,14 @@ class ShieldCloudService:
                     blob = bytes(item)
                     if any(probe in blob for probe in probes):
                         exposures.append(observation)
+                        owner = self.sessions.get(observation.session_id)
+                        self.tracer.security(
+                            "plaintext_exposure",
+                            tenant=owner.tenant if owner is not None else None,
+                            session=observation.session_id,
+                            board=observation.board_name,
+                            entry_kind=observation.entry[0],
+                        )
                         break
         return exposures
 
@@ -551,12 +777,14 @@ class ShieldCloudService:
     def fleet_summary(self) -> dict:
         """Board-by-board load counts plus service totals (for demos/CLI).
 
-        Placement history per board is the ring-buffered recent tail;
-        ``placements_total`` carries the exact lifetime count so sustained
-        traffic never inflates memory.  ``affinity_hit_rate`` is warm
-        placements over all placements, and ``tenants`` reports per-tenant
-        fairness: each tenant's completed-job share of everything the fleet
-        completed.
+        Every number is read from the metrics registry (the same counters the
+        event stream increments), so this summary, ``stats``, and an exported
+        Prometheus dump always agree.  Placement history per board is the
+        ring-buffered recent tail; ``placements_total`` carries the exact
+        lifetime count so sustained traffic never inflates memory.
+        ``affinity_hit_rate`` is warm placements over all placements, and
+        ``tenants`` reports per-tenant fairness: each tenant's completed-job
+        share of everything the fleet completed.
         """
         history = self.scheduler.placement_history
         placements = sum(self.scheduler.placement_totals.values())
@@ -577,11 +805,10 @@ class ShieldCloudService:
             entry["jobs_failed"] += usage.jobs_failed
             entry["jobs_cancelled"] += usage.jobs_cancelled
             entry["jobs_rejected"] += usage.jobs_rejected
+        jobs_completed = self.stats.jobs_completed
         for entry in tenants.values():
             entry["completed_share"] = (
-                entry["jobs_completed"] / self.stats.jobs_completed
-                if self.stats.jobs_completed
-                else 0.0
+                entry["jobs_completed"] / jobs_completed if jobs_completed else 0.0
             )
         return {
             "policy": self.scheduler.policy.name,
@@ -598,7 +825,7 @@ class ShieldCloudService:
                 for name, slot in self.slots.items()
             },
             "sessions_admitted": self.stats.sessions_admitted,
-            "jobs_completed": self.stats.jobs_completed,
+            "jobs_completed": jobs_completed,
             "jobs_failed": self.stats.jobs_failed,
             "jobs_cancelled": self.stats.jobs_cancelled,
             "jobs_rejected": self.stats.jobs_rejected,

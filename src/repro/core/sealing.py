@@ -15,14 +15,16 @@ derived per (Data Encryption Key, region name) so no two regions share keys.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
+import repro.obs as obs_api
 from repro.core.config import RegionConfig
 from repro.core.engines import AesEngine, MacEngine, build_engines
 from repro.core.config import EngineSetConfig
 from repro.crypto.hashes import sha256
 from repro.crypto.kdf import derive_subkey
-from repro.errors import ShieldError
+from repro.errors import IntegrityError, ShieldError
 
 
 def region_key(data_encryption_key: bytes, region_name: str) -> bytes:
@@ -68,10 +70,14 @@ class RegionSealer:
         data_encryption_key: bytes,
         region: RegionConfig,
         engine_config: EngineSetConfig,
+        obs=None,
     ):
         self.region = region
         key = region_key(data_encryption_key, region.name)
         self._aes_engine, self._mac_engine = build_engines(engine_config, key)
+        self._obs = obs if obs is not None else obs_api.current()
+        #: Metrics label distinguishing the vectorized fast path from scalar.
+        self._path = "fast" if self._aes_engine.uses_fast_path else "scalar"
 
     @property
     def aes_engine(self) -> AesEngine:
@@ -81,26 +87,56 @@ class RegionSealer:
     def mac_engine(self) -> MacEngine:
         return self._mac_engine
 
+    def _observe(self, op: str, nbytes: int, seconds: float) -> None:
+        """Record one seal/unseal operation (bytes moved + duration, labelled
+        fast/scalar).  Callers only reach this when metrics are enabled."""
+        metrics = self._obs.metrics
+        metrics.counter(f"crypto.{op}_bytes", path=self._path).inc(nbytes)
+        metrics.histogram(f"crypto.{op}_seconds", path=self._path).observe(seconds)
+
+    def _mac_failure(self, exc: IntegrityError, chunk_indices) -> None:
+        """Publish a failed tag verification on the security stream."""
+        if self._obs.tracer.enabled:
+            self._obs.tracer.security(
+                "mac_failure",
+                region=self.region.name,
+                chunks=list(chunk_indices),
+                error=str(exc),
+            )
+
     def seal_chunk(self, chunk_index: int, plaintext: bytes, version: int = 0) -> SealedChunk:
         """Encrypt-then-MAC one chunk of plaintext."""
         if len(plaintext) != self.region.chunk_size:
             raise ShieldError(
                 f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
             )
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
         iv = chunk_iv(self.region, chunk_index, version)
         ciphertext = self._aes_engine.encrypt(iv, plaintext)
         context = chunk_mac_context(self.region, chunk_index, version)
         tag = self._mac_engine.tag(context + ciphertext)
+        if timed:
+            self._observe("seal", len(plaintext), time.perf_counter() - start)
         return SealedChunk(chunk_index=chunk_index, ciphertext=ciphertext, tag=tag)
 
     def unseal_chunk(
         self, chunk_index: int, ciphertext: bytes, tag: bytes, version: int = 0
     ) -> bytes:
         """Verify and decrypt one chunk; raises :class:`IntegrityError` on tampering."""
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
         context = chunk_mac_context(self.region, chunk_index, version)
-        self._mac_engine.verify(context + ciphertext, tag)
+        try:
+            self._mac_engine.verify(context + ciphertext, tag)
+        except IntegrityError as exc:
+            self._mac_failure(exc, [chunk_index])
+            raise
         iv = chunk_iv(self.region, chunk_index, version)
-        return self._aes_engine.decrypt(iv, ciphertext)
+        plaintext = self._aes_engine.decrypt(iv, ciphertext)
+        if timed:
+            self._observe("unseal", len(plaintext), time.perf_counter() - start)
+        return plaintext
 
     def seal_chunks(self, indices: list, plaintexts: list, versions=0) -> list:
         """Seal many whole chunks at once (one batched cipher pass on the fast path).
@@ -123,6 +159,8 @@ class RegionSealer:
                 raise ShieldError(
                     f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
                 )
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
         ivs = [
             chunk_iv(self.region, index, version)
             for index, version in zip(indices, versions)
@@ -134,6 +172,10 @@ class RegionSealer:
                 for index, version, ciphertext in zip(indices, versions, ciphertexts)
             ]
         )
+        if timed:
+            self._observe(
+                "seal", sum(len(p) for p in plaintexts), time.perf_counter() - start
+            )
         return [
             SealedChunk(chunk_index=index, ciphertext=ciphertext, tag=tag)
             for index, ciphertext, tag in zip(indices, ciphertexts, tags)
@@ -181,18 +223,26 @@ class RegionSealer:
             versions = [versions] * len(sealed_chunks)
         if len(versions) != len(sealed_chunks):
             raise ShieldError("unseal_region_data needs one version per chunk")
-        self._mac_engine.verify_many(
-            [
-                chunk_mac_context(self.region, chunk.chunk_index, version)
-                + chunk.ciphertext
-                for chunk, version in zip(sealed_chunks, versions)
-            ],
-            [chunk.tag for chunk in sealed_chunks],
-        )
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
+        try:
+            self._mac_engine.verify_many(
+                [
+                    chunk_mac_context(self.region, chunk.chunk_index, version)
+                    + chunk.ciphertext
+                    for chunk, version in zip(sealed_chunks, versions)
+                ],
+                [chunk.tag for chunk in sealed_chunks],
+            )
+        except IntegrityError as exc:
+            self._mac_failure(exc, [chunk.chunk_index for chunk in sealed_chunks])
+            raise
         ivs = [
             chunk_iv(self.region, chunk.chunk_index, version)
             for chunk, version in zip(sealed_chunks, versions)
         ]
         pieces = self._aes_engine.decrypt_many(ivs, [c.ciphertext for c in sealed_chunks])
         plaintext = b"".join(pieces)
+        if timed:
+            self._observe("unseal", len(plaintext), time.perf_counter() - start)
         return plaintext if length is None else plaintext[:length]

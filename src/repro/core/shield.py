@@ -17,9 +17,11 @@ Data Owner's Load Key has been provisioned.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+import repro.obs as obs_api
 from repro.core.burst_decoder import BurstDecoder
 from repro.core.config import ShieldConfig
 from repro.core.engine_set import RegionPipeline
@@ -57,8 +59,10 @@ class Shield:
         shell: Shell,
         on_chip_memory: OnChipMemory,
         shield_private_key: RsaPrivateKey,
+        obs=None,
     ):
         config.validate()
+        self.obs = obs if obs is not None else obs_api.current()
         self.config = config
         self.shell = shell
         self.on_chip_memory = on_chip_memory
@@ -82,10 +86,15 @@ class Shield:
         Key.  This is what lets a *warm* Shield stay resident on a board
         between jobs of the same session without reusing AES-CTR keystream.
         """
+        start = time.perf_counter() if self.obs.metrics.enabled else 0.0
         self.key_store.provision_load_key(wrapped_key, slot)
         data_key = self.key_store.data_key(slot)
         self._register_file = ShieldedRegisterFile(self.config.register_interface, data_key)
         self._build_pipelines(data_key)
+        if self.obs.metrics.enabled:
+            self.obs.metrics.histogram("shield.provision_seconds").observe(
+                time.perf_counter() - start
+            )
 
     def _build_pipelines(self, data_key: bytes) -> None:
         for name in self._pipeline_allocations:
@@ -172,8 +181,13 @@ class Shield:
 
     def flush(self) -> None:
         """Write back all dirty buffered chunks (end of accelerator execution)."""
+        start = time.perf_counter() if self.obs.metrics.enabled else 0.0
         for pipeline in self._pipelines.values():
             pipeline.flush()
+        if self.obs.metrics.enabled:
+            self.obs.metrics.histogram("shield.flush_seconds").observe(
+                time.perf_counter() - start
+            )
 
     # -- register interface ----------------------------------------------------------------
 

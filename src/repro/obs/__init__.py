@@ -1,0 +1,119 @@
+"""``repro.obs``: metrics + tracing for the Shield fleet.
+
+The observability substrate has two halves, bundled by :class:`Observability`:
+
+* a **metrics registry** (:mod:`repro.obs.metrics`) -- counters, gauges, and
+  reservoir-backed histograms with p50/p95/p99, rendered as a
+  Prometheus-style text dump;
+* a **span tracer** (:mod:`repro.obs.tracing`) -- the structured event stream
+  covering the job lifecycle and the security audit trail, exported as JSONL
+  or a ``chrome://tracing`` file (:mod:`repro.obs.exporters`) and rendered by
+  ``trace-report`` (:mod:`repro.obs.report`).
+
+The process-wide default is the **null backend** (:data:`NULL_OBS`): every
+record call is a no-op and instrumented code pays one attribute check, so the
+hot path stays within noise when observability is off (gated by
+``benchmarks/test_obs_overhead.py``).  Enable it for a run with::
+
+    import repro.obs as obs
+
+    handle = obs.configure()            # metrics + tracing on, wall clock
+    ...                                  # build services, run jobs
+    print(handle.tracer.events)          # or export via repro.obs.exporters
+    obs.reset()                          # back to the null backend
+
+or scope it with :func:`scoped` (what the tests and benchmarks use).
+Instrumented objects (``ShieldCloudService``, ``Shield``, ``RegionSealer``,
+``CloudSimulator``) snapshot :func:`current` **at construction time**, so
+configure observability before building the objects you want instrumented --
+or pass an :class:`Observability` explicitly via their ``obs=`` parameter.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.tracing import (
+    JOB_STAGES,
+    LIFECYCLE_STAGES,
+    NullTracer,
+    ObsEvent,
+    Tracer,
+    lifecycle_signature,
+)
+
+__all__ = [
+    "JOB_STAGES",
+    "LIFECYCLE_STAGES",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "ObsEvent",
+    "Observability",
+    "Tracer",
+    "configure",
+    "current",
+    "lifecycle_signature",
+    "reset",
+    "scoped",
+]
+
+
+class Observability:
+    """A metrics registry and a tracer travelling together."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(self, metrics=None, tracer=None):
+        self.metrics = metrics if metrics is not None else NullMetricsRegistry()
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+    @property
+    def enabled(self) -> bool:
+        """True when either half records anything (hot paths check this once)."""
+        return self.metrics.enabled or self.tracer.enabled
+
+
+#: The disabled backend every instrumented object sees by default.
+NULL_OBS = Observability()
+
+_current: Observability = NULL_OBS
+
+
+def current() -> Observability:
+    """The process-wide observability handle (``NULL_OBS`` unless configured)."""
+    return _current
+
+
+def configure(metrics: bool = True, tracing: bool = True, clock=None) -> Observability:
+    """Install (and return) a live process-wide observability handle.
+
+    ``metrics`` / ``tracing`` enable each half independently; ``clock``
+    overrides the tracer's wall clock (tests pass a fake for determinism).
+    """
+    global _current
+    _current = Observability(
+        metrics=MetricsRegistry() if metrics else NullMetricsRegistry(),
+        tracer=Tracer(clock=clock) if tracing else NullTracer(),
+    )
+    return _current
+
+
+def reset() -> None:
+    """Back to the null backend (does not touch handles already snapshot)."""
+    global _current
+    _current = NULL_OBS
+
+
+@contextmanager
+def scoped(metrics: bool = True, tracing: bool = True, clock=None):
+    """Configure observability for a ``with`` block, restoring the old handle."""
+    global _current
+    previous = _current
+    handle = configure(metrics=metrics, tracing=tracing, clock=clock)
+    try:
+        yield handle
+    finally:
+        _current = previous

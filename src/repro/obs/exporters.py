@@ -1,0 +1,179 @@
+"""Exporters for the trace stream and the metrics registry.
+
+Three formats cover the consumers:
+
+* **JSONL** -- one :class:`~repro.obs.tracing.ObsEvent` dict per line; the
+  archival format ``--trace`` writes, ``trace-report`` reads, and CI uploads;
+* **Chrome trace** -- the ``chrome://tracing`` / Perfetto JSON format
+  (``traceEvents`` with microsecond timestamps); spans become complete
+  (``ph: "X"``) events on a ``tenant`` process / ``board-or-session`` thread,
+  marks and security events become instants (``ph: "i"``);
+* **Prometheus text** -- a one-shot ``/metrics``-style dump of the registry
+  (counters as ``_total``, gauges verbatim, histograms as summaries with
+  ``quantile`` labels plus ``_count`` / ``_sum``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracing import EVENT_KINDS, ObsEvent
+
+#: Keys every JSONL event must carry (the rest of the schema is optional).
+REQUIRED_EVENT_KEYS = ("ts", "kind", "name")
+
+
+def validate_event(payload: dict) -> list:
+    """Schema-check one event dict; returns a list of problems (empty == valid)."""
+    problems = []
+    for key in REQUIRED_EVENT_KEYS:
+        if key not in payload:
+            problems.append(f"missing required key {key!r}")
+    if not isinstance(payload.get("ts"), (int, float)):
+        problems.append(f"ts must be a number, got {payload.get('ts')!r}")
+    if payload.get("kind") not in EVENT_KINDS:
+        problems.append(f"kind must be one of {EVENT_KINDS}, got {payload.get('kind')!r}")
+    if not isinstance(payload.get("name"), str) or not payload.get("name"):
+        problems.append(f"name must be a non-empty string, got {payload.get('name')!r}")
+    dur = payload.get("dur_s")
+    if dur is not None and not isinstance(dur, (int, float)):
+        problems.append(f"dur_s must be a number or absent, got {dur!r}")
+    for axis in ("tenant", "session", "job", "board"):
+        value = payload.get(axis)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"{axis} must be a string or absent, got {value!r}")
+    if "attrs" in payload and not isinstance(payload["attrs"], dict):
+        problems.append(f"attrs must be a dict, got {payload['attrs']!r}")
+    return problems
+
+
+def events_to_jsonl(events) -> str:
+    """Serialize a list of events (ObsEvent or dict) to JSONL text."""
+    lines = []
+    for event in events:
+        payload = event.to_dict() if isinstance(event, ObsEvent) else dict(event)
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events, path) -> None:
+    """Write the event stream to a JSONL file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(events_to_jsonl(events))
+
+
+def read_jsonl(path, strict: bool = True) -> list:
+    """Read a JSONL trace back into :class:`ObsEvent` objects.
+
+    With ``strict`` (the default) a malformed line raises ``ValueError``
+    naming the line number and the schema problems; without it, malformed
+    lines are skipped (they cannot be parsed into a typed event).
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            problems = validate_event(payload)
+            if problems:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{line_number}: invalid trace event: "
+                        f"{'; '.join(problems)}"
+                    )
+                continue
+            events.append(ObsEvent.from_dict(payload))
+    return events
+
+
+def chrome_trace_dict(events) -> dict:
+    """The ``chrome://tracing`` JSON object for an event stream.
+
+    Processes are tenants (or ``fleet`` for unattributed events); threads are
+    boards when known, sessions otherwise.  Timestamps are microseconds, as
+    the format requires.
+    """
+    trace_events = []
+    for event in events:
+        if isinstance(event, dict):
+            event = ObsEvent.from_dict(event)
+        pid = event.tenant or "fleet"
+        tid = event.board or event.session or "service"
+        args = dict(event.attrs)
+        for axis in ("session", "job"):
+            value = getattr(event, axis)
+            if value is not None:
+                args[axis] = value
+        entry = {
+            "name": event.name,
+            "cat": event.kind,
+            "pid": pid,
+            "tid": tid,
+            "ts": event.ts * 1e6,
+            "args": args,
+        }
+        if event.kind == "span":
+            entry["ph"] = "X"
+            entry["dur"] = (event.dur_s or 0.0) * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "p"  # process-scoped instant
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events, path) -> None:
+    """Write the event stream as a ``chrome://tracing``-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_dict(events), handle, indent=1)
+        handle.write("\n")
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _prom_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{_prom_name(str(k))}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def prometheus_text(registry) -> str:
+    """A Prometheus-exposition-style text dump of a metrics registry."""
+    snapshot = registry.snapshot()
+    lines = []
+    seen_types = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in snapshot["counters"]:
+        name = _prom_name(counter["name"]) + "_total"
+        type_line(name, "counter")
+        lines.append(f"{name}{_prom_labels(counter['labels'])} {counter['value']:g}")
+    for gauge in snapshot["gauges"]:
+        name = _prom_name(gauge["name"])
+        type_line(name, "gauge")
+        lines.append(f"{name}{_prom_labels(gauge['labels'])} {gauge['value']:g}")
+    for histogram in snapshot["histograms"]:
+        name = _prom_name(histogram["name"])
+        type_line(name, "summary")
+        labels = histogram["labels"]
+        for key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+            value = histogram.get(key)
+            if value is not None:
+                lines.append(
+                    f"{name}{_prom_labels(labels, {'quantile': quantile})} {value:g}"
+                )
+        lines.append(f"{name}_count{_prom_labels(labels)} {histogram['count']:g}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {histogram['total']:g}")
+    return "\n".join(lines) + ("\n" if lines else "")

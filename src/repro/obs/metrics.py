@@ -1,0 +1,247 @@
+"""The process-wide metrics registry: counters, gauges, and histograms.
+
+Instruments are cheap, label-aware, and deterministic:
+
+* :class:`Counter` -- a monotonically increasing float (``.inc()``);
+* :class:`Gauge` -- a point-in-time level (``.set()`` / ``.inc()`` / ``.dec()``);
+* :class:`Histogram` -- a reservoir-sampled distribution whose percentiles
+  come from :mod:`repro.obs.stats`; the reservoir (Vitter's Algorithm R,
+  seeded per instrument) keeps a bounded, uniformly-sampled view of an
+  unbounded series, while ``count``/``total``/``min``/``max`` stay exact.
+
+A :class:`MetricsRegistry` hands out instruments keyed by ``(name, labels)``
+and renders a Prometheus-style text dump; :class:`NullMetricsRegistry` hands
+out shared no-op instruments so fully disabled observability costs one
+attribute check on the hot path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.obs.stats import SUMMARY_QUANTILES, percentile, summarize
+
+#: Default reservoir capacity per histogram (exact below this many samples).
+DEFAULT_RESERVOIR_SIZE = 1024
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (queue depth, boards busy, ...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A reservoir-backed distribution with exact count/total/min/max.
+
+    Below ``reservoir_size`` observations the reservoir holds every sample
+    (percentiles are exact); beyond it, Algorithm R keeps each observation
+    with probability ``reservoir_size / count`` so the reservoir stays a
+    uniform sample.  The RNG is seeded from the instrument identity, so two
+    identically-fed histograms report identical percentiles.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_reservoir", "_rng", "_capacity")
+
+    def __init__(self, name: str, labels: dict, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ValueError("histogram reservoir_size must be positive")
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._reservoir: list = []
+        self._capacity = reservoir_size
+        self._rng = random.Random(hash((name, _label_key(labels))) & 0xFFFFFFFF)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+    def percentile(self, q: float):
+        """The q-th percentile of the reservoir sample (``None`` if empty)."""
+        return percentile(self._reservoir, q)
+
+    def summary(self, qs=SUMMARY_QUANTILES) -> dict:
+        """The standard summary block; count/total/min/max are exact."""
+        block = summarize(self._reservoir, qs)
+        block.update(
+            count=self.count, total=self.total, min=self.min, max=self.max, mean=self.mean
+        )
+        return block
+
+
+class _NullInstrument:
+    """A shared do-nothing counter/gauge/histogram for disabled observability."""
+
+    __slots__ = ()
+    name = "null"
+    labels: dict = {}
+    value = 0.0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float):
+        return None
+
+    def summary(self, qs=SUMMARY_QUANTILES) -> dict:
+        return summarize((), qs)
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Hands out (and caches) instruments keyed by name + label set."""
+
+    enabled = True
+
+    def __init__(self, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        self._reservoir_size = reservoir_size
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, labels)
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, labels)
+        return instrument
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, labels, self._reservoir_size
+            )
+        return instrument
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter name across every label set (0.0 if absent)."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def counters_by_label(self, name: str, label: str) -> dict:
+        """``label value -> counter value`` for one counter name."""
+        return {
+            c.labels[label]: c.value
+            for (n, _), c in self._counters.items()
+            if n == name and label in c.labels
+        }
+
+    def snapshot(self) -> dict:
+        """Everything the registry holds, as plain data (for tests/exports)."""
+        return {
+            "counters": [
+                {"name": c.name, "labels": dict(c.labels), "value": c.value}
+                for c in self._counters.values()
+            ],
+            "gauges": [
+                {"name": g.name, "labels": dict(g.labels), "value": g.value}
+                for g in self._gauges.values()
+            ],
+            "histograms": [
+                {"name": h.name, "labels": dict(h.labels), **h.summary()}
+                for h in self._histograms.values()
+            ],
+        }
+
+
+class NullMetricsRegistry:
+    """The disabled backend: every instrument is the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels):
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels):
+        return NULL_INSTRUMENT
+
+    def counter_total(self, name: str) -> float:
+        return 0.0
+
+    def counters_by_label(self, name: str, label: str) -> dict:
+        return {}
+
+    def snapshot(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}

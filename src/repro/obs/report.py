@@ -1,0 +1,119 @@
+"""``trace-report``: render per-stage percentiles and per-tenant totals.
+
+Consumes the JSONL event stream (or live :class:`~repro.obs.tracing.ObsEvent`
+lists) and prints the two tables an operator asks for first:
+
+* **per-stage latency** -- count, total, and p50/p95/p99 of every span name
+  on the stream, lifecycle stages first in lifecycle order;
+* **per-tenant breakdown** -- jobs, busy seconds, share of fleet busy time,
+  and security-event count per tenant.
+
+Works identically on functional traces (wall seconds) and simulated traces
+(modelled seconds); the shared math lives in :mod:`repro.obs.stats`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.stats import summarize
+from repro.obs.tracing import LIFECYCLE_STAGES, SECURITY, SPAN
+
+
+def _stage_order(name: str) -> tuple:
+    try:
+        return (0, LIFECYCLE_STAGES.index(name))
+    except ValueError:
+        return (1, 0)
+
+
+def stage_summaries(events) -> dict:
+    """``stage name -> duration summary`` over every span on the stream."""
+    durations: dict = {}
+    for event in events:
+        if event.kind == SPAN:
+            durations.setdefault(event.name, []).append(event.dur_s or 0.0)
+    return {
+        name: summarize(values)
+        for name, values in sorted(
+            durations.items(), key=lambda item: (_stage_order(item[0]), item[0])
+        )
+    }
+
+
+def tenant_breakdown(events) -> dict:
+    """``tenant -> {jobs, busy_s, security_events}`` (jobs = ``job`` spans)."""
+    tenants: dict = {}
+
+    def entry(tenant):
+        return tenants.setdefault(
+            tenant, {"jobs": 0, "busy_s": 0.0, "security_events": 0}
+        )
+
+    for event in events:
+        if event.tenant is None:
+            continue
+        if event.kind == SPAN and event.name == "job":
+            record = entry(event.tenant)
+            record["jobs"] += 1
+            record["busy_s"] += event.dur_s or 0.0
+        elif event.kind == SECURITY:
+            entry(event.tenant)["security_events"] += 1
+    total_busy = sum(record["busy_s"] for record in tenants.values())
+    for record in tenants.values():
+        record["busy_share"] = record["busy_s"] / total_busy if total_busy else 0.0
+    return dict(sorted(tenants.items()))
+
+
+def render_trace_report(events) -> str:
+    """The full plain-text report for a trace stream."""
+    from repro.sim.reporting import format_table, format_value
+
+    events = list(events)
+    lines = [f"== trace report: {len(events)} event(s) =="]
+
+    stages = stage_summaries(events)
+    if stages:
+        lines.append("")
+        lines.append("per-stage latency (seconds):")
+        lines.append(
+            format_table(
+                [
+                    {
+                        "stage": name,
+                        "count": summary["count"],
+                        "total_s": summary["total"],
+                        "p50_s": summary["p50"] if summary["p50"] is not None else "",
+                        "p95_s": summary["p95"] if summary["p95"] is not None else "",
+                        "p99_s": summary["p99"] if summary["p99"] is not None else "",
+                    }
+                    for name, summary in stages.items()
+                ]
+            )
+        )
+    tenants = tenant_breakdown(events)
+    if tenants:
+        lines.append("")
+        lines.append("per-tenant totals:")
+        lines.append(
+            format_table(
+                [
+                    {
+                        "tenant": tenant,
+                        "jobs": record["jobs"],
+                        "busy_s": record["busy_s"],
+                        "busy_share": record["busy_share"],
+                        "security_events": record["security_events"],
+                    }
+                    for tenant, record in tenants.items()
+                ]
+            )
+        )
+    security = [e for e in events if e.kind == SECURITY]
+    if security:
+        by_name: dict = {}
+        for event in security:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        lines.append("")
+        lines.append("security events:")
+        for name, count in sorted(by_name.items()):
+            lines.append(f"  {name}: {format_value(count)}")
+    return "\n".join(lines)

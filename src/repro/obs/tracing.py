@@ -1,0 +1,264 @@
+"""The span tracer: one structured event stream for the whole Shield fleet.
+
+Every event carries the same flat schema -- a timestamp, a kind, a name, an
+optional duration, and the identity axes (tenant / session / job / board) --
+so functional runs (wall-clock timestamps) and simulated runs (modelled
+timestamps) produce streams that are directly diffable and feed the same
+exporters (:mod:`repro.obs.exporters`) and reports (:mod:`repro.obs.report`).
+
+Three event kinds cover the fleet:
+
+* ``span`` -- a named stage with a duration (the job lifecycle:
+  ``admit -> queue -> place -> shield_load -> input_seal -> execute ->
+  download -> output_unseal``, plus a per-job envelope span ``job``);
+* ``mark`` -- an instantaneous annotation (a submit, a rejection);
+* ``security`` -- the audit stream (DMA-tap observations, MAC failures,
+  warm-Shield evictions, attack detections, plaintext exposures).
+
+:class:`NullTracer` is the disabled backend: recording is a no-op and the
+hot path pays one attribute check (``tracer.enabled``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: The job lifecycle stages, in the order both the functional service and the
+#: simulator emit them for every job.  ``admit`` is per *session* (it happens
+#: once, at tenant admission); the rest are per job.
+LIFECYCLE_STAGES = (
+    "admit",
+    "queue",
+    "place",
+    "shield_load",
+    "input_seal",
+    "execute",
+    "download",
+    "output_unseal",
+)
+
+#: The per-job subset of :data:`LIFECYCLE_STAGES` (what conformance compares).
+JOB_STAGES = LIFECYCLE_STAGES[1:]
+
+SPAN = "span"
+MARK = "mark"
+SECURITY = "security"
+
+EVENT_KINDS = (SPAN, MARK, SECURITY)
+
+
+@dataclass(slots=True)
+class ObsEvent:
+    """One structured event on the trace stream (the exporter wire schema)."""
+
+    ts: float
+    kind: str
+    name: str
+    dur_s: float | None = None
+    tenant: str | None = None
+    session: str | None = None
+    job: str | None = None
+    board: str | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """The flat JSONL form; identity axes are omitted when unset."""
+        out = {"ts": self.ts, "kind": self.kind, "name": self.name}
+        if self.dur_s is not None:
+            out["dur_s"] = self.dur_s
+        for axis in ("tenant", "session", "job", "board"):
+            value = getattr(self, axis)
+            if value is not None:
+                out[axis] = value
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObsEvent":
+        return cls(
+            ts=float(payload["ts"]),
+            kind=payload["kind"],
+            name=payload["name"],
+            dur_s=payload.get("dur_s"),
+            tenant=payload.get("tenant"),
+            session=payload.get("session"),
+            job=payload.get("job"),
+            board=payload.get("board"),
+            attrs=dict(payload.get("attrs", {})),
+        )
+
+
+class _OpenSpan:
+    """A live wall-clock span handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("name", "tenant", "session", "job", "board", "attrs", "start")
+
+    def __init__(self, name, tenant, session, job, board, attrs, start):
+        self.name = name
+        self.tenant = tenant
+        self.session = session
+        self.job = job
+        self.board = board
+        self.attrs = attrs
+        self.start = start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered mid-span (bytes moved, warm/cold...)."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Records :class:`ObsEvent` objects against a pluggable clock.
+
+    ``clock`` defaults to :func:`time.perf_counter` (wall time measured from
+    tracer creation); the simulator bypasses the clock entirely and stamps
+    events with modelled time via the ``ts``-taking record methods.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self.events: list[ObsEvent] = []
+
+    def now(self) -> float:
+        """Seconds since tracer creation on the configured clock."""
+        return self._clock() - self._epoch
+
+    # -- recording ----------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name, tenant=None, session=None, job=None, board=None, **attrs):
+        """Measure a wall-clock stage; the yielded span accepts ``.set(...)``."""
+        open_span = _OpenSpan(name, tenant, session, job, board, dict(attrs), self.now())
+        try:
+            yield open_span
+        finally:
+            self.events.append(
+                ObsEvent(
+                    ts=open_span.start,
+                    kind=SPAN,
+                    name=open_span.name,
+                    dur_s=self.now() - open_span.start,
+                    tenant=open_span.tenant,
+                    session=open_span.session,
+                    job=open_span.job,
+                    board=open_span.board,
+                    attrs=open_span.attrs,
+                )
+            )
+
+    def record_span(
+        self, name, ts, dur_s, tenant=None, session=None, job=None, board=None, **attrs
+    ) -> None:
+        """Record a span with explicit timestamps (simulated or aggregated time)."""
+        self.events.append(
+            ObsEvent(ts, SPAN, name, dur_s, tenant, session, job, board, attrs)
+        )
+
+    def mark(self, name, ts=None, tenant=None, session=None, job=None, board=None, **attrs):
+        """Record an instantaneous annotation."""
+        self.events.append(
+            ObsEvent(
+                self.now() if ts is None else ts,
+                MARK, name, None, tenant, session, job, board, attrs,
+            )
+        )
+
+    def security(
+        self, name, ts=None, tenant=None, session=None, job=None, board=None, **attrs
+    ) -> None:
+        """Record a security event (audit stream, same schema)."""
+        self.events.append(
+            ObsEvent(
+                self.now() if ts is None else ts,
+                SECURITY, name, None, tenant, session, job, board, attrs,
+            )
+        )
+
+    # -- reading ------------------------------------------------------------------
+
+    def spans(self, name=None) -> list:
+        """All span events, optionally filtered by stage name."""
+        return [
+            e for e in self.events if e.kind == SPAN and (name is None or e.name == name)
+        ]
+
+    def security_events(self, name=None) -> list:
+        """All security events, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == SECURITY and (name is None or e.name == name)
+        ]
+
+    def clear(self) -> None:
+        self.events = []
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled backend: every record call is a no-op."""
+
+    enabled = False
+    events: tuple = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name, **kwargs):
+        return _NULL_SPAN
+
+    def record_span(self, name, ts, dur_s, **kwargs) -> None:
+        pass
+
+    def mark(self, name, **kwargs) -> None:
+        pass
+
+    def security(self, name, **kwargs) -> None:
+        pass
+
+    def spans(self, name=None) -> list:
+        return []
+
+    def security_events(self, name=None) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+def lifecycle_signature(events, stages=JOB_STAGES) -> list:
+    """The schedulable skeleton of a trace: per-job stage order + attribution.
+
+    Returns ``(name, tenant, warm-or-None)`` tuples for every span whose name
+    is in ``stages``, in stream order.  Functional service and simulator runs
+    of the same trace under the same policy must produce identical signatures
+    -- this is what the observability conformance suite diffs (timestamps and
+    durations are *expected* to differ between wall and simulated clocks).
+    """
+    wanted = set(stages)
+    return [
+        (event.name, event.tenant, event.attrs.get("warm"))
+        for event in events
+        if event.kind == SPAN and event.name in wanted
+    ]

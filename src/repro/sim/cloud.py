@@ -23,10 +23,13 @@ import heapq
 from collections import deque
 from dataclasses import dataclass
 
+import repro.obs as obs_api
+from repro.obs.tracing import SPAN, ObsEvent
 from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
 from repro.core.config import ShieldConfig
 from repro.core.timing import TimingModel, WorkloadProfile
 from repro.errors import SimulationError
+from repro.obs.stats import percentile
 from repro.sim.results import ExperimentResult
 
 #: Default board clock used to convert model cycles to seconds (AWS F1).
@@ -107,7 +110,14 @@ class CloudSimulator:
         shield_load_seconds: float = DEFAULT_SHIELD_LOAD_SECONDS,
         policy="fifo",
         affinity: bool = True,
+        obs=None,
     ):
+        """``obs`` is the observability handle the replay publishes lifecycle
+        events into (default: the process-wide :func:`repro.obs.current` at
+        construction time).  Events are stamped with *modelled* timestamps but
+        use exactly the per-job schema the functional service emits, so the
+        two streams are directly diffable via
+        :func:`repro.obs.lifecycle_signature`."""
         if num_boards < 1:
             raise SimulationError("the simulated fleet needs at least one board")
         self.num_boards = num_boards
@@ -116,6 +126,7 @@ class CloudSimulator:
         self.shield_load_seconds = shield_load_seconds
         self.policy = policy
         self.affinity = bool(affinity)
+        self.obs = obs if obs is not None else obs_api.current()
 
     # -- pricing ------------------------------------------------------------------
 
@@ -144,6 +155,7 @@ class CloudSimulator:
         functional fleet wherever time permits a comparison.
         """
         policy = make_policy(self.policy)
+        tracer = self.obs.tracer
         # seq is the *arrival-order* position (ties broken by trace index), so
         # FIFO -- and every policy's tie-break -- is first-come-first-served
         # even when the caller's trace list is not sorted by arrival.
@@ -158,10 +170,20 @@ class CloudSimulator:
         busy: list = []  # (finish_s, board) min-heap
         queue: list = []  # (JobRequest, TraceEvent) awaiting placement
         records: list[CloudJobRecord] = []
+        admitted: set = set()
         now = 0.0
         while arrivals or queue or busy:
             while arrivals and arrivals[0][2].arrival_s <= now:
                 seq, index, event = arrivals.popleft()
+                if tracer.enabled and event.session not in admitted:
+                    # First arrival of a session stands in for tenant
+                    # admission (the functional service admits before any job
+                    # is submitted, so modelled admission is instantaneous).
+                    admitted.add(event.session)
+                    tracer.record_span(
+                        "admit", event.arrival_s, 0.0,
+                        tenant=event.tenant, session=event.session,
+                    )
                 queue.append(
                     (
                         JobRequest(
@@ -194,6 +216,10 @@ class CloudSimulator:
                 heapq.heappush(busy, (finish, board))
                 resident[board] = request.session_id if self.affinity else None
                 policy.record_service(request)
+                if tracer.enabled:
+                    self._emit_job_events(
+                        tracer, request, event, board, start, load, finish, warm
+                    )
                 records.append(
                     CloudJobRecord(
                         tenant=event.tenant,
@@ -221,6 +247,39 @@ class CloudSimulator:
                 free.append(heapq.heappop(busy)[1])
         return records
 
+    def _emit_job_events(
+        self, tracer, request, event, board, start, load, finish, warm
+    ) -> None:
+        """Publish one placed job's lifecycle with modelled timestamps.
+
+        The span names, ordering, and attribution mirror what the functional
+        service records while actually executing the job; data-movement
+        stages the timing model does not price separately (``place``,
+        ``input_seal``, ``download``, ``output_unseal``) are emitted with
+        zero duration so the stream still covers every lifecycle stage.
+        """
+        t, s, j = event.tenant, event.session, request.key
+        b = f"board-{board}"
+        arrival, loaded = event.arrival_s, start + load
+        execute_s = finish - start - load
+        # Events are built positionally in one batched append rather than
+        # through tracer.record_span: eight spans per job on the replay hot
+        # path is exactly where the <=15% enabled-overhead budget is won or
+        # lost.
+        tracer.events.extend([
+            ObsEvent(arrival, SPAN, "queue", start - arrival, t, s, j, b),
+            ObsEvent(start, SPAN, "place", 0.0, t, s, j, b),
+            ObsEvent(start, SPAN, "shield_load", load, t, s, j, b, {"warm": warm}),
+            ObsEvent(loaded, SPAN, "input_seal", 0.0, t, s, j, b),
+            ObsEvent(loaded, SPAN, "execute", execute_s, t, s, j, b),
+            ObsEvent(finish, SPAN, "download", 0.0, t, s, j, b),
+            ObsEvent(finish, SPAN, "output_unseal", 0.0, t, s, j, b),
+            ObsEvent(
+                arrival, SPAN, "job", finish - arrival, t, s, j, b,
+                {"warm": warm, "completed": True},
+            ),
+        ])
+
     def replay_experiment(
         self, trace: list, experiment_id: str = "cloud-trace"
     ) -> ExperimentResult:
@@ -231,6 +290,7 @@ class CloudSimulator:
         makespan = max(r.finish_s for r in records)
         busy = sum(r.service_s for r in records)
         warm_hits = sum(1 for r in records if r.warm)
+        waits = [r.wait_s for r in records]
         tenant_fairness = {}
         for record in records:
             entry = tenant_fairness.setdefault(record.tenant, {"jobs": 0, "busy_s": 0.0})
@@ -254,7 +314,9 @@ class CloudSimulator:
                 "affinity": self.affinity,
                 "makespan_s": round(makespan, 3),
                 "board_utilization": round(busy / (self.num_boards * makespan), 3),
-                "mean_wait_s": round(sum(r.wait_s for r in records) / len(records), 3),
+                "mean_wait_s": round(sum(waits) / len(records), 3),
+                "wait_p50_s": round(percentile(waits, 50.0), 3),
+                "wait_p99_s": round(percentile(waits, 99.0), 3),
                 "shield_loads": len(records) - warm_hits,
                 "affinity_hits": warm_hits,
                 "affinity_hit_rate": round(warm_hits / len(records), 3),

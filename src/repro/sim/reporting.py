@@ -32,6 +32,34 @@ def format_table(rows: list, columns: list | None = None) -> str:
     return "\n".join([header, separator, body])
 
 
+def render_column_summaries(result: ExperimentResult, columns: list) -> str:
+    """Render count/p50/p95/p99 summary rows for numeric experiment columns.
+
+    The math is :func:`repro.obs.stats.summarize` via
+    :meth:`~repro.sim.results.ExperimentResult.summarize_column` -- the same
+    percentile semantics the metrics histograms and ``trace-report`` use.
+    """
+    rows = []
+    for column in columns:
+        summary = result.summarize_column(column)
+        if summary["count"] == 0:
+            continue
+        rows.append(
+            {
+                "column": column,
+                "count": summary["count"],
+                "mean": summary["mean"],
+                "p50": summary["p50"],
+                "p95": summary["p95"],
+                "p99": summary["p99"],
+                "max": summary["max"],
+            }
+        )
+    if not rows:
+        return "(no numeric columns)"
+    return format_table(rows)
+
+
 def render_experiment(result: ExperimentResult) -> str:
     """Render a full experiment: title, rows, and metadata footnotes."""
     lines = [f"== {result.experiment_id}: {result.description} =="]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.stats import summarize
+
 
 @dataclass(frozen=True)
 class TimingRecord:
@@ -49,3 +51,18 @@ class ExperimentResult:
 
     def add_row(self, **fields) -> None:
         self.rows.append(dict(fields))
+
+    def summarize_column(self, column: str) -> dict:
+        """Count/total/min/mean/max/p50/p95/p99 of one numeric row column.
+
+        Uses the shared percentile math in :mod:`repro.obs.stats` (the same
+        semantics as the metrics histograms and ``trace-report``): rows
+        missing the column are skipped; no numeric rows yields the empty
+        summary (``count`` 0, the rest ``None``).
+        """
+        values = [
+            row[column]
+            for row in self.rows
+            if isinstance(row.get(column), (int, float)) and not isinstance(row.get(column), bool)
+        ]
+        return summarize(values)

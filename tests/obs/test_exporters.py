@@ -1,0 +1,138 @@
+"""Exporters: JSONL round-trip + validation, chrome://tracing, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    chrome_trace_dict,
+    events_to_jsonl,
+    prometheus_text,
+    read_jsonl,
+    validate_event,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import ObsEvent
+
+
+def _events() -> list:
+    return [
+        ObsEvent(0.0, "span", "queue", 0.5, "alice", "sess-1", "job-1", "board-0"),
+        ObsEvent(
+            0.5, "span", "shield_load", 6.2, "alice", "sess-1", "job-1", "board-0",
+            {"warm": False},
+        ),
+        ObsEvent(7.0, "mark", "rejected", None, "bob", "sess-2"),
+        ObsEvent(8.0, "security", "dma_tap", None, "alice", board="board-0"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    events = _events()
+    write_jsonl(events, path)
+    assert read_jsonl(path) == events
+
+
+def test_jsonl_lines_are_valid_schema():
+    for line in events_to_jsonl(_events()).splitlines():
+        assert validate_event(json.loads(line)) == []
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"ts": 0.0, "kind": "span", "name": "queue"}\n\n')
+    assert len(read_jsonl(path)) == 1
+
+
+def test_read_jsonl_strict_names_line_and_problem(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"ts": 0.0, "kind": "span", "name": "queue"}\n'
+        '{"ts": "later", "kind": "nope", "name": ""}\n'
+    )
+    with pytest.raises(ValueError, match=r"trace\.jsonl:2"):
+        read_jsonl(path)
+    # Non-strict keeps going, skipping the unparsable line.
+    assert len(read_jsonl(path, strict=False)) == 1
+
+
+def test_validate_event_enumerates_problems():
+    problems = validate_event({"kind": "span"})
+    assert any("ts" in p for p in problems)
+    assert any("name" in p for p in problems)
+    assert validate_event({"ts": 0, "kind": "bogus", "name": "x"}) != []
+    assert validate_event({"ts": 0, "kind": "span", "name": "x", "dur_s": "slow"}) != []
+    assert validate_event({"ts": 0, "kind": "span", "name": "x", "tenant": 7}) != []
+    assert validate_event({"ts": 0, "kind": "span", "name": "x", "attrs": []}) != []
+
+
+# ---------------------------------------------------------------------------
+# chrome://tracing
+# ---------------------------------------------------------------------------
+
+
+def test_chrome_trace_layout(tmp_path):
+    trace = chrome_trace_dict(_events())
+    entries = trace["traceEvents"]
+    assert len(entries) == 4
+    span = entries[0]
+    # Spans are complete events on a tenant process / board thread, in µs.
+    assert span["ph"] == "X"
+    assert span["pid"] == "alice"
+    assert span["tid"] == "board-0"
+    assert span["ts"] == 0.0
+    assert span["dur"] == 0.5e6
+    assert span["args"]["session"] == "sess-1"
+    # Marks/security events become instants; unattributed axes fall back.
+    mark = entries[2]
+    assert mark["ph"] == "i"
+    assert mark["tid"] == "sess-2"
+    security = entries[3]
+    assert security["cat"] == "security"
+
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_events(), path)
+    assert json.loads(path.read_text())["traceEvents"] == entries
+
+
+def test_chrome_trace_unattributed_event_lands_on_fleet_process():
+    [entry] = chrome_trace_dict([ObsEvent(0.0, "mark", "tick")])["traceEvents"]
+    assert entry["pid"] == "fleet"
+    assert entry["tid"] == "service"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_text_renders_all_instrument_kinds():
+    registry = MetricsRegistry()
+    registry.counter("cloud.jobs_completed", board="board-0").inc(3)
+    registry.gauge("cloud.queue_depth").set(2)
+    histogram = registry.histogram("cloud.stage_seconds", stage="execute")
+    for value in (0.1, 0.2, 0.3):
+        histogram.observe(value)
+    text = prometheus_text(registry)
+    assert "# TYPE cloud_jobs_completed_total counter" in text
+    assert 'cloud_jobs_completed_total{board="board-0"} 3' in text
+    assert "# TYPE cloud_queue_depth gauge" in text
+    assert "cloud_queue_depth 2" in text
+    assert "# TYPE cloud_stage_seconds summary" in text
+    assert 'cloud_stage_seconds{quantile="0.5",stage="execute"} 0.2' in text
+    assert 'cloud_stage_seconds_count{stage="execute"} 3' in text
+    assert 'cloud_stage_seconds_sum{stage="execute"} 0.6' in text
+
+
+def test_prometheus_text_of_empty_registry_is_empty():
+    assert prometheus_text(MetricsRegistry()) == ""

@@ -1,0 +1,143 @@
+"""The metrics registry: instruments, labels, reservoirs, and the null backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counters and gauges
+# ---------------------------------------------------------------------------
+
+
+def test_counter_increments_and_rejects_decrease():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2.0)
+    assert gauge.value == 3.0
+
+
+def test_registry_caches_instruments_by_name_and_labels():
+    registry = MetricsRegistry()
+    a = registry.counter("loads", board="board-0")
+    b = registry.counter("loads", board="board-0")
+    c = registry.counter("loads", board="board-1")
+    assert a is b
+    assert a is not c
+    a.inc(2)
+    c.inc(3)
+    assert registry.counter_total("loads") == 5.0
+    assert registry.counters_by_label("loads", "board") == {
+        "board-0": 2.0,
+        "board-1": 3.0,
+    }
+
+
+def test_counter_total_of_absent_name_is_zero():
+    assert MetricsRegistry().counter_total("nope") == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+
+def test_histogram_is_exact_below_reservoir_capacity():
+    histogram = Histogram("lat", {}, reservoir_size=100)
+    for value in range(10):
+        histogram.observe(float(value))
+    summary = histogram.summary()
+    assert summary["count"] == 10
+    assert summary["total"] == 45.0
+    assert summary["min"] == 0.0
+    assert summary["max"] == 9.0
+    assert summary["p50"] == 4.5
+
+
+def test_histogram_keeps_exact_aggregates_past_capacity():
+    histogram = Histogram("lat", {}, reservoir_size=16)
+    for value in range(1000):
+        histogram.observe(float(value))
+    assert histogram.count == 1000
+    assert histogram.total == sum(range(1000))
+    assert histogram.min == 0.0
+    assert histogram.max == 999.0
+    assert len(histogram._reservoir) == 16
+    # The reservoir is a uniform sample, so its percentiles stay in range.
+    assert 0.0 <= histogram.percentile(50.0) <= 999.0
+
+
+def test_identically_fed_histograms_report_identical_percentiles():
+    def build():
+        histogram = Histogram("lat", {"stage": "execute"}, reservoir_size=32)
+        for value in range(500):
+            histogram.observe(float(value * 7 % 500))
+        return histogram
+
+    assert build().summary() == build().summary()
+
+
+def test_histogram_rejects_non_positive_reservoir():
+    with pytest.raises(ValueError):
+        Histogram("lat", {}, reservoir_size=0)
+
+
+def test_empty_histogram_summary_shape():
+    summary = MetricsRegistry().histogram("lat").summary()
+    assert summary["count"] == 0
+    assert summary["p50"] is None
+    assert summary["mean"] is None
+
+
+# ---------------------------------------------------------------------------
+# Snapshots and the null backend
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_contains_every_instrument():
+    registry = MetricsRegistry()
+    registry.counter("jobs", tenant="alice").inc(4)
+    registry.gauge("depth").set(2)
+    registry.histogram("lat", stage="execute").observe(0.5)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == [
+        {"name": "jobs", "labels": {"tenant": "alice"}, "value": 4.0}
+    ]
+    assert snapshot["gauges"] == [{"name": "depth", "labels": {}, "value": 2.0}]
+    [histogram] = snapshot["histograms"]
+    assert histogram["name"] == "lat"
+    assert histogram["count"] == 1
+    assert histogram["p50"] == 0.5
+
+
+def test_null_registry_is_inert_and_shared():
+    registry = NullMetricsRegistry()
+    assert registry.enabled is False
+    assert registry.counter("x") is NULL_INSTRUMENT
+    assert registry.gauge("x") is NULL_INSTRUMENT
+    assert registry.histogram("x") is NULL_INSTRUMENT
+    registry.counter("x").inc(5)
+    registry.histogram("x").observe(1.0)
+    assert registry.counter("x").value == 0.0
+    assert registry.counter_total("x") == 0.0
+    assert registry.counters_by_label("x", "board") == {}
+    assert registry.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+    assert registry.histogram("x").summary()["count"] == 0

@@ -1,0 +1,59 @@
+"""``trace-report`` rendering: per-stage latency and per-tenant totals."""
+
+from __future__ import annotations
+
+from repro.obs.report import render_trace_report, stage_summaries, tenant_breakdown
+from repro.obs.tracing import ObsEvent
+
+
+def _stream() -> list:
+    return [
+        ObsEvent(0.0, "span", "queue", 1.0, "alice", "sess-1", "job-1", "board-0"),
+        ObsEvent(1.0, "span", "execute", 2.0, "alice", "sess-1", "job-1", "board-0"),
+        ObsEvent(0.0, "span", "job", 3.0, "alice", "sess-1", "job-1", "board-0"),
+        ObsEvent(3.0, "span", "queue", 3.0, "bob", "sess-2", "job-2", "board-0"),
+        ObsEvent(6.0, "span", "execute", 1.0, "bob", "sess-2", "job-2", "board-0"),
+        ObsEvent(3.0, "span", "job", 1.0, "bob", "sess-2", "job-2", "board-0"),
+        ObsEvent(6.5, "security", "dma_tap", None, "bob", board="board-0"),
+        ObsEvent(6.6, "security", "dma_tap", None, "bob", board="board-0"),
+    ]
+
+
+def test_stage_summaries_orders_lifecycle_stages_first():
+    summaries = stage_summaries(_stream())
+    # "queue"/"execute" come in lifecycle order; the "job" envelope sorts after.
+    assert list(summaries) == ["queue", "execute", "job"]
+    assert summaries["queue"]["count"] == 2
+    assert summaries["queue"]["p50"] == 2.0
+    assert summaries["execute"]["total"] == 3.0
+
+
+def test_tenant_breakdown_counts_jobs_busy_time_and_security_events():
+    breakdown = tenant_breakdown(_stream())
+    assert breakdown["alice"] == {
+        "jobs": 1,
+        "busy_s": 3.0,
+        "security_events": 0,
+        "busy_share": 0.75,
+    }
+    assert breakdown["bob"]["jobs"] == 1
+    assert breakdown["bob"]["security_events"] == 2
+    assert breakdown["bob"]["busy_share"] == 0.25
+
+
+def test_tenant_breakdown_of_empty_stream_is_empty():
+    assert tenant_breakdown([]) == {}
+
+
+def test_render_trace_report_contains_both_tables_and_security_counts():
+    text = render_trace_report(_stream())
+    assert "== trace report: 8 event(s) ==" in text
+    assert "per-stage latency (seconds):" in text
+    assert "per-tenant totals:" in text
+    assert "security events:" in text
+    assert "dma_tap: 2" in text
+    assert "alice" in text and "bob" in text
+
+
+def test_render_trace_report_of_empty_stream():
+    assert render_trace_report([]) == "== trace report: 0 event(s) =="

@@ -1,0 +1,93 @@
+"""The shared percentile/summary math: every edge case spelled out once.
+
+These are the semantics all three consumers (metrics histograms,
+``trace-report``, the simulator's experiment metadata) rely on -- empty
+series, single samples, and interpolation behave identically everywhere
+because there is exactly one implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.stats import SUMMARY_QUANTILES, mean, percentile, percentiles, summarize
+
+
+# ---------------------------------------------------------------------------
+# percentile
+# ---------------------------------------------------------------------------
+
+
+def test_empty_series_has_no_percentile():
+    assert percentile([], 50.0) is None
+
+
+def test_single_sample_is_every_percentile():
+    for q in (0.0, 50.0, 99.0, 100.0):
+        assert percentile([7.5], q) == 7.5
+
+
+def test_linear_interpolation_between_samples():
+    assert percentile([1.0, 2.0], 50.0) == 1.5
+    assert percentile([0.0, 10.0], 25.0) == 2.5
+
+
+def test_endpoints_are_min_and_max():
+    data = [5.0, 1.0, 3.0]
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 100.0) == 5.0
+
+
+def test_input_need_not_be_sorted_and_is_not_mutated():
+    data = [3.0, 1.0, 2.0]
+    assert percentile(data, 50.0) == 2.0
+    assert data == [3.0, 1.0, 2.0]
+
+
+def test_out_of_range_q_raises():
+    with pytest.raises(ValueError):
+        percentile([1.0], -0.1)
+    with pytest.raises(ValueError):
+        percentile([1.0], 100.1)
+
+
+# ---------------------------------------------------------------------------
+# percentiles / mean / summarize
+# ---------------------------------------------------------------------------
+
+
+def test_percentiles_keys_are_stable_even_when_empty():
+    block = percentiles([])
+    assert set(block) == {f"p{q:g}" for q in SUMMARY_QUANTILES}
+    assert all(value is None for value in block.values())
+
+
+def test_percentiles_match_single_calls():
+    data = list(range(100))
+    block = percentiles(data)
+    assert block["p50"] == percentile(data, 50.0)
+    assert block["p95"] == percentile(data, 95.0)
+    assert block["p99"] == percentile(data, 99.0)
+
+
+def test_mean_of_empty_series_is_none():
+    assert mean([]) is None
+    assert mean([2.0, 4.0]) == 3.0
+
+
+def test_summarize_empty_series_shape():
+    block = summarize([])
+    assert block["count"] == 0
+    assert block["total"] == 0.0
+    for key in ("min", "mean", "max", "p50", "p95", "p99"):
+        assert block[key] is None
+
+
+def test_summarize_regular_series():
+    block = summarize([1.0, 2.0, 3.0, 4.0])
+    assert block["count"] == 4
+    assert block["total"] == 10.0
+    assert block["min"] == 1.0
+    assert block["max"] == 4.0
+    assert block["mean"] == 2.5
+    assert block["p50"] == 2.5

@@ -1,0 +1,167 @@
+"""The span tracer: clocks, event kinds, filters, and lifecycle signatures."""
+
+from __future__ import annotations
+
+import repro.obs as obs_api
+from repro.obs.tracing import (
+    JOB_STAGES,
+    LIFECYCLE_STAGES,
+    MARK,
+    SECURITY,
+    SPAN,
+    NullTracer,
+    ObsEvent,
+    Tracer,
+    lifecycle_signature,
+)
+
+
+class FakeClock:
+    """A hand-cranked clock so span durations are exact in tests."""
+
+    def __init__(self):
+        self.t = 100.0
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def test_lifecycle_stage_constants():
+    assert LIFECYCLE_STAGES[0] == "admit"
+    assert JOB_STAGES == LIFECYCLE_STAGES[1:]
+    assert "execute" in JOB_STAGES
+
+
+def test_tracer_clock_is_relative_to_creation():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    assert tracer.now() == 0.0
+    clock.advance(2.5)
+    assert tracer.now() == 2.5
+
+
+def test_span_context_manager_measures_duration_and_attrs():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    clock.advance(1.0)
+    with tracer.span("execute", tenant="alice", board="board-0") as span:
+        clock.advance(3.0)
+        span.set(bytes=4096)
+    [event] = tracer.events
+    assert event.kind == SPAN
+    assert event.name == "execute"
+    assert event.ts == 1.0
+    assert event.dur_s == 3.0
+    assert event.tenant == "alice"
+    assert event.board == "board-0"
+    assert event.attrs == {"bytes": 4096}
+
+
+def test_span_records_even_when_body_raises():
+    tracer = Tracer(clock=FakeClock())
+    try:
+        with tracer.span("execute"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert [e.name for e in tracer.events] == ["execute"]
+
+
+def test_record_span_mark_and_security_with_explicit_timestamps():
+    tracer = Tracer(clock=FakeClock())
+    tracer.record_span("queue", 1.0, 0.5, tenant="alice", job="job-1")
+    tracer.mark("rejected", ts=2.0, tenant="bob")
+    tracer.security("mac_failure", ts=3.0, tenant="bob", region="a0")
+    kinds = [e.kind for e in tracer.events]
+    assert kinds == [SPAN, MARK, SECURITY]
+    assert tracer.events[1].dur_s is None
+    assert tracer.events[2].attrs == {"region": "a0"}
+
+
+def test_span_and_security_filters():
+    tracer = Tracer(clock=FakeClock())
+    tracer.record_span("queue", 0.0, 0.1)
+    tracer.record_span("execute", 0.1, 0.2)
+    tracer.security("dma_tap")
+    tracer.security("eviction")
+    assert [e.name for e in tracer.spans()] == ["queue", "execute"]
+    assert [e.name for e in tracer.spans("execute")] == ["execute"]
+    assert len(tracer.security_events()) == 2
+    assert [e.name for e in tracer.security_events("dma_tap")] == ["dma_tap"]
+    tracer.clear()
+    assert tracer.events == []
+
+
+def test_event_dict_round_trip_omits_unset_axes():
+    event = ObsEvent(1.5, SPAN, "execute", 0.25, tenant="alice")
+    payload = event.to_dict()
+    assert payload == {
+        "ts": 1.5,
+        "kind": "span",
+        "name": "execute",
+        "dur_s": 0.25,
+        "tenant": "alice",
+    }
+    assert ObsEvent.from_dict(payload) == event
+
+
+def test_null_tracer_is_inert():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    assert tracer.now() == 0.0
+    with tracer.span("execute") as span:
+        span.set(bytes=1)
+    tracer.record_span("queue", 0.0, 1.0)
+    tracer.mark("rejected")
+    tracer.security("dma_tap")
+    assert tracer.spans() == []
+    assert tracer.security_events() == []
+    assert len(tracer.events) == 0
+
+
+def test_lifecycle_signature_keeps_stage_order_and_warm_flags():
+    tracer = Tracer(clock=FakeClock())
+    tracer.record_span("admit", 0.0, 0.0, tenant="alice")  # not a JOB_STAGE
+    tracer.record_span("queue", 0.0, 0.1, tenant="alice")
+    tracer.record_span("shield_load", 0.1, 6.2, tenant="alice", warm=False)
+    tracer.record_span("execute", 6.3, 1.0, tenant="alice")
+    tracer.security("dma_tap", tenant="alice")  # non-spans are excluded
+    tracer.record_span("custom_stage", 7.3, 0.1, tenant="alice")  # unknown stage
+    assert lifecycle_signature(tracer.events) == [
+        ("queue", "alice", None),
+        ("shield_load", "alice", False),
+        ("execute", "alice", None),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The process-wide handle
+# ---------------------------------------------------------------------------
+
+
+def test_default_handle_is_the_null_backend():
+    assert obs_api.current() is obs_api.NULL_OBS
+    assert obs_api.NULL_OBS.enabled is False
+
+
+def test_scoped_installs_and_restores():
+    before = obs_api.current()
+    with obs_api.scoped(clock=FakeClock()) as handle:
+        assert obs_api.current() is handle
+        assert handle.enabled
+        assert handle.metrics.enabled and handle.tracer.enabled
+    assert obs_api.current() is before
+
+
+def test_configure_halves_independently():
+    try:
+        handle = obs_api.configure(metrics=True, tracing=False)
+        assert handle.metrics.enabled
+        assert not handle.tracer.enabled
+        assert handle.enabled  # one live half is enough
+    finally:
+        obs_api.reset()
+    assert obs_api.current() is obs_api.NULL_OBS

@@ -1,0 +1,58 @@
+"""Column summaries on experiment results: one percentile implementation.
+
+The percentile math behind :meth:`ExperimentResult.summarize_column`,
+``render_column_summaries``, and the simulator's ``wait_p50_s``/``wait_p99_s``
+metadata is :mod:`repro.obs.stats` -- the same module the metrics histograms
+and ``trace-report`` use, so every surface answers edge cases identically.
+"""
+
+from __future__ import annotations
+
+from repro.obs.stats import percentile
+from repro.sim.cloud import CloudSimulator, repeated_tenant_trace
+from repro.sim.reporting import render_column_summaries
+from repro.sim.results import ExperimentResult
+
+
+def _result() -> ExperimentResult:
+    result = ExperimentResult(experiment_id="t", description="test")
+    result.add_row(wait_s=1.0, tenant="alice", warm=False)
+    result.add_row(wait_s=3.0, tenant="alice", warm=True)
+    result.add_row(tenant="bob")  # missing column: skipped
+    return result
+
+
+def test_summarize_column_skips_missing_and_non_numeric():
+    summary = _result().summarize_column("wait_s")
+    assert summary["count"] == 2
+    assert summary["mean"] == 2.0
+    assert summary["p50"] == 2.0
+    # Strings and booleans are not numbers for this purpose.
+    assert _result().summarize_column("tenant")["count"] == 0
+    assert _result().summarize_column("warm")["count"] == 0
+    assert _result().summarize_column("absent")["count"] == 0
+
+
+def test_summarize_column_matches_shared_percentile_math():
+    result = ExperimentResult(experiment_id="t", description="test")
+    values = [float(v) for v in (9, 1, 5, 7, 3)]
+    for value in values:
+        result.add_row(wait_s=value)
+    summary = result.summarize_column("wait_s")
+    assert summary["p95"] == percentile(values, 95.0)
+
+
+def test_render_column_summaries_includes_numeric_columns_only():
+    text = render_column_summaries(_result(), ["wait_s", "tenant"])
+    assert "wait_s" in text
+    assert "tenant" not in text
+    assert render_column_summaries(_result(), ["tenant"]) == "(no numeric columns)"
+
+
+def test_replay_experiment_metadata_carries_wait_percentiles():
+    trace = repeated_tenant_trace(num_jobs=6)
+    result = CloudSimulator(num_boards=2).replay_experiment(trace)
+    waits = [row["wait_s"] for row in result.rows]
+    assert result.metadata["wait_p50_s"] == round(percentile(waits, 50.0), 3)
+    assert result.metadata["wait_p99_s"] == round(percentile(waits, 99.0), 3)
+    assert result.summarize_column("wait_s")["count"] == 6

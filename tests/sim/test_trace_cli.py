@@ -1,0 +1,75 @@
+"""The observability CLI surface: ``--trace``/``--metrics`` flags and
+``trace-report``, exercised end-to-end through :func:`repro.cli.main`."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.cli import main
+from repro.obs import LIFECYCLE_STAGES
+from repro.obs.exporters import read_jsonl, validate_event
+
+
+def test_cloud_trace_writes_schema_valid_jsonl_covering_the_lifecycle(tmp_path):
+    trace_path = tmp_path / "out.jsonl"
+    out = io.StringIO()
+    args = [
+        "cloud-trace", "--repeated-tenant", "--jobs", "4",
+        "--trace", str(trace_path),
+    ]
+    assert main(args, out=out) == 0
+    assert f"event(s) to {trace_path}" in out.getvalue()
+
+    # Strict read re-validates every line; every lifecycle stage is present.
+    events = read_jsonl(trace_path)
+    assert events
+    for line in trace_path.read_text().splitlines():
+        assert validate_event(json.loads(line)) == []
+    names = {event.name for event in events}
+    assert set(LIFECYCLE_STAGES) <= names
+    jobs = [e for e in events if e.kind == "span" and e.name == "job"]
+    assert len(jobs) == 4
+
+
+def test_trace_report_renders_stage_and_tenant_tables(tmp_path):
+    trace_path = tmp_path / "out.jsonl"
+    assert main(
+        ["cloud-trace", "--jobs", "2", "--trace", str(trace_path)],
+        out=io.StringIO(),
+    ) == 0
+    out = io.StringIO()
+    assert main(["trace-report", str(trace_path)], out=out) == 0
+    text = out.getvalue()
+    assert "per-stage latency (seconds):" in text
+    assert "per-tenant totals:" in text
+    assert "p50_s" in text and "p99_s" in text
+    assert "execute" in text
+
+
+def test_trace_report_rejects_missing_and_malformed_files(tmp_path):
+    err = io.StringIO()
+    assert main(["trace-report", str(tmp_path / "nope.jsonl")], out=err) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"kind": "span"}\n')
+    err = io.StringIO()
+    assert main(["trace-report", str(bad)], out=err) == 2
+
+
+def test_cloud_demo_exports_chrome_trace_and_metrics(tmp_path):
+    chrome_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.prom"
+    out = io.StringIO()
+    args = [
+        "cloud-demo",
+        "--chrome-trace", str(chrome_path),
+        "--metrics", str(metrics_path),
+    ]
+    assert main(args, out=out) == 0
+    chrome = json.loads(chrome_path.read_text())
+    assert chrome["traceEvents"]
+    phases = {entry["ph"] for entry in chrome["traceEvents"]}
+    assert "X" in phases  # spans became complete events
+    metrics_text = metrics_path.read_text()
+    assert "cloud_jobs_completed_total" in metrics_text
+    assert "cloud_stage_seconds" in metrics_text
