@@ -10,9 +10,11 @@ factors into a machine-readable ``BENCH_fastpath.json`` (path overridable via
 ``BENCH_FASTPATH_JSON``), the scheduling benchmarks record warm-affinity
 makespan ratios into ``BENCH_sched.json`` (``BENCH_SCHED_JSON``), and the
 observability overhead gate records its disabled/enabled ratios into
-``BENCH_obs.json`` (``BENCH_OBS_JSON``); CI uploads all three as workflow
-artifacts so the perf trajectory of the fast paths, the scheduler, and the
-observability layer is tracked across PRs.
+``BENCH_obs.json`` (``BENCH_OBS_JSON``), and the async serving benchmarks
+record concurrent-vs-sync throughput and latency percentiles into
+``BENCH_serve.json`` (``BENCH_SERVE_JSON``); CI uploads all four as workflow
+artifacts so the perf trajectory of the fast paths, the scheduler, the
+observability layer, and the request path is tracked across PRs.
 
 ``record_stage_percentiles`` stamps per-stage latency percentiles (from a
 live metrics registry's ``cloud.stage_seconds`` histograms) into any of the
@@ -78,6 +80,16 @@ _BENCH_OBS_JSON = Path(
 def record_obs_metric(name: str, **fields) -> None:
     """Merge one observability measurement into ``BENCH_obs.json``."""
     _merge_bench_entry(_BENCH_OBS_JSON, name, dict(fields))
+
+
+_BENCH_SERVE_JSON = Path(
+    os.environ.get("BENCH_SERVE_JSON", _REPO_ROOT / "BENCH_serve.json")
+)
+
+
+def record_serve_metric(name: str, **fields) -> None:
+    """Merge one serving-path measurement into ``BENCH_serve.json``."""
+    _merge_bench_entry(_BENCH_SERVE_JSON, name, dict(fields))
 
 
 def stage_percentiles(metrics, stages=("shield_load", "input_seal", "execute")) -> dict:

@@ -10,6 +10,10 @@ Three subcommands cover the common workflows without writing any Python:
   fleet through :class:`~repro.cloud.service.ShieldCloudService`, check every
   tenant's outputs against its single-tenant baseline, and audit the host
   ledger for plaintext leaks;
+* ``serve-demo`` -- the same tenants through the asyncio request path
+  (:class:`~repro.serve.AsyncShieldFrontend`): concurrent submission streams,
+  per-tenant token-bucket rate limits, queue-depth load shedding, and a
+  graceful drain, with the backpressure outcomes in the summary;
 * ``cloud-trace`` -- replay a multi-tenant trace through the timed
   :class:`~repro.sim.cloud.CloudSimulator` under a chosen scheduling policy,
   with or without warm-board Shield affinity;
@@ -30,6 +34,7 @@ Usage::
     python -m repro.cli deploy-demo dnnweaver --board aws-f1
     python -m repro.cli cloud-demo --boards 2 --fast-crypto --policy fair
     python -m repro.cli cloud-demo --trace run.jsonl --metrics -
+    python -m repro.cli serve-demo --boards 2 --fast-crypto --rate-limit 4
     python -m repro.cli cloud-trace --policy sjf --repeated-tenant
     python -m repro.cli trace-report run.jsonl
     python -m repro.cli list
@@ -115,6 +120,51 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fleet-wide pending-queue cap (jobs beyond it are REJECTED)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve-demo",
+        help="serve concurrent tenant streams through the asyncio front-end",
+    )
+    serve_parser.add_argument(
+        "--boards", type=int, default=2, help="number of boards in the fleet"
+    )
+    serve_parser.add_argument(
+        "--jobs-per-tenant", type=int, default=2, help="jobs each tenant submits"
+    )
+    serve_parser.add_argument(
+        "--fast-crypto",
+        action="store_true",
+        help="use the vectorized AES-CTR fast path for every session",
+    )
+    _add_scheduling_flags(serve_parser)
+    _add_obs_flags(serve_parser)
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="JOBS_PER_S",
+        help="per-tenant token-bucket rate (submissions/s); omit to disable",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="token-bucket burst capacity (defaults to max(rate, 1))",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shed submissions once N jobs are already queued",
+    )
+    serve_parser.add_argument(
+        "--job-retention",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="terminal jobs kept reachable via job_result() (must be >= 1)",
     )
 
     trace_parser = subparsers.add_parser(
@@ -345,6 +395,100 @@ def run_cloud_demo(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0 if mismatches == 0 and leaks == 0 and failures == 0 else 1
 
 
+def run_serve_demo(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Three tenants racing through the asyncio request path."""
+    import asyncio
+
+    from repro.accelerators import (
+        AffineTransformAccelerator,
+        MatMulAccelerator,
+        VectorAddAccelerator,
+    )
+    from repro.cloud import JobState, ShieldCloudService
+    from repro.serve import AsyncShieldFrontend
+
+    if args.boards < 1:
+        print("error: --boards must be at least 1", file=out)
+        return 2
+    if args.jobs_per_tenant < 1:
+        print("error: --jobs-per-tenant must be at least 1", file=out)
+        return 2
+    if args.job_retention < 1:
+        print("error: --job-retention must be at least 1", file=out)
+        return 2
+
+    tenants = {
+        "alice": VectorAddAccelerator(8 * 1024),
+        "bob": MatMulAccelerator(32),
+        "carol": AffineTransformAccelerator(64),
+    }
+
+    async def serve(service) -> list:
+        sessions = {
+            tenant: service.admit_tenant(tenant, accelerator)
+            for tenant, accelerator in tenants.items()
+        }
+        async with AsyncShieldFrontend(
+            service,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_pending=args.max_pending,
+        ) as frontend:
+            futures = []
+            # Interleave the tenants round-robin so the streams genuinely
+            # race for boards instead of arriving one tenant at a time.
+            for round_index in range(args.jobs_per_tenant):
+                for tenant, accelerator in tenants.items():
+                    futures.append(
+                        frontend.submit_nowait(
+                            sessions[tenant].session_id,
+                            inputs=accelerator.prepare_inputs(seed=round_index),
+                        )
+                    )
+            return await asyncio.gather(*futures)
+
+    with _obs_scope(args) as obs_handle:
+        service = ShieldCloudService(
+            num_boards=args.boards,
+            fast_crypto=True if args.fast_crypto else None,
+            policy=args.policy,
+            affinity=not args.no_affinity,
+            job_retention=args.job_retention,
+        )
+        jobs = asyncio.run(serve(service))
+        summary = service.fleet_summary()
+        completed = sum(1 for job in jobs if job.state is JobState.COMPLETED)
+        print(f"fleet               : {args.boards} board(s), "
+              f"{len(tenants)} concurrent tenant streams", file=out)
+        print(f"policy              : {summary['policy']} "
+              f"(affinity {'on' if summary['affinity'] else 'off'})", file=out)
+        if args.rate_limit is not None:
+            print(f"rate limit          : {args.rate_limit:g} job(s)/s per tenant",
+                  file=out)
+        if args.max_pending is not None:
+            print(f"load shed           : queue depth > {args.max_pending}", file=out)
+        for job in jobs:
+            if job.state is JobState.REJECTED:
+                print(f"job {job.job_id} ({job.tenant}) rejected: {job.error}",
+                      file=out)
+            elif job.state is not JobState.COMPLETED:
+                print(f"job {job.job_id} ({job.tenant}) {job.state.value}: "
+                      f"{job.error}", file=out)
+        print(f"completed jobs      : {completed}/{len(jobs)}", file=out)
+        print(f"rejected jobs       : {summary['jobs_rejected']} "
+              f"(rate-limited {summary['jobs_ratelimited']}, "
+              f"shed {summary['jobs_shed']})", file=out)
+        print(f"shield loads        : {summary['shield_loads']} "
+              f"(affinity hits {summary['affinity_hits']}, "
+              f"hit rate {summary['affinity_hit_rate']:.0%})", file=out)
+        print(f"retained jobs       : {len(service.terminal_jobs)} "
+              f"(retention {args.job_retention})", file=out)
+        failures = sum(1 for job in jobs if job.state is JobState.FAILED)
+        print(f"failed jobs         : {failures}", file=out)
+        _export_obs(args, obs_handle, out)
+    return 0 if failures == 0 else 1
+
+
 def run_cloud_trace(args: argparse.Namespace, out=sys.stdout) -> int:
     """Timed fleet replay: policy + affinity knobs over the CloudSimulator."""
     from repro.sim.cloud import CloudSimulator, default_mixed_trace, repeated_tenant_trace
@@ -420,6 +564,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return run_deploy_demo(args, out=out)
     if args.command == "cloud-demo":
         return run_cloud_demo(args, out=out)
+    if args.command == "serve-demo":
+        return run_serve_demo(args, out=out)
     if args.command == "cloud-trace":
         return run_cloud_trace(args, out=out)
     if args.command == "trace-report":

@@ -33,6 +33,7 @@ from repro.cloud.service import (
     BoardSlot,
     CloudServiceStats,
     HostObservation,
+    PlacedJob,
     ShieldCloudService,
 )
 from repro.cloud.tenant import SessionState, TenantSession, TenantUsage
@@ -44,6 +45,7 @@ __all__ = [
     "BoardSlot",
     "CloudServiceStats",
     "HostObservation",
+    "PlacedJob",
     "ShieldCloudService",
     "SessionState",
     "TenantSession",

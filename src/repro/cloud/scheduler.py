@@ -201,19 +201,33 @@ class FleetScheduler:
 
     # -- placement ----------------------------------------------------------------
 
-    def acquire(self) -> tuple | None:
+    def acquire(self, eligible=None) -> tuple | None:
         """Pick (policy) and place (affinity) the next job.
 
         Returns ``(job, board_name, warm)`` -- ``warm`` is True when the board
         already holds the job's session's Shield -- or ``None`` if the queue
-        is empty or the fleet is saturated.
+        is empty, the fleet is saturated, or no queued job passes
+        ``eligible``.  ``eligible`` is an optional per-job predicate the
+        policy choice is restricted to; the async front-end uses it to keep
+        at most one job of a session in flight (two concurrent jobs of one
+        session would race on the session's key rotation).  Ineligible jobs
+        stay queued in their original order.
         """
         if not self._queue or not self._free_boards:
             return None
-        views = [job.request_view() for job in self._queue]
-        index = self.policy.select(views)
-        job = self._queue.pop(index)
-        view = views[index]
+        if eligible is None:
+            candidates = list(enumerate(self._queue))
+        else:
+            candidates = [
+                (index, job) for index, job in enumerate(self._queue) if eligible(job)
+            ]
+            if not candidates:
+                return None
+        views = [job.request_view() for _, job in candidates]
+        picked = self.policy.select(views)
+        queue_index, job = candidates[picked]
+        self._queue.pop(queue_index)
+        view = views[picked]
         boards = [
             BoardView(name=name, rank=rank, resident_session=self.resident_sessions[name])
             for rank, name in enumerate(self._free_boards)
@@ -260,13 +274,38 @@ class FleetScheduler:
             if resident == session_id
         ]
 
-    def cancel_session_jobs(self, session_id: str) -> list:
-        """Cancel still-queued jobs of a session (used at session teardown)."""
-        cancelled = [job for job in self._queue if job.session_id == session_id]
+    def cancel_queued(
+        self,
+        predicate=None,
+        reason: str = "cancelled before the job was scheduled",
+    ) -> list:
+        """Cancel every queued job matching ``predicate`` (all jobs if None).
+
+        The queue is rebuilt in one pass -- the old per-job ``list.remove``
+        was O(n^2) in the number of cancelled jobs, which matters once the
+        async front-end allows deep queues.  Survivors keep their relative
+        order, so policy tie-breaks are unchanged.
+        """
+        kept: list = []
+        cancelled: list = []
+        for job in self._queue:
+            if predicate is None or predicate(job):
+                cancelled.append(job)
+            else:
+                kept.append(job)
+        if not cancelled:
+            return []
+        self._queue[:] = kept
         for job in cancelled:
-            self._queue.remove(job)
             job.state = JobState.CANCELLED
-            job.error = "session closed before the job was scheduled"
+            job.error = reason
         self.jobs_cancelled += len(cancelled)
         self._gauge_update()
         return cancelled
+
+    def cancel_session_jobs(self, session_id: str) -> list:
+        """Cancel still-queued jobs of a session (used at session teardown)."""
+        return self.cancel_queued(
+            lambda job: job.session_id == session_id,
+            reason="session closed before the job was scheduled",
+        )

@@ -45,13 +45,18 @@ dashboard can never drift from the event stream.
 from __future__ import annotations
 
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
 
 import repro.obs as obs_api
 from repro.accelerators.base import ShieldMemoryAdapter
 from repro.attestation.data_owner import DataOwner
-from repro.cloud.scheduler import DEFAULT_HISTORY_LIMIT, AcceleratorJob, FleetScheduler
+from repro.cloud.scheduler import (
+    DEFAULT_HISTORY_LIMIT,
+    AcceleratorJob,
+    FleetScheduler,
+    JobState,
+)
 from repro.cloud.tenant import SessionState, TenantSession
 from repro.core.config import ShieldConfig
 from repro.core.shield import Shield
@@ -110,6 +115,25 @@ class HostObservation:
     entry: tuple
 
 
+@dataclass
+class PlacedJob:
+    """A job acquired from the scheduler and attributed, but not yet executed.
+
+    The handle :meth:`ShieldCloudService.begin_next_job` returns and
+    :meth:`ShieldCloudService.execute_placed` / :meth:`finish_placed`
+    consume.  The synchronous :meth:`run_next_job` drives all three inline;
+    the async front-end (:mod:`repro.serve`) runs ``execute_placed`` on an
+    executor thread while ``begin``/``finish`` stay on the event loop, so the
+    scheduler and the job maps are only ever mutated from one thread.
+    """
+
+    job: AcceleratorJob
+    slot: BoardSlot
+    warm: bool
+    #: Tracer timestamp the job entered the queue (feeds the ``job`` span).
+    queue_start: float
+
+
 class CloudServiceStats:
     """Service-wide counters (the CSP's dashboard).
 
@@ -126,6 +150,9 @@ class CloudServiceStats:
         "jobs_failed",
         "jobs_cancelled",
         "jobs_rejected",
+        "jobs_ratelimited",
+        "jobs_shed",
+        "jobs_retired",
         "shield_loads",
         "affinity_hits",
         "evictions",
@@ -159,6 +186,7 @@ class ShieldCloudService:
         queue_cap: int | None = None,
         tenant_quota: int | None = None,
         history_limit: int | None = None,
+        job_retention: int | None = 1024,
         obs=None,
     ):
         """``ledger_limit`` bounds the host-observation ledger (oldest entries
@@ -175,6 +203,14 @@ class ShieldCloudService:
         back as ``JobState.REJECTED``); ``history_limit`` caps each board's
         placement-history ring (None uses the scheduler default).
 
+        ``job_retention`` bounds how many *terminal* jobs (COMPLETED /
+        FAILED / CANCELLED / REJECTED) stay reachable through
+        :meth:`job_result` -- the most recent ones, ring-buffered, so a
+        long-lived service never accumulates every job it ever ran.  ``None``
+        keeps everything (the replay-harness behaviour).  Exact lifetime
+        totals always live in the metrics registry (``stats``), mirroring how
+        ``placement_totals`` outlives the placement-history ring.
+
         ``obs`` is the :class:`~repro.obs.Observability` handle to record
         into; the default snapshots :func:`repro.obs.current` at construction
         time.  The service always keeps a *real* metrics registry for its own
@@ -185,6 +221,8 @@ class ShieldCloudService:
             raise CloudError("the fleet needs at least one board")
         if ledger_limit is not None and ledger_limit < 1:
             raise CloudError("ledger_limit must be positive (or None for unbounded)")
+        if job_retention is not None and job_retention < 1:
+            raise CloudError("job_retention must be positive (or None for unbounded)")
         self.obs = obs if obs is not None else obs_api.current()
         # stats/fleet_summary derive from the registry, so the service needs a
         # recording one even when observability is off for the process.
@@ -221,7 +259,12 @@ class ShieldCloudService:
             metrics=self.metrics,
         )
         self.sessions: dict[str, TenantSession] = {}
+        #: Live jobs only (QUEUED / RUNNING); terminal jobs move to the
+        #: bounded retention ring so this map cannot grow with traffic.
         self.jobs: dict[str, AcceleratorJob] = {}
+        self.job_retention = job_retention
+        #: Most recent terminal jobs, oldest first (the retention ring).
+        self._terminal_jobs: OrderedDict = OrderedDict()
         self.stats = CloudServiceStats(self.metrics)
         self._host_ledger: deque = deque(maxlen=ledger_limit)
         self._session_counter = 0
@@ -229,8 +272,35 @@ class ShieldCloudService:
         #: job id -> tracer timestamp at submission (feeds the ``queue`` span).
         self._submit_ts: dict = {}
 
+    def now(self) -> float:
+        """The service's stage clock: tracer time, or wall clock when tracing
+        is off.  Public so the async front-end stamps its spans (``enqueue``,
+        ``executor_handoff``) on the same timeline as the lifecycle spans."""
+        return self._now()
+
     def _count(self, name: str, amount: int = 1, **labels) -> None:
         self.metrics.counter(f"cloud.{name}", **labels).inc(amount)
+
+    def _retire_job(self, job: AcceleratorJob) -> None:
+        """Move a terminal job from the live map into the retention ring.
+
+        The ring keeps the ``job_retention`` most recent terminal jobs
+        reachable through :meth:`job_result`; older ones are dropped (counted
+        by the ``jobs_retired`` lifetime total).  Exact per-state lifetime
+        counts are never lost -- they live in the metrics registry.
+        """
+        self.jobs.pop(job.job_id, None)
+        self._terminal_jobs[job.job_id] = job
+        self._terminal_jobs.move_to_end(job.job_id)
+        if self.job_retention is not None:
+            while len(self._terminal_jobs) > self.job_retention:
+                self._terminal_jobs.popitem(last=False)
+                self._count("jobs_retired")
+
+    @property
+    def terminal_jobs(self) -> list:
+        """The retained terminal jobs, oldest first (a bounded recent tail)."""
+        return list(self._terminal_jobs.values())
 
     def _observe_stage(self, stage: str, seconds: float) -> None:
         self.metrics.histogram("cloud.stage_seconds", stage=stage).observe(seconds)
@@ -351,8 +421,7 @@ class ShieldCloudService:
         session.state = SessionState.CLOSED
         self._count("sessions_closed")
         cancelled = self.scheduler.cancel_session_jobs(session_id)
-        session.usage.jobs_cancelled += len(cancelled)
-        self._count("jobs_cancelled", len(cancelled))
+        self._account_cancelled(cancelled)
         self.tracer.mark(
             "session_closed",
             tenant=session.tenant,
@@ -361,6 +430,41 @@ class ShieldCloudService:
         )
         for board_name in self.scheduler.boards_resident_for(session_id):
             self._evict(self.slots[board_name])
+        return cancelled
+
+    def _account_cancelled(self, cancelled: list) -> None:
+        """Finalize jobs the scheduler just cancelled: bill the session, close
+        the ``queue`` span with a ``cancelled`` outcome, drop the submit
+        timestamp, and retire the job to the retention ring.  (The timestamp
+        pop is load-bearing: ``_submit_ts`` used to leak an entry per
+        cancelled job, growing without bound under session churn.)"""
+        now = self._now()
+        for job in cancelled:
+            session = self.sessions.get(job.session_id)
+            if session is not None:
+                session.usage.jobs_cancelled += 1
+            self._count("jobs_cancelled")
+            queue_start = self._submit_ts.pop(job.job_id, now)
+            self.tracer.record_span(
+                "queue",
+                queue_start,
+                now - queue_start,
+                tenant=job.tenant,
+                session=job.session_id,
+                job=job.job_id,
+                outcome="cancelled",
+            )
+            self._retire_job(job)
+
+    def cancel_queued_jobs(self, reason: str = "service draining") -> list:
+        """Cancel every still-queued job (the shutdown/drain path).
+
+        Jobs move to ``JobState.CANCELLED`` with ``reason`` and are fully
+        accounted (session usage, ``queue`` span with a ``cancelled``
+        outcome, retention ring) exactly like a session-close cancellation.
+        """
+        cancelled = self.scheduler.cancel_queued(reason=reason)
+        self._account_cancelled(cancelled)
         return cancelled
 
     def _session(self, session_id: str) -> TenantSession:
@@ -423,12 +527,67 @@ class ShieldCloudService:
                 job=job.job_id,
                 reason=job.error,
             )
+            self._retire_job(job)
         return job
 
-    def run_next_job(self) -> AcceleratorJob | None:
-        """Place and execute the next queued job; ``None`` if nothing runnable."""
+    def reject_job(
+        self,
+        session_id: str,
+        reason: str,
+        kind: str = "rejected",
+        priority: int = 0,
+        cost_estimate: float = 1.0,
+    ) -> AcceleratorJob:
+        """Mint a job that is REJECTED without ever touching the scheduler.
+
+        The async front-end's backpressure (token-bucket rate limits, load
+        shedding, post-shutdown submits) resolves callers' futures with a
+        real ``JobState.REJECTED`` job -- never an exception -- and that job
+        must be accounted like any other rejection.  ``kind`` names the
+        tracer event (``ratelimited`` / ``shed`` / ``rejected``) and, when it
+        is not plain ``rejected``, an extra lifetime counter
+        (``cloud.jobs_<kind>``) so sheds and rate limits are separable from
+        admission-control rejections on the dashboard.
+        """
+        session = self._session(session_id)
+        self._job_counter += 1
+        job = AcceleratorJob(
+            job_id=f"job-{self._job_counter:04d}",
+            session_id=session_id,
+            tenant=session.tenant,
+            priority=priority,
+            weight=session.weight,
+            cost_estimate=cost_estimate,
+            state=JobState.REJECTED,
+            error=reason,
+        )
+        self._count("jobs_submitted")
+        self._count("jobs_rejected")
+        if kind != "rejected":
+            self._count(f"jobs_{kind}")
+        session.usage.jobs_rejected += 1
+        self.tracer.mark(
+            kind,
+            tenant=job.tenant,
+            session=session_id,
+            job=job.job_id,
+            reason=reason,
+        )
+        self._retire_job(job)
+        return job
+
+    def begin_next_job(self, eligible=None) -> PlacedJob | None:
+        """Acquire + attribute the next queued job; ``None`` if none runnable.
+
+        Emits the ``queue`` and ``place`` spans and returns a
+        :class:`PlacedJob` for :meth:`execute_placed` /
+        :meth:`finish_placed`.  Must be called from the thread that owns the
+        scheduler (the event loop, in the async front-end); ``eligible``
+        restricts the policy choice (see
+        :meth:`~repro.cloud.scheduler.FleetScheduler.acquire`).
+        """
         place_start = self._now()
-        placement = self.scheduler.acquire()
+        placement = self.scheduler.acquire(eligible=eligible)
         if placement is None:
             return None
         job, board_name, warm = placement
@@ -453,47 +612,79 @@ class ShieldCloudService:
             job=job.job_id,
             board=board_name,
         )
-        try:
-            # The session lookup itself can fail (a dangling session id), and
-            # that failure must release the board too -- otherwise the job is
-            # stuck RUNNING and the slot leaks out of the free pool forever.
-            session = self._session(job.session_id)
-            self._execute(job, slot, session, warm)
-        except Exception as exc:  # noqa: BLE001 - job failures must free the board
-            # A failed job never leaves a warm Shield behind: the board is
-            # wiped back to the clean slate before anything else lands on it.
-            if isinstance(exc, IntegrityError):
+        return PlacedJob(job=job, slot=slot, warm=warm, queue_start=queue_start)
+
+    def execute_placed(self, placed: PlacedJob) -> None:
+        """Run a placed job's body: Shield load, seal, execute, download.
+
+        This is the only phase the async front-end moves onto an executor
+        thread -- it touches just the job, its board slot, and its session
+        (at most one job of a session is in flight at a time), never the
+        scheduler or the live-job maps.  Exceptions propagate; the caller
+        must still invoke :meth:`finish_placed` with the error.
+        """
+        # The session lookup itself can fail (a dangling session id), and
+        # that failure must release the board too -- otherwise the job is
+        # stuck RUNNING and the slot leaks out of the free pool forever.
+        session = self._session(placed.job.session_id)
+        self._execute(placed.job, placed.slot, session, placed.warm)
+
+    def finish_placed(self, placed: PlacedJob, error: BaseException | None) -> None:
+        """Release the board, finalize counters/spans, retire the job.
+
+        ``error`` is whatever :meth:`execute_placed` raised (``None`` on
+        success).  A failed job never leaves a warm Shield behind: the board
+        is wiped back to the clean slate before anything else lands on it.
+        """
+        job, slot, warm = placed.job, placed.slot, placed.warm
+        if error is not None:
+            if isinstance(error, IntegrityError):
                 self.tracer.security(
                     "attack_detected",
                     tenant=job.tenant,
                     session=job.session_id,
                     job=job.job_id,
-                    board=board_name,
-                    error=str(exc),
+                    board=slot.name,
+                    error=str(error),
                 )
             self._evict(slot)
-            self.scheduler.release(job, completed=False, error=str(exc))
+            self.scheduler.release(job, completed=False, error=str(error))
             self._count("jobs_failed")
             session = self.sessions.get(job.session_id)
             if session is not None:
                 session.usage.jobs_failed += 1
         else:
             self.scheduler.release(job, completed=True)
-            session.usage.jobs_completed += 1
+            session = self.sessions.get(job.session_id)
+            if session is not None:
+                session.usage.jobs_completed += 1
             self._count("jobs_completed")
         finish = self._now()
         self.tracer.record_span(
             "job",
-            queue_start,
-            finish - queue_start,
+            placed.queue_start,
+            finish - placed.queue_start,
             tenant=job.tenant,
             session=job.session_id,
             job=job.job_id,
-            board=board_name,
+            board=slot.name,
             warm=warm,
             completed=job.result is not None,
         )
-        return job
+        self._retire_job(job)
+
+    def run_next_job(self) -> AcceleratorJob | None:
+        """Place and execute the next queued job; ``None`` if nothing runnable."""
+        placed = self.begin_next_job()
+        if placed is None:
+            return None
+        try:
+            self.execute_placed(placed)
+        except Exception as exc:  # noqa: BLE001 - job failures must free the board
+            self.finish_placed(placed, exc)
+        else:
+            self.finish_placed(placed, None)
+        return placed.job
 
     def run_until_idle(self) -> list:
         """Drain the queue; returns the jobs in completion order."""
@@ -711,13 +902,27 @@ class ShieldCloudService:
         slot.resident_session = None
         self.scheduler.evict(slot.name)
 
+    def evict_idle_shields(self) -> int:
+        """Evict every resident warm Shield (the drain/shutdown path).
+
+        Only call with no job in flight -- the front-end does so after its
+        executors have drained.  Returns the number of Shields evicted.
+        """
+        evicted = 0
+        for slot in self.slots.values():
+            if slot.shield is not None:
+                self._evict(slot)
+                evicted += 1
+        return evicted
+
     # -- results and auditing -------------------------------------------------------
 
     def job_result(self, job_id: str, tenant: str) -> AcceleratorJob:
-        """Fetch a finished job, enforcing that the caller owns it."""
-        try:
-            job = self.jobs[job_id]
-        except KeyError:
+        """Fetch a live or recently retained job, enforcing that the caller
+        owns it.  Terminal jobs older than the ``job_retention`` ring are
+        gone (their lifetime counts survive in ``stats``)."""
+        job = self.jobs.get(job_id) or self._terminal_jobs.get(job_id)
+        if job is None:
             raise CloudError(f"no job named {job_id!r}") from None
         session = self._session(job.session_id)
         if session.tenant != tenant:
@@ -829,6 +1034,8 @@ class ShieldCloudService:
             "jobs_failed": self.stats.jobs_failed,
             "jobs_cancelled": self.stats.jobs_cancelled,
             "jobs_rejected": self.stats.jobs_rejected,
+            "jobs_ratelimited": self.stats.jobs_ratelimited,
+            "jobs_shed": self.stats.jobs_shed,
             "shield_loads": self.stats.shield_loads,
             "affinity_hits": self.stats.affinity_hits,
             "affinity_hit_rate": (

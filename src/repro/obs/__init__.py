@@ -37,6 +37,7 @@ from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
 from repro.obs.tracing import (
     JOB_STAGES,
     LIFECYCLE_STAGES,
+    SERVE_STAGES,
     NullTracer,
     ObsEvent,
     Tracer,
@@ -46,6 +47,7 @@ from repro.obs.tracing import (
 __all__ = [
     "JOB_STAGES",
     "LIFECYCLE_STAGES",
+    "SERVE_STAGES",
     "MetricsRegistry",
     "NULL_OBS",
     "NullMetricsRegistry",

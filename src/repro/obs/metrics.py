@@ -18,6 +18,7 @@ attribute check on the hot path.
 from __future__ import annotations
 
 import random
+import threading
 
 from repro.obs.stats import SUMMARY_QUANTILES, percentile, summarize
 
@@ -30,39 +31,49 @@ def _label_key(labels: dict) -> tuple:
 
 
 class Counter:
-    """A monotonically increasing counter."""
+    """A monotonically increasing counter.
 
-    __slots__ = ("name", "labels", "value")
+    Updates are lock-protected: the async serving front-end increments
+    counters from executor threads (one per board), and a bare ``+=`` is a
+    read-modify-write that can drop increments under contention.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time level (queue depth, boards busy, ...)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict):
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Histogram:
@@ -75,7 +86,10 @@ class Histogram:
     identically-fed histograms report identical percentiles.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "_reservoir", "_rng", "_capacity")
+    __slots__ = (
+        "name", "labels", "count", "total", "min", "max",
+        "_reservoir", "_rng", "_capacity", "_lock",
+    )
 
     def __init__(self, name: str, labels: dict, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
         if reservoir_size < 1:
@@ -89,21 +103,23 @@ class Histogram:
         self._reservoir: list = []
         self._capacity = reservoir_size
         self._rng = random.Random(hash((name, _label_key(labels))) & 0xFFFFFFFF)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._reservoir) < self._capacity:
-            self._reservoir.append(value)
-        else:
-            slot = self._rng.randrange(self.count)
-            if slot < self._capacity:
-                self._reservoir[slot] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._reservoir) < self._capacity:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._capacity:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self):
@@ -158,7 +174,12 @@ NULL_INSTRUMENT = _NullInstrument()
 
 
 class MetricsRegistry:
-    """Hands out (and caches) instruments keyed by name + label set."""
+    """Hands out (and caches) instruments keyed by name + label set.
+
+    Instrument creation is lock-protected so threads sharing a registry (the
+    async front-end's executor workers) never race two instances of the same
+    instrument into the cache; the fast path (cache hit) stays lock-free.
+    """
 
     enabled = True
 
@@ -167,28 +188,32 @@ class MetricsRegistry:
         self._counters: dict = {}
         self._gauges: dict = {}
         self._histograms: dict = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str, **labels) -> Counter:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
-            instrument = self._counters[key] = Counter(name, labels)
+            with self._lock:
+                instrument = self._counters.setdefault(key, Counter(name, labels))
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
         key = (name, _label_key(labels))
         instrument = self._gauges.get(key)
         if instrument is None:
-            instrument = self._gauges[key] = Gauge(name, labels)
+            with self._lock:
+                instrument = self._gauges.setdefault(key, Gauge(name, labels))
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
         key = (name, _label_key(labels))
         instrument = self._histograms.get(key)
         if instrument is None:
-            instrument = self._histograms[key] = Histogram(
-                name, labels, self._reservoir_size
-            )
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    key, Histogram(name, labels, self._reservoir_size)
+                )
         return instrument
 
     # -- aggregation ---------------------------------------------------------------

@@ -15,12 +15,16 @@ Works identically on functional traces (wall seconds) and simulated traces
 from __future__ import annotations
 
 from repro.obs.stats import summarize
-from repro.obs.tracing import LIFECYCLE_STAGES, SECURITY, SPAN
+from repro.obs.tracing import LIFECYCLE_STAGES, SECURITY, SERVE_STAGES, SPAN
+
+#: Report ordering: lifecycle stages first, then the serving front-end's
+#: stages, then anything else alphabetically.
+_KNOWN_STAGES = LIFECYCLE_STAGES + SERVE_STAGES
 
 
 def _stage_order(name: str) -> tuple:
     try:
-        return (0, LIFECYCLE_STAGES.index(name))
+        return (0, _KNOWN_STAGES.index(name))
     except ValueError:
         return (1, 0)
 

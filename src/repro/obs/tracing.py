@@ -42,6 +42,19 @@ LIFECYCLE_STAGES = (
 #: The per-job subset of :data:`LIFECYCLE_STAGES` (what conformance compares).
 JOB_STAGES = LIFECYCLE_STAGES[1:]
 
+#: Extra stages the async serving front-end (:mod:`repro.serve`) emits on top
+#: of the lifecycle: ``enqueue`` (front-end admission: rate-limit/shed checks
+#: + handoff to the scheduler queue) and ``executor_handoff`` (job placed on
+#: the event loop -> its crypto/execute body starts on an executor thread).
+#: Kept separate from :data:`LIFECYCLE_STAGES` so functional-vs-simulated
+#: lifecycle signatures stay comparable (the simulator does not model the
+#: front-end).  Backpressure outcomes appear as marks on the same stream:
+#: ``ratelimited`` (token bucket empty) and ``shed`` (queue-depth load shed).
+SERVE_STAGES = (
+    "enqueue",
+    "executor_handoff",
+)
+
 SPAN = "span"
 MARK = "mark"
 SECURITY = "security"

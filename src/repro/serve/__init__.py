@@ -1,0 +1,23 @@
+"""``repro.serve``: the asyncio request-path front-end for the Shield fleet.
+
+Layers an always-on serving loop over the synchronous
+:class:`~repro.cloud.service.ShieldCloudService`:
+
+* :class:`AsyncShieldFrontend` -- accepts concurrent tenant request streams,
+  returns awaitable job futures, overlaps job bodies across boards via a
+  thread-pool executor (one worker per board), and serializes each session's
+  jobs to protect its per-job key rotation;
+* :class:`TokenBucket` -- per-tenant token-bucket rate limiting; together
+  with queue-depth load shedding it resolves refused submissions with
+  ``JobState.REJECTED`` jobs (backpressure is an outcome, never an
+  unhandled exception).
+
+See ``docs/serving.md`` and the ``serve-demo`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from repro.serve.frontend import AsyncShieldFrontend
+from repro.serve.ratelimit import TokenBucket
+
+__all__ = ["AsyncShieldFrontend", "TokenBucket"]

@@ -1,0 +1,61 @@
+"""Per-tenant token-bucket rate limiting for the serving front-end.
+
+A :class:`TokenBucket` meters one tenant's submission rate: the bucket fills
+continuously at ``rate`` tokens/second up to ``burst`` capacity, and every
+accepted submission spends one token.  A submission arriving on an empty
+bucket is *shed* -- the front-end resolves its future with a
+``JobState.REJECTED`` job rather than queueing unbounded work (the same
+"backpressure is an outcome, not an exception" contract as PR 5's admission
+control).
+
+The clock is injectable so tests can drive refill deterministically; the
+default is :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import CloudError
+
+
+class TokenBucket:
+    """A continuously refilling token bucket (one per tenant)."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: float | None = None, clock=None):
+        """``rate`` is tokens (submissions) per second; ``burst`` caps how
+        many tokens can accumulate while a tenant is idle (defaults to
+        ``max(rate, 1)`` -- at least one full-size request is always
+        admissible after a quiet spell)."""
+        if rate <= 0:
+            raise CloudError("token-bucket rate must be positive")
+        if burst is not None and burst <= 0:
+            raise CloudError("token-bucket burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(self.rate, 1.0)
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._last = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (after refill); for tests and dashboards."""
+        self._refill()
+        return self._tokens
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens if available; False means *shed me*."""
+        self._refill()
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return True
+        return False

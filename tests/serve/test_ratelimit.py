@@ -1,0 +1,71 @@
+"""Token-bucket behaviour under a deterministic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CloudError
+from repro.serve import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_starts_full_and_spends_down():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+    assert bucket.tokens == 3.0
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()  # empty: shed
+
+
+def test_refill_is_continuous_and_capped_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+    for _ in range(4):
+        assert bucket.try_take()
+    clock.advance(0.25)  # 0.5 tokens: not enough for a whole submission
+    assert not bucket.try_take()
+    clock.advance(0.25)  # 1.0 total
+    assert bucket.try_take()
+    # A long idle spell refills to burst, never beyond.
+    clock.advance(1000.0)
+    assert bucket.tokens == 4.0
+
+
+def test_burst_defaults_to_at_least_one_token():
+    clock = FakeClock()
+    # Sub-1/s rates still admit one full request after a quiet spell.
+    bucket = TokenBucket(rate=0.1, clock=clock)
+    assert bucket.burst == 1.0
+    assert bucket.try_take()
+    assert not bucket.try_take()
+    # Rates above 1/s default burst to the rate itself.
+    assert TokenBucket(rate=5.0, clock=clock).burst == 5.0
+
+
+def test_fractional_takes():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+    assert bucket.try_take(0.5)
+    assert bucket.try_take(0.5)
+    assert not bucket.try_take(0.5)
+
+
+def test_invalid_parameters_are_rejected():
+    with pytest.raises(CloudError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(CloudError):
+        TokenBucket(rate=-1.0)
+    with pytest.raises(CloudError):
+        TokenBucket(rate=1.0, burst=0.0)
