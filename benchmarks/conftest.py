@@ -12,9 +12,11 @@ makespan ratios into ``BENCH_sched.json`` (``BENCH_SCHED_JSON``), and the
 observability overhead gate records its disabled/enabled ratios into
 ``BENCH_obs.json`` (``BENCH_OBS_JSON``), and the async serving benchmarks
 record concurrent-vs-sync throughput and latency percentiles into
-``BENCH_serve.json`` (``BENCH_SERVE_JSON``); CI uploads all four as workflow
-artifacts so the perf trajectory of the fast paths, the scheduler, the
-observability layer, and the request path is tracked across PRs.
+``BENCH_serve.json`` (``BENCH_SERVE_JSON``), and the vectorized Merkle
+replay-protection gate records its scalar-vs-batched ratios into
+``BENCH_merkle.json`` (``BENCH_MERKLE_JSON``); CI uploads all five as
+workflow artifacts so the perf trajectory of the fast paths, the scheduler,
+the observability layer, and the request path is tracked across PRs.
 
 ``record_stage_percentiles`` stamps per-stage latency percentiles (from a
 live metrics registry's ``cloud.stage_seconds`` histograms) into any of the
@@ -90,6 +92,16 @@ _BENCH_SERVE_JSON = Path(
 def record_serve_metric(name: str, **fields) -> None:
     """Merge one serving-path measurement into ``BENCH_serve.json``."""
     _merge_bench_entry(_BENCH_SERVE_JSON, name, dict(fields))
+
+
+_BENCH_MERKLE_JSON = Path(
+    os.environ.get("BENCH_MERKLE_JSON", _REPO_ROOT / "BENCH_merkle.json")
+)
+
+
+def record_merkle_metric(name: str, **fields) -> None:
+    """Merge one Merkle-datapath measurement into ``BENCH_merkle.json``."""
+    _merge_bench_entry(_BENCH_MERKLE_JSON, name, dict(fields))
 
 
 def stage_percentiles(metrics, stages=("shield_load", "input_seal", "execute")) -> dict:

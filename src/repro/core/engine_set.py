@@ -87,21 +87,39 @@ class RegionPipeline:
 
     def _fetch_chunk(self, chunk_index: int) -> bytes:
         """Read, verify, and decrypt one chunk from DRAM."""
+        return self._fetch_chunks([chunk_index])[0]
+
+    def _fetch_chunks(self, chunk_indices: list) -> list:
+        """Read, verify, and decrypt a batch of chunks from DRAM.
+
+        All ciphertext spans go out as one coalesced
+        :meth:`~repro.hw.axi.AxiPort.read_many` request (adjacent chunks merge
+        into long bursts), tags as a second one, and the whole batch is
+        verified and decrypted in a single
+        :meth:`~repro.core.sealing.RegionSealer.unseal_chunks` pass.  Traffic
+        statistics are identical to fetching the chunks one at a time.
+        """
+        if not chunk_indices:
+            return []
         chunk_size = self.region.chunk_size
-        ciphertext = self._port.read(
-            self._chunk_address(chunk_index), chunk_size, region_hint=self.region.name
+        ciphertexts = self._port.read_many(
+            [(self._chunk_address(index), chunk_size) for index in chunk_indices],
+            region_hint=self.region.name,
         )
-        tag = self._port.read(
-            self.shield_config.tag_address(self.region, chunk_index),
-            MAC_TAG_BYTES,
+        tags = self._port.read_many(
+            [
+                (self.shield_config.tag_address(self.region, index), MAC_TAG_BYTES)
+                for index in chunk_indices
+            ],
             region_hint="tags",
         )
-        self.stats.dram_bytes_read += chunk_size + MAC_TAG_BYTES
-        self.stats.tag_bytes += MAC_TAG_BYTES
-        self.stats.chunks_fetched += 1
-        version = self._current_version(chunk_index)
+        count = len(chunk_indices)
+        self.stats.dram_bytes_read += count * (chunk_size + MAC_TAG_BYTES)
+        self.stats.tag_bytes += count * MAC_TAG_BYTES
+        self.stats.chunks_fetched += count
+        versions = [self._current_version(index) for index in chunk_indices]
         try:
-            return self._sealer.unseal_chunk(chunk_index, ciphertext, tag, version)
+            return self._sealer.unseal_chunks(chunk_indices, ciphertexts, tags, versions)
         except Exception:
             self.stats.integrity_failures += 1
             raise
@@ -133,11 +151,17 @@ class RegionPipeline:
 
     # -- buffer-mediated access -----------------------------------------------------
 
-    def _chunk_plaintext_for_read(self, chunk_index: int) -> bytes:
+    def _chunk_plaintext_for_read(self, chunk_index: int):
+        """Chunk plaintext for a read, as read-only bytes-like data.
+
+        Buffered hits hand back the buffer line's storage directly and misses
+        return the unseal output (a memoryview on the fast path); callers copy
+        the span they need, so no per-chunk ``bytes`` materialization happens.
+        """
         if self.buffer.enabled:
             line = self.buffer.lookup(chunk_index)
             if line is not None:
-                return bytes(line.data)
+                return line.data
             plaintext = self._fetch_chunk(chunk_index)
             evicted = self.buffer.insert(chunk_index, plaintext, dirty=False)
             if evicted is not None:
@@ -189,10 +213,26 @@ class RegionPipeline:
     # -- accelerator-facing API --------------------------------------------------------
 
     def read(self, address: int, length: int) -> bytes:
-        """Read plaintext on behalf of the accelerator."""
+        """Read plaintext on behalf of the accelerator.
+
+        Without an on-chip buffer every chunk the span touches is fetched in
+        one batched :meth:`_fetch_chunks` call (coalesced DRAM bursts, one
+        vectorized unseal pass) and the result is assembled into a single
+        preallocated output buffer.  With a buffer the chunk-at-a-time lookup
+        order is preserved so hit/miss and eviction behavior stay identical.
+        """
         self._check_bounds(address, length)
         self.stats.accel_bytes_read += length
-        out = bytearray()
+        if length == 0:
+            return b""
+        plaintexts = None
+        if not self.buffer.enabled:
+            first = self.region.chunk_index(address)
+            last = self.region.chunk_index(address + length - 1)
+            chunk_indices = list(range(first, last + 1))
+            plaintexts = dict(zip(chunk_indices, self._fetch_chunks(chunk_indices)))
+        out = bytearray(length)
+        out_offset = 0
         cursor = address
         remaining = length
         while remaining > 0:
@@ -200,9 +240,13 @@ class RegionPipeline:
             chunk_base = self._chunk_address(chunk_index)
             offset = cursor - chunk_base
             take = min(remaining, self.region.chunk_size - offset)
-            plaintext = self._chunk_plaintext_for_read(chunk_index)
-            out += plaintext[offset : offset + take]
+            if plaintexts is not None:
+                plaintext = plaintexts[chunk_index]
+            else:
+                plaintext = self._chunk_plaintext_for_read(chunk_index)
+            out[out_offset : out_offset + take] = plaintext[offset : offset + take]
             cursor += take
+            out_offset += take
             remaining -= take
         return bytes(out)
 
@@ -241,7 +285,7 @@ class RegionPipeline:
             for index in indices
         ]
         sealed_chunks = self._sealer.seal_chunks(
-            indices, [bytes(line.data) for line in lines], versions
+            indices, [line.data for line in lines], versions
         )
         for line, sealed in zip(lines, sealed_chunks):
             self._write_sealed(sealed)

@@ -18,6 +18,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 import repro.obs as obs_api
 from repro.core.config import RegionConfig
 from repro.core.engines import AesEngine, MacEngine, build_engines
@@ -55,10 +57,16 @@ def chunk_mac_context(region: RegionConfig, chunk_index: int, version: int) -> b
 
 @dataclass
 class SealedChunk:
-    """One sealed chunk: ciphertext plus its 16-byte tag."""
+    """One sealed chunk: ciphertext plus its 16-byte tag.
+
+    On the vectorized fast path the ciphertext is a :class:`memoryview` row
+    sliced out of one flat batch buffer (every chunk of a batched seal shares
+    the same backing allocation); scalar seals produce plain :class:`bytes`.
+    Consumers should treat it as read-only bytes-like data.
+    """
 
     chunk_index: int
-    ciphertext: bytes
+    ciphertext: bytes | memoryview
     tag: bytes
 
 
@@ -138,27 +146,103 @@ class RegionSealer:
             self._observe("unseal", len(plaintext), time.perf_counter() - start)
         return plaintext
 
+    # -- batched (vectorized) datapath ---------------------------------------------
+
+    def _fast_batch(self) -> bool:
+        """True when both engines run vectorized, enabling the array datapath."""
+        return self._aes_engine.uses_fast_path and self._mac_engine.uses_fast_path
+
+    def _chunk_ivs_array(self, indices: list, versions: list) -> np.ndarray:
+        """Vectorized :func:`chunk_iv`: one ``(n, 12)`` uint8 array for a batch."""
+        n = len(indices)
+        ivs = np.empty((n, 12), dtype=np.uint8)
+        seed = sha256(self.region.name.encode("utf-8"))[:4]
+        ivs[:, :4] = np.frombuffer(seed, dtype=np.uint8)
+        ivs[:, 4:8] = np.asarray(indices, dtype=">u4").view(np.uint8).reshape(n, 4)
+        ivs[:, 8:] = (
+            (np.asarray(versions, dtype=np.uint64) & 0xFFFFFFFF)
+            .astype(">u4")
+            .view(np.uint8)
+            .reshape(n, 4)
+        )
+        return ivs
+
+    def _chunk_contexts_array(self, indices: list, versions: list) -> np.ndarray:
+        """Vectorized :func:`chunk_mac_context`: one ``(n, 22)`` uint8 array."""
+        n = len(indices)
+        contexts = np.empty((n, 22), dtype=np.uint8)
+        contexts[:, :10] = np.frombuffer(b"shef-chunk", dtype=np.uint8)
+        addresses = (
+            self.region.base_address
+            + np.asarray(indices, dtype=np.uint64) * self.region.chunk_size
+        )
+        contexts[:, 10:18] = addresses.astype(">u8").view(np.uint8).reshape(n, 8)
+        contexts[:, 18:] = (
+            (np.asarray(versions, dtype=np.uint64) & 0xFFFFFFFF)
+            .astype(">u4")
+            .view(np.uint8)
+            .reshape(n, 4)
+        )
+        return contexts
+
     def seal_chunks(self, indices: list, plaintexts: list, versions=0) -> list:
         """Seal many whole chunks at once (one batched cipher pass on the fast path).
 
         ``versions`` is either one write version shared by every chunk or a
-        per-chunk list (what a buffered pipeline flush produces).  Encryption
-        for every chunk is submitted to the AES engine in a single
-        :meth:`~repro.core.engines.AesEngine.encrypt_many` call, and all chunk
-        MACs go through one :meth:`~repro.core.engines.MacEngine.tag_many`
-        pass (every tag still binds its own per-chunk context, exactly as in
-        :meth:`seal_chunk`) -- so the vectorized fast path amortizes both the
-        cipher and the authentication over the whole batch.
+        per-chunk list (what a buffered pipeline flush produces).  On the fast
+        path the batch is packed into a single ``(n, chunk_size)`` array and
+        handed to :meth:`seal_chunks_array`, so the whole seal costs one
+        cipher pass, one MAC pass, and exactly one ciphertext allocation; the
+        scalar path keeps the list-based reference flow.
         """
+        indices = list(indices)
         if isinstance(versions, int):
             versions = [versions] * len(indices)
         if len(versions) != len(indices) or len(plaintexts) != len(indices):
             raise ShieldError("seal_chunks needs matching indices/plaintexts/versions")
+        chunk_size = self.region.chunk_size
         for plaintext in plaintexts:
-            if len(plaintext) != self.region.chunk_size:
+            if len(plaintext) != chunk_size:
                 raise ShieldError(
-                    f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
+                    f"chunk plaintext must be exactly {chunk_size} bytes"
                 )
+        if not self._fast_batch():
+            return self._seal_chunk_list(indices, plaintexts, versions)
+        plaintext_array = np.empty((len(indices), chunk_size), dtype=np.uint8)
+        for row, plaintext in enumerate(plaintexts):
+            plaintext_array[row] = np.frombuffer(plaintext, dtype=np.uint8)
+        return self._seal_array(indices, plaintext_array, versions)
+
+    def seal_chunks_array(
+        self, indices: list, plaintext_array: np.ndarray, versions=0
+    ) -> list:
+        """Seal a batch already staged as an ``(n, chunk_size)`` uint8 array.
+
+        The zero-copy entry point: on the fast path the rows are encrypted and
+        MACed in place-order without ever being sliced into per-chunk ``bytes``
+        objects, and the resulting :class:`SealedChunk` ciphertexts are
+        memoryview rows of one shared output buffer.
+        """
+        indices = list(indices)
+        if isinstance(versions, int):
+            versions = [versions] * len(indices)
+        if len(versions) != len(indices) or plaintext_array.shape[0] != len(indices):
+            raise ShieldError("seal_chunks needs matching indices/plaintexts/versions")
+        if (
+            plaintext_array.ndim != 2
+            or plaintext_array.shape[1] != self.region.chunk_size
+        ):
+            raise ShieldError(
+                f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
+            )
+        if not self._fast_batch():
+            return self._seal_chunk_list(
+                indices, [row.tobytes() for row in plaintext_array], versions
+            )
+        return self._seal_array(indices, plaintext_array, versions)
+
+    def _seal_chunk_list(self, indices: list, plaintexts: list, versions: list) -> list:
+        """Scalar reference flow: list-based batch seal, bytes ciphertexts."""
         timed = self._obs.metrics.enabled
         start = time.perf_counter() if timed else 0.0
         ivs = [
@@ -181,31 +265,58 @@ class RegionSealer:
             for index, ciphertext, tag in zip(indices, ciphertexts, tags)
         ]
 
+    def _seal_array(
+        self, indices: list, plaintext_array: np.ndarray, versions: list
+    ) -> list:
+        """Fast-path batch seal over an ``(n, chunk_size)`` array."""
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
+        chunk_size = self.region.chunk_size
+        ivs = self._chunk_ivs_array(indices, versions)
+        ciphertext_array = self._aes_engine.encrypt_many_array(ivs, plaintext_array)
+        messages = np.empty((len(indices), 22 + chunk_size), dtype=np.uint8)
+        messages[:, :22] = self._chunk_contexts_array(indices, versions)
+        messages[:, 22:] = ciphertext_array
+        tags = self._mac_engine.tag_many_array(messages)
+        if timed:
+            self._observe("seal", plaintext_array.size, time.perf_counter() - start)
+        flat = ciphertext_array.reshape(-1).data
+        return [
+            SealedChunk(
+                chunk_index=index,
+                ciphertext=flat[row * chunk_size : (row + 1) * chunk_size],
+                tag=tags[row].tobytes(),
+            )
+            for row, index in enumerate(indices)
+        ]
+
     def seal_region_data(self, plaintext: bytes, start_chunk: int = 0) -> list:
         """Seal a contiguous run of chunks (padding the tail with zeros).
 
         Returns a list of :class:`SealedChunk`; used by the Data Owner to
         prepare inputs for DMA and by tests to stage expected ciphertext.
+        The plaintext is staged as one ``(n, chunk_size)`` array view (a
+        single zero-padded allocation when the length is not an exact multiple
+        of the chunk size) instead of being sliced and padded chunk by chunk.
         """
         chunk_size = self.region.chunk_size
-        pieces: list[bytes] = []
-        indices: list[int] = []
-        offset = 0
-        index = start_chunk
-        while offset < len(plaintext):
-            piece = plaintext[offset : offset + chunk_size]
-            if len(piece) < chunk_size:
-                piece = piece + b"\x00" * (chunk_size - len(piece))
-            if index >= self.region.num_chunks:
-                raise ShieldError(
-                    f"data does not fit in region {self.region.name!r}: chunk {index} "
-                    f"exceeds {self.region.num_chunks} chunks"
-                )
-            pieces.append(piece)
-            indices.append(index)
-            offset += chunk_size
-            index += 1
-        return self.seal_chunks(indices, pieces)
+        if len(plaintext) == 0:
+            return []
+        num_chunks = -(-len(plaintext) // chunk_size)
+        if start_chunk + num_chunks > self.region.num_chunks:
+            first_bad = max(start_chunk, self.region.num_chunks)
+            raise ShieldError(
+                f"data does not fit in region {self.region.name!r}: chunk {first_bad} "
+                f"exceeds {self.region.num_chunks} chunks"
+            )
+        data = np.frombuffer(plaintext, dtype=np.uint8)
+        if len(plaintext) % chunk_size == 0:
+            plaintext_array = data.reshape(num_chunks, chunk_size)
+        else:
+            plaintext_array = np.zeros((num_chunks, chunk_size), dtype=np.uint8)
+            plaintext_array.reshape(-1)[: len(plaintext)] = data
+        indices = list(range(start_chunk, start_chunk + num_chunks))
+        return self.seal_chunks_array(indices, plaintext_array)
 
     def unseal_region_data(
         self, sealed_chunks: list, length: int | None = None, versions=0
@@ -225,24 +336,104 @@ class RegionSealer:
             raise ShieldError("unseal_region_data needs one version per chunk")
         timed = self._obs.metrics.enabled
         start = time.perf_counter() if timed else 0.0
+        indices = [chunk.chunk_index for chunk in sealed_chunks]
+        ciphertexts = [chunk.ciphertext for chunk in sealed_chunks]
+        tags = [chunk.tag for chunk in sealed_chunks]
+        if self._batchable(ciphertexts):
+            plaintext_array = self._unseal_batch_array(
+                indices, ciphertexts, tags, versions
+            )
+            flat = plaintext_array.reshape(-1)
+            if timed:
+                self._observe("unseal", flat.size, time.perf_counter() - start)
+            return flat.tobytes() if length is None else flat[:length].tobytes()
         try:
             self._mac_engine.verify_many(
                 [
-                    chunk_mac_context(self.region, chunk.chunk_index, version)
-                    + chunk.ciphertext
-                    for chunk, version in zip(sealed_chunks, versions)
+                    chunk_mac_context(self.region, index, version) + bytes(ciphertext)
+                    for index, version, ciphertext in zip(indices, versions, ciphertexts)
                 ],
-                [chunk.tag for chunk in sealed_chunks],
+                tags,
             )
         except IntegrityError as exc:
-            self._mac_failure(exc, [chunk.chunk_index for chunk in sealed_chunks])
+            self._mac_failure(exc, indices)
             raise
         ivs = [
-            chunk_iv(self.region, chunk.chunk_index, version)
-            for chunk, version in zip(sealed_chunks, versions)
+            chunk_iv(self.region, index, version)
+            for index, version in zip(indices, versions)
         ]
-        pieces = self._aes_engine.decrypt_many(ivs, [c.ciphertext for c in sealed_chunks])
+        pieces = self._aes_engine.decrypt_many(
+            ivs, [bytes(ciphertext) for ciphertext in ciphertexts]
+        )
         plaintext = b"".join(pieces)
         if timed:
             self._observe("unseal", len(plaintext), time.perf_counter() - start)
         return plaintext if length is None else plaintext[:length]
+
+    def _batchable(self, ciphertexts: list) -> bool:
+        """Whether a batch can take the array path: fast engines, equal sizes."""
+        if not self._fast_batch() or not ciphertexts:
+            return False
+        chunk_len = len(ciphertexts[0])
+        return chunk_len > 0 and all(len(c) == chunk_len for c in ciphertexts)
+
+    def _unseal_batch_array(
+        self, indices: list, ciphertexts: list, tags: list, versions: list
+    ) -> np.ndarray:
+        """Fast-path batch unseal; returns the ``(n, chunk_len)`` plaintext array.
+
+        One ``(n, 22 + chunk_len)`` staging array carries every MAC message
+        (context rows are computed vectorized), verification and decryption
+        each run as a single batched engine pass, and the returned plaintext
+        lives in one contiguous buffer.
+        """
+        chunk_len = len(ciphertexts[0])
+        messages = np.empty((len(indices), 22 + chunk_len), dtype=np.uint8)
+        messages[:, :22] = self._chunk_contexts_array(indices, versions)
+        for row, ciphertext in enumerate(ciphertexts):
+            messages[row, 22:] = np.frombuffer(ciphertext, dtype=np.uint8)
+        try:
+            self._mac_engine.verify_many_array(messages, tags)
+        except IntegrityError as exc:
+            self._mac_failure(exc, indices)
+            raise
+        ivs = self._chunk_ivs_array(indices, versions)
+        return self._aes_engine.decrypt_many_array(ivs, messages[:, 22:])
+
+    def unseal_chunks(
+        self, indices: list, ciphertexts: list, tags: list, versions=0
+    ) -> list:
+        """Verify and decrypt many chunks in one batched pass.
+
+        The read-back twin of :meth:`seal_chunks`: the pipeline hands over the
+        raw per-chunk ciphertext and tag blobs it fetched from DRAM, and gets
+        back one plaintext per chunk.  On the fast path the plaintexts are
+        memoryview rows of a single shared buffer (no per-chunk ``bytes``
+        allocation); the scalar path falls back to per-chunk
+        :meth:`unseal_chunk` calls.
+        """
+        indices = list(indices)
+        if isinstance(versions, int):
+            versions = [versions] * len(indices)
+        if not (len(ciphertexts) == len(tags) == len(versions) == len(indices)):
+            raise ShieldError(
+                "unseal_chunks needs matching indices/ciphertexts/tags/versions"
+            )
+        if not self._batchable(ciphertexts):
+            return [
+                self.unseal_chunk(index, bytes(ciphertext), bytes(tag), version)
+                for index, ciphertext, tag, version in zip(
+                    indices, ciphertexts, tags, versions
+                )
+            ]
+        timed = self._obs.metrics.enabled
+        start = time.perf_counter() if timed else 0.0
+        plaintext_array = self._unseal_batch_array(indices, ciphertexts, tags, versions)
+        if timed:
+            self._observe("unseal", plaintext_array.size, time.perf_counter() - start)
+        chunk_len = plaintext_array.shape[1]
+        flat = plaintext_array.reshape(-1).data
+        return [
+            flat[row * chunk_len : (row + 1) * chunk_len]
+            for row in range(len(indices))
+        ]

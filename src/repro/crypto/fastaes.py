@@ -116,6 +116,32 @@ class VectorAes:
         stream = self.keystream(iv, len(data), initial_counter)
         return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
 
+    def ctr_transform_array(
+        self, ivs: np.ndarray, data: np.ndarray, initial_counter: int = 0
+    ) -> np.ndarray:
+        """CTR-transform an ``(n, chunk_len)`` uint8 array under ``(n, 12)`` IVs.
+
+        The zero-copy entry point behind :meth:`ctr_transform_many`: input and
+        output stay numpy arrays end-to-end, so a whole-region seal allocates
+        one keystream and one output buffer instead of one ``bytes`` object
+        per chunk.
+        """
+        if ivs.ndim != 2 or ivs.shape[1] != 12:
+            raise CryptoError("ctr_transform_array expects an (n, 12) IV array")
+        if data.ndim != 2 or data.shape[0] != ivs.shape[0]:
+            raise CryptoError("ctr_transform_array needs one IV per chunk row")
+        num_chunks, chunk_len = data.shape
+        if num_chunks == 0 or chunk_len == 0:
+            return np.empty_like(data)
+        blocks_per_chunk = -(-chunk_len // BLOCK_SIZE)
+        counters = initial_counter + np.tile(
+            np.arange(blocks_per_chunk, dtype=np.uint64), num_chunks
+        )
+        iv_blocks = np.repeat(ivs, blocks_per_chunk, axis=0)
+        stream = self.encrypt_blocks(self._counter_blocks(iv_blocks, counters))
+        stream = stream.reshape(num_chunks, blocks_per_chunk * BLOCK_SIZE)[:, :chunk_len]
+        return data ^ stream
+
     def ctr_transform_many(
         self, ivs: list, datas: list, initial_counter: int = 0
     ) -> list:
@@ -137,19 +163,12 @@ class VectorAes:
             return [b"" for _ in datas]
         if any(len(iv) != 12 for iv in ivs):
             raise CryptoError("CTR IV must be 12 bytes (96 bits)")
-        blocks_per_chunk = -(-chunk_len // BLOCK_SIZE)
         num_chunks = len(datas)
-        counters = initial_counter + np.tile(
-            np.arange(blocks_per_chunk, dtype=np.uint64), num_chunks
-        )
         iv_array = np.frombuffer(b"".join(ivs), dtype=np.uint8).reshape(num_chunks, 12)
-        iv_blocks = np.repeat(iv_array, blocks_per_chunk, axis=0)
-        stream = self.encrypt_blocks(self._counter_blocks(iv_blocks, counters))
-        stream = stream.reshape(num_chunks, blocks_per_chunk * BLOCK_SIZE)[:, :chunk_len]
         data_array = np.frombuffer(b"".join(datas), dtype=np.uint8).reshape(
             num_chunks, chunk_len
         )
-        out = data_array ^ stream
+        out = self.ctr_transform_array(iv_array, data_array, initial_counter)
         return [row.tobytes() for row in out]
 
 

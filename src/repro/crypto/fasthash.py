@@ -43,6 +43,7 @@ from repro.errors import CryptoError
 
 __all__ = [
     "sha256_many",
+    "sha256_many_array",
     "BatchedMac",
     "fast_hmac_sha256_many",
     "fast_aes_pmac_many",
@@ -91,6 +92,34 @@ def _compress_many(state: list, words: np.ndarray) -> None:
         state[index] = state[index] + value
 
 
+def sha256_many_array(messages: np.ndarray) -> np.ndarray:
+    """SHA-256 over an ``(n, length)`` uint8 message array in one pass.
+
+    The zero-copy core behind :func:`sha256_many`: one padded working array
+    serves the whole batch (no per-message ``bytes`` concatenation), and the
+    ``(n, 32)`` digest array comes back without per-row copies.
+    """
+    if messages.ndim != 2:
+        raise CryptoError("sha256_many_array expects an (n, length) array")
+    n, length = messages.shape
+    if n == 0:
+        return np.empty((0, 32), dtype=np.uint8)
+    # FIPS 180-4 padding is a function of the length only, so one padded
+    # buffer (a single allocation) serves the whole batch.
+    suffix = np.frombuffer(
+        b"\x80" + b"\x00" * ((55 - length) % 64) + struct.pack(">Q", length * 8),
+        dtype=np.uint8,
+    )
+    padded = np.empty((n, length + len(suffix)), dtype=np.uint8)
+    padded[:, :length] = messages
+    padded[:, length:] = suffix
+    words = padded.view(">u4").astype(np.uint32)
+    state = [np.full(n, value, dtype=np.uint32) for value in _STATE_NP]
+    for block in range(words.shape[1] // 16):
+        _compress_many(state, words[:, block * 16 : (block + 1) * 16])
+    return np.stack(state, axis=1).astype(">u4").view(np.uint8).reshape(n, 32)
+
+
 def sha256_many(messages: list) -> list:
     """SHA-256 of many *equal-length* messages in one vectorized pass.
 
@@ -104,20 +133,11 @@ def sha256_many(messages: list) -> list:
     length = len(messages[0])
     if any(len(message) != length for message in messages):
         raise CryptoError("sha256_many requires equal-length messages")
-    # FIPS 180-4 padding is a function of the length only, so one padding
-    # suffix serves the whole batch.
-    padding = (
-        b"\x80" + b"\x00" * ((55 - length) % 64) + struct.pack(">Q", length * 8)
-    )
-    blob = b"".join(message + padding for message in messages)
     n = len(messages)
-    words = (
-        np.frombuffer(blob, dtype=">u4").astype(np.uint32).reshape(n, -1)
-    )
-    state = [np.full(n, value, dtype=np.uint32) for value in _STATE_NP]
-    for block in range(words.shape[1] // 16):
-        _compress_many(state, words[:, block * 16 : (block + 1) * 16])
-    digests = np.stack(state, axis=1).astype(">u4").view(np.uint8).reshape(n, 32)
+    array = np.empty((n, length), dtype=np.uint8)
+    for index, message in enumerate(messages):
+        array[index] = np.frombuffer(message, dtype=np.uint8)
+    digests = sha256_many_array(array)
     return [row.tobytes() for row in digests]
 
 
@@ -162,19 +182,43 @@ class BatchedMac:
         groups: dict = {}
         for index, message in enumerate(messages):
             groups.setdefault(len(message), []).append(index)
-        compute = getattr(self, f"_{self.algorithm.lower()}_equal_length")
         tags: list = [None] * len(messages)
-        for indices in groups.values():
-            batch = compute([messages[i] for i in indices])
+        for length, indices in groups.items():
+            array = np.empty((len(indices), length), dtype=np.uint8)
+            for row, index in enumerate(indices):
+                array[row] = np.frombuffer(messages[index], dtype=np.uint8)
+            batch = self.tag_many_array(array)
             for index, tag in zip(indices, batch):
-                tags[index] = tag
+                tags[index] = tag.tobytes()
         return tags
+
+    def tag_many_array(self, messages: np.ndarray) -> np.ndarray:
+        """Tag an equal-length ``(n, length)`` uint8 batch; returns ``(n, tag)``.
+
+        The zero-copy entry point the region sealer's chunk-MAC path uses: the
+        message batch stays one numpy buffer end-to-end and the tags come back
+        as one array (32-byte rows for HMAC, 16 for PMAC/CMAC) instead of
+        ``n`` separate ``bytes`` objects.
+        """
+        if messages.ndim != 2:
+            raise CryptoError("tag_many_array expects an (n, length) array")
+        if messages.shape[0] == 0:
+            return np.empty((0, 32 if self.algorithm == "HMAC" else BLOCK_SIZE), dtype=np.uint8)
+        compute = getattr(self, f"_{self.algorithm.lower()}_equal_length")
+        return compute(np.ascontiguousarray(messages, dtype=np.uint8))
 
     # -- per-algorithm equal-length batches ------------------------------------------
 
-    def _hmac_equal_length(self, messages: list) -> list:
-        inner = sha256_many([self._i_key_pad + message for message in messages])
-        return sha256_many([self._o_key_pad + digest for digest in inner])
+    def _hmac_equal_length(self, messages: np.ndarray) -> np.ndarray:
+        n, length = messages.shape
+        inner_input = np.empty((n, 64 + length), dtype=np.uint8)
+        inner_input[:, :64] = np.frombuffer(self._i_key_pad, dtype=np.uint8)
+        inner_input[:, 64:] = messages
+        inner = sha256_many_array(inner_input)
+        outer_input = np.empty((n, 64 + 32), dtype=np.uint8)
+        outer_input[:, :64] = np.frombuffer(self._o_key_pad, dtype=np.uint8)
+        outer_input[:, 64:] = inner
+        return sha256_many_array(outer_input)
 
     def _pmac_offsets(self, count: int) -> np.ndarray:
         while len(self._offsets) < count:
@@ -190,16 +234,11 @@ class BatchedMac:
             self._next_offset = offset
         return self._offsets[:count]
 
-    def _pmac_equal_length(self, messages: list) -> list:
+    def _pmac_equal_length(self, message_array: np.ndarray) -> np.ndarray:
         vector = self._vector
-        n = len(messages)
-        length = len(messages[0])
+        n, length = message_array.shape
         full_blocks, remainder = divmod(length, BLOCK_SIZE)
         last_full = full_blocks - (1 if remainder == 0 and full_blocks > 0 else 0)
-
-        message_array = np.frombuffer(b"".join(messages), dtype=np.uint8).reshape(
-            n, length
-        )
 
         if last_full:
             offsets = self._pmac_offsets(last_full)
@@ -222,16 +261,11 @@ class BatchedMac:
             padded[:, remainder] = 0x80
             sigma = sigma ^ padded
 
-        tags = vector.encrypt_blocks(np.ascontiguousarray(sigma))
-        return [row.tobytes() for row in tags]
+        return vector.encrypt_blocks(np.ascontiguousarray(sigma))
 
-    def _cmac_equal_length(self, messages: list) -> list:
+    def _cmac_equal_length(self, message_array: np.ndarray) -> np.ndarray:
         vector = self._vector
-        n = len(messages)
-        length = len(messages[0])
-        message_array = np.frombuffer(b"".join(messages), dtype=np.uint8).reshape(
-            n, length
-        )
+        n, length = message_array.shape
         if length and length % BLOCK_SIZE == 0:
             padded = message_array
             last_mask = self._k1
@@ -252,7 +286,7 @@ class BatchedMac:
             if index == num_blocks - 1:
                 block = block ^ mask
             state = vector.encrypt_blocks(np.ascontiguousarray(state ^ block))
-        return [row.tobytes() for row in state]
+        return state
 
 
 # -- module-level conveniences (mirror repro.crypto.mac signatures) ----------------

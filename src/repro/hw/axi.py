@@ -123,6 +123,71 @@ class AxiPort:
             AxiBurst(BurstKind.WRITE, address, len(data), bytes(data), region_hint)
         )
 
+    # -- multi-entry helpers (coalesced bursts) ------------------------------------
+
+    def read_many(
+        self, spans: list, region_hint: Optional[str] = None
+    ) -> list:
+        """Read many ``(address, length)`` spans, coalescing DRAM traffic.
+
+        Overlapping, duplicate, and back-to-back spans are merged into maximal
+        contiguous runs, each run is fetched with bursts split at the AXI
+        4 KiB boundary, and the requested spans are sliced back out in input
+        order.  This is what lets a batched Merkle walk touch a whole tree
+        level in a handful of bursts while its caller still accounts traffic
+        per node.
+        """
+        if not spans:
+            return []
+        for _, length in spans:
+            if length <= 0:
+                raise MemoryAccessError("read_many span length must be positive")
+        runs: list[list[int]] = []  # [start, end) of each merged run
+        for address, length in sorted(set(spans)):
+            if runs and address <= runs[-1][1]:
+                runs[-1][1] = max(runs[-1][1], address + length)
+            else:
+                runs.append([address, address + length])
+        data: dict[int, bytes] = {}
+        for start, end in runs:
+            pieces = AxiBurst(
+                BurstKind.READ, start, end - start, region_hint=region_hint
+            ).split_at_boundary()
+            data[start] = b"".join(self.submit(piece) for piece in pieces)
+        blobs = []
+        for address, length in spans:
+            for start, end in runs:
+                if start <= address and address + length <= end:
+                    offset = address - start
+                    blobs.append(data[start][offset : offset + length])
+                    break
+        return blobs
+
+    def write_many(
+        self, entries: list, region_hint: Optional[str] = None
+    ) -> None:
+        """Write many ``(address, data)`` entries, coalescing DRAM traffic.
+
+        Exactly back-to-back entries are merged into one run (entries are
+        issued in address order; overlapping entries are not merged, so a
+        later entry still wins at the slave).  Each run goes out as write
+        bursts split at the AXI 4 KiB boundary.
+        """
+        runs: list[tuple[int, list]] = []  # (start address, [data pieces])
+        last_end = None
+        for address, data in sorted(entries, key=lambda entry: entry[0]):
+            if last_end is not None and address == last_end:
+                runs[-1][1].append(data)
+            else:
+                runs.append((address, [data]))
+            last_end = address + len(data)
+        for start, pieces in runs:
+            blob = b"".join(bytes(piece) for piece in pieces)
+            for piece in AxiBurst(
+                BurstKind.WRITE, start, len(blob), blob, region_hint=region_hint
+            ).split_at_boundary():
+                self.submit(piece)
+
 
 def memory_backed_handler(memory) -> Callable[[AxiBurst], bytes]:
     """Build a slave handler that services bursts directly from a :class:`DeviceMemory`."""

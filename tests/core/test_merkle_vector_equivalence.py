@@ -1,0 +1,223 @@
+"""Differential conformance: vectorized vs scalar Merkle datapath + zero-copy seals.
+
+The vectorized Merkle tree (batched multi-message HMAC, coalesced AXI reads)
+must be indistinguishable from the scalar per-node reference in everything a
+caller can observe: roots, counter values, tamper detection, and the per-node
+:class:`~repro.core.merkle.MerkleStats` accounting that feeds the
+replay-protection ablation.  The second half checks the zero-copy contract of
+the batched chunk datapath: one shared ciphertext buffer per seal pass, no
+per-chunk ``bytes`` materialization.
+"""
+
+import pytest
+
+from repro.core.config import EngineSetConfig, RegionConfig
+from repro.core.merkle import BonsaiMerkleCounterTree, merkle_extra_dram_bytes
+from repro.core.sealing import RegionSealer
+from repro.errors import ReplayError
+from repro.hw.axi import AxiPort, memory_backed_handler
+from repro.hw.memory import DeviceMemory
+
+SHAPES = [(1, 8), (2, 2), (5, 3), (9, 8), (16, 4), (100, 8), (256, 8)]
+
+
+def make_tree(num_chunks, arity, fast_hash):
+    memory = DeviceMemory(1 << 22)
+    port = AxiPort("merkle", memory_backed_handler(memory))
+    tree = BonsaiMerkleCounterTree(
+        port,
+        base_address=0x10000,
+        num_chunks=num_chunks,
+        arity=arity,
+        key=b"k" * 32,
+        fast_hash=fast_hash,
+    )
+    return tree, memory
+
+
+def stats_tuple(tree):
+    s = tree.stats
+    return (s.node_reads, s.node_writes, s.bytes_read, s.bytes_written)
+
+
+# ---------------------------------------------------------------------------
+# Differential: roots, values, and stats must match the scalar reference
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_chunks,arity", SHAPES)
+def test_build_roots_and_stats_identical(num_chunks, arity):
+    fast, _ = make_tree(num_chunks, arity, fast_hash=True)
+    scalar, _ = make_tree(num_chunks, arity, fast_hash=False)
+    assert fast.uses_fast_path and not scalar.uses_fast_path
+    assert fast.root() == scalar.root()
+    assert stats_tuple(fast) == stats_tuple(scalar)
+
+
+@pytest.mark.parametrize("num_chunks,arity", [(9, 8), (16, 4), (100, 8)])
+def test_batched_reads_match_scalar_loop(num_chunks, arity):
+    fast, _ = make_tree(num_chunks, arity, fast_hash=True)
+    scalar, _ = make_tree(num_chunks, arity, fast_hash=False)
+    indices = [0, num_chunks - 1, num_chunks // 2, 0]  # includes a duplicate
+    fast.stats.reset()
+    scalar.stats.reset()
+    batched = fast.read_counters(indices)
+    looped = [scalar.read_counter(index) for index in indices]
+    assert batched == looped == [0] * len(indices)
+    assert stats_tuple(fast) == stats_tuple(scalar)
+
+
+@pytest.mark.parametrize("num_chunks,arity", [(9, 8), (16, 4), (100, 8)])
+def test_batched_increments_match_scalar_loop(num_chunks, arity):
+    fast, _ = make_tree(num_chunks, arity, fast_hash=True)
+    scalar, _ = make_tree(num_chunks, arity, fast_hash=False)
+    # Duplicates in one batch must behave like sequential scalar increments:
+    # every occurrence sees its own new version.
+    indices = [3, 3, num_chunks - 1, 3, 0]
+    indices = [index % num_chunks for index in indices]
+    fast.stats.reset()
+    scalar.stats.reset()
+    batched = fast.increment_counters(indices)
+    looped = [scalar.increment_counter(index) for index in indices]
+    assert batched == looped
+    assert fast.root() == scalar.root()
+    assert stats_tuple(fast) == stats_tuple(scalar)
+    assert [fast.read_counter(i) for i in range(num_chunks)] == [
+        scalar.read_counter(i) for i in range(num_chunks)
+    ]
+
+
+def test_interleaved_workload_keeps_paths_in_lockstep():
+    fast, _ = make_tree(64, 4, fast_hash=True)
+    scalar, _ = make_tree(64, 4, fast_hash=False)
+    for round_number in range(3):
+        batch = [(round_number * 7 + k) % 64 for k in range(9)]
+        assert fast.increment_counters(batch) == [
+            scalar.increment_counter(index) for index in batch
+        ]
+        probe = [(round_number * 13 + k) % 64 for k in range(5)]
+        assert fast.read_counters(probe) == [
+            scalar.read_counter(index) for index in probe
+        ]
+        assert fast.root() == scalar.root()
+        assert stats_tuple(fast) == stats_tuple(scalar)
+
+
+@pytest.mark.parametrize("fast_hash", [True, False])
+def test_tampered_leaf_detected_by_batched_read(fast_hash):
+    tree, memory = make_tree(64, 4, fast_hash)
+    tree.increment_counters([3, 4, 5])
+    leaf_address = tree._level_offsets[0] + 3 * 8
+    memory.tamper_write(leaf_address, (0).to_bytes(8, "big"))
+    with pytest.raises(ReplayError):
+        tree.read_counters([2, 3, 4])
+
+
+@pytest.mark.parametrize("fast_hash", [True, False])
+def test_tampered_interior_node_detected_by_batched_read(fast_hash):
+    tree, memory = make_tree(64, 4, fast_hash)
+    node_address = tree._level_offsets[1]
+    original = memory.tamper_read(node_address, 32)
+    memory.tamper_write(node_address, bytes(b ^ 0xFF for b in original))
+    with pytest.raises(ReplayError):
+        tree.read_counters([0, 1])
+
+
+def test_stats_reset_zeroes_all_counters():
+    tree, _ = make_tree(16, 4, fast_hash=True)
+    tree.read_counter(0)
+    assert stats_tuple(tree) != (0, 0, 0, 0)
+    tree.stats.reset()
+    assert stats_tuple(tree) == (0, 0, 0, 0)
+
+
+# ---------------------------------------------------------------------------
+# Analytic DRAM model vs measured traffic (both datapaths)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_chunks,arity", [(1, 8), (2, 2), (9, 8), (16, 4), (100, 8)])
+@pytest.mark.parametrize("fast_hash", [True, False])
+def test_analytic_model_matches_measured_traffic(num_chunks, arity, fast_hash):
+    tree, _ = make_tree(num_chunks, arity, fast_hash)
+
+    tree.stats.reset()
+    for index in range(num_chunks):
+        tree.read_counter(index)
+    measured_read = tree.stats.bytes_read / num_chunks
+    assert tree.stats.bytes_written == 0
+    assert merkle_extra_dram_bytes(
+        num_chunks, arity, writes_fraction=0.0
+    ) == pytest.approx(measured_read, abs=1e-9)
+
+    tree.stats.reset()
+    for index in range(num_chunks):
+        tree.increment_counter(index)
+    measured_write = (tree.stats.bytes_read + tree.stats.bytes_written) / num_chunks
+    assert merkle_extra_dram_bytes(
+        num_chunks, arity, writes_fraction=1.0
+    ) == pytest.approx(measured_write, abs=1e-9)
+
+    blended = merkle_extra_dram_bytes(num_chunks, arity, writes_fraction=0.25)
+    assert blended == pytest.approx(0.75 * measured_read + 0.25 * measured_write)
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy chunk datapath
+# ---------------------------------------------------------------------------
+
+
+def make_sealer(fast):
+    region = RegionConfig(
+        name="zerocopy",
+        base_address=0x4000,
+        size_bytes=64 * 256,
+        chunk_size=256,
+        engine_set="es",
+    )
+    config = EngineSetConfig(name="es", fast_crypto=fast)
+    return RegionSealer(b"\x42" * 32, region, config)
+
+
+def test_fast_seal_shares_one_ciphertext_buffer():
+    sealer = make_sealer(True)
+    data = bytes((i * 31 + 7) % 256 for i in range(256 * 12 + 100))
+    chunks = sealer.seal_region_data(data)
+    assert len(chunks) == 13
+    # Every ciphertext is a memoryview row of one shared backing buffer: the
+    # whole seal pass made exactly one ciphertext allocation, with no
+    # per-chunk slicing, padding, or bytes concatenation.
+    assert all(isinstance(c.ciphertext, memoryview) for c in chunks)
+    assert len({id(c.ciphertext.obj) for c in chunks}) == 1
+    assert all(len(c.ciphertext) == 256 for c in chunks)
+    # Tags stay bytes (hashable, protocol-compatible).
+    assert all(isinstance(c.tag, bytes) and len(c.tag) == 16 for c in chunks)
+    # The shared-buffer ciphertext matches the scalar reference byte for byte.
+    reference = make_sealer(False).seal_region_data(data)
+    assert [bytes(c.ciphertext) for c in chunks] == [c.ciphertext for c in reference]
+    assert [c.tag for c in chunks] == [c.tag for c in reference]
+
+
+def test_fast_unseal_chunks_shares_one_plaintext_buffer():
+    sealer = make_sealer(True)
+    data = bytes((i * 11 + 5) % 256 for i in range(256 * 6))
+    chunks = sealer.seal_region_data(data)
+    plaintexts = sealer.unseal_chunks(
+        [c.chunk_index for c in chunks],
+        [c.ciphertext for c in chunks],
+        [c.tag for c in chunks],
+    )
+    assert all(isinstance(p, memoryview) for p in plaintexts)
+    assert len({id(p.obj) for p in plaintexts}) == 1
+    assert b"".join(plaintexts) == data
+
+
+def test_unseal_region_data_round_trips_shared_buffers():
+    fast = make_sealer(True)
+    scalar = make_sealer(False)
+    data = bytes((i * 3 + 1) % 256 for i in range(256 * 5 + 17))
+    fast_chunks = fast.seal_region_data(data)
+    # Cross-path: scalar unseal accepts memoryview ciphertexts and vice versa.
+    assert scalar.unseal_region_data(fast_chunks, length=len(data)) == data
+    assert fast.unseal_region_data(scalar.seal_region_data(data), length=len(data)) == data
+    assert fast.unseal_region_data(fast_chunks, length=len(data)) == data
