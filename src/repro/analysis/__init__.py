@@ -1,0 +1,55 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+The Shield reproduction carries three load-bearing invariants that ordinary
+tests cannot police exhaustively:
+
+1. **Secret hygiene** -- key material, derived sub-keys, and tenant plaintext
+   must never escape the Shield boundary into logs, trace spans, metric
+   labels, exception text, or ``repr`` output (the paper's core isolation
+   guarantee, applied to the *observability* surface).
+2. **Thread confinement** -- all scheduler and job-map state is owned by the
+   event loop (PR 7's design rule); the executor-side job body may touch only
+   its own board slot and session.
+3. **Zero-copy aliasing** -- the batched datapath hands out ``memoryview``
+   rows of shared backing buffers (PR 8); hot paths must not silently copy
+   them back into ``bytes``, and nothing may mutate a backing array while
+   rows are live.
+
+This package enforces them twice over:
+
+* ``python -m repro.analysis src/`` runs an AST-based lint pass
+  (:mod:`repro.analysis.engine` + the checkers under
+  :mod:`repro.analysis.checkers`) seeded by the :mod:`~repro.analysis.annotations`
+  decorators that product code already carries (``@secret``, ``@loop_owned``,
+  ``@executor_side``, ``@hot_path``, ``@scalar_reference``).
+* ``REPRO_SANITIZE=1`` arms the runtime sanitizer
+  (:mod:`repro.analysis.sanitizer`): shared ciphertext/plaintext backing
+  arrays freeze while memoryview rows are live, loop-owned methods assert
+  the calling thread, and hot paths report every fallback copy to a counter
+  tests can fail on.
+
+See ``docs/static-analysis.md`` for the invariants, the suppression/baseline
+workflow, and the sanitizer mode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.annotations import (
+    executor_side,
+    hot_path,
+    loop_owned,
+    scalar_reference,
+    secret,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.sanitizer import SanitizerError
+
+__all__ = [
+    "Finding",
+    "SanitizerError",
+    "executor_side",
+    "hot_path",
+    "loop_owned",
+    "scalar_reference",
+    "secret",
+]

@@ -1,0 +1,93 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exit status is 0 when every finding is baselined (or there are none) and 1
+when fresh findings exist, so the CI lint job can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.checkers import default_checkers
+from repro.analysis.engine import load_project, run_checkers
+from repro.analysis.reporters import render_json, render_text
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+DEFAULT_TESTS_DIR = "tests"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project invariant linter (secret hygiene, thread "
+        "confinement, zero-copy aliasing, fast/scalar parity).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of accepted findings "
+        f"(default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--tests-dir",
+        default=None,
+        help=f"test corpus for the parity checker "
+        f"(default: {DEFAULT_TESTS_DIR}/ when it exists; 'none' disables)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    tests_dir = args.tests_dir
+    if tests_dir == "none":
+        tests_dir = None
+    elif tests_dir is None and Path(DEFAULT_TESTS_DIR).is_dir():
+        tests_dir = DEFAULT_TESTS_DIR
+
+    project = load_project(args.paths, tests_dir=tests_dir)
+    findings = run_checkers(project, default_checkers())
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        save_baseline(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    accepted = load_baseline(baseline_path) if baseline_path else set()
+    findings = apply_baseline(findings, accepted)
+
+    report = (render_json if args.format == "json" else render_text)(
+        findings, files_scanned=len(project.files)
+    )
+    print(report)
+    return 1 if any(not f.baselined for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

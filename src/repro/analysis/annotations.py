@@ -1,0 +1,122 @@
+"""Invariant annotations product code carries for the lint pass + sanitizer.
+
+These decorators are the single source of truth for the project's invariant
+surfaces.  They do double duty:
+
+* **Statically**, the checkers under :mod:`repro.analysis.checkers` read them
+  *syntactically* (no imports of the scanned code): ``@secret`` seeds the
+  taint sources of the secret-hygiene pass, ``@loop_owned`` +
+  ``@executor_side`` define the thread-confinement rule, ``@hot_path`` marks
+  the zero-copy datapath, and ``@scalar_reference`` registers the scalar twin
+  the fast/scalar parity checker demands.
+* **At runtime**, ``@loop_owned`` arms a thread-ownership assert under
+  ``REPRO_SANITIZE=1`` (see :mod:`repro.analysis.sanitizer`); every other
+  decorator is a zero-cost registration (the wrapped function is returned
+  unchanged, so there is no call overhead on the hot paths they mark).
+
+This module must stay stdlib-only: :mod:`repro.crypto`, :mod:`repro.hw`, and
+:mod:`repro.core` import it at module load.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.analysis import sanitizer
+
+__all__ = [
+    "EXECUTOR_SIDE",
+    "HOT_PATHS",
+    "LOOP_OWNED",
+    "SCALAR_REFERENCES",
+    "SECRET_SOURCES",
+    "executor_side",
+    "hot_path",
+    "loop_owned",
+    "scalar_reference",
+    "secret",
+]
+
+#: Qualified names of functions whose return value is secret material.
+SECRET_SOURCES: set = set()
+
+#: Qualified names of methods that only the owning (event-loop) thread may call.
+LOOP_OWNED: set = set()
+
+#: Qualified names of functions that run on executor threads (the job body).
+EXECUTOR_SIDE: set = set()
+
+#: Qualified names of zero-copy hot-path functions (no ``bytes()`` copies).
+HOT_PATHS: set = set()
+
+#: Fast-path qualified name -> the scalar reference implementation's name.
+SCALAR_REFERENCES: dict = {}
+
+
+def secret(func):
+    """Mark a function whose return value is key/plaintext secret material.
+
+    Seeds the secret-hygiene taint pass: any value derived from a call to a
+    ``@secret`` source may not flow into logging, span/mark attributes,
+    metric labels, exception messages, or string formatting.
+    """
+    SECRET_SOURCES.add(func.__qualname__)
+    return func
+
+
+def loop_owned(method):
+    """Mark a method as callable only from the thread that owns the object.
+
+    The confinement checker forbids calls to loop-owned methods from
+    ``@executor_side`` code; under ``REPRO_SANITIZE=1`` the wrapper binds the
+    object to its first calling thread and raises
+    :class:`~repro.analysis.sanitizer.SanitizerError` on any cross-thread
+    call.  When the sanitizer is off the only cost is one global read.
+    """
+    LOOP_OWNED.add(method.__qualname__)
+
+    @functools.wraps(method)
+    def guarded(self, *args, **kwargs):
+        if sanitizer.enabled():
+            sanitizer.assert_owner(self, method.__name__)
+        return method(self, *args, **kwargs)
+
+    guarded.__wrapped_loop_owned__ = method
+    return guarded
+
+
+def executor_side(func):
+    """Mark a function as running on an executor thread (the job body).
+
+    Inside an executor-side function the confinement checker flags any call
+    to a ``@loop_owned`` method and any mutation of scheduler state.
+    """
+    EXECUTOR_SIDE.add(func.__qualname__)
+    return func
+
+
+def hot_path(func):
+    """Mark a batched-datapath function that must not copy its buffers.
+
+    The aliasing checker forbids ``bytes()`` / ``.copy()`` / ``.tobytes()`` /
+    copying ``np.array`` calls inside (suppressible on declared scalar
+    fallbacks), and forbids writes to arrays whose memoryviews were exported.
+    """
+    HOT_PATHS.add(func.__qualname__)
+    return func
+
+
+def scalar_reference(target: str):
+    """Register the scalar reference implementation of a fast-path entry point.
+
+    ``target`` names the scalar twin -- a bare name resolves in the same
+    module/class, a dotted ``module.path:name`` anywhere in the project.  The
+    parity checker requires every public ``*_many`` / ``*_array`` entry point
+    to carry this decorator, to resolve, and to be exercised by a test.
+    """
+
+    def register(func):
+        SCALAR_REFERENCES[func.__qualname__] = target
+        return func
+
+    return register

@@ -1,0 +1,65 @@
+"""Baseline file: accepted findings that report but do not fail the run.
+
+The baseline is a checked-in JSON file of finding fingerprints (see
+:attr:`repro.analysis.findings.Finding.fingerprint` -- checker + path +
+enclosing symbol + message, so entries survive unrelated line churn).  A
+finding whose fingerprint appears in the baseline is still *reported* (and
+marked ``[baselined]``) but does not flip the exit code; new findings do.
+
+Regenerate with ``python -m repro.analysis src --write-baseline`` after an
+intentional change; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+
+_SCHEMA_VERSION = 1
+
+
+def load_baseline(path: str) -> set:
+    """The set of accepted fingerprints (empty for a missing file)."""
+    file = Path(path)
+    if not file.is_file():
+        return set()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write every current finding as an accepted baseline entry."""
+    entries = sorted(
+        (
+            {
+                "fingerprint": f.fingerprint,
+                "checker": f.checker,
+                "path": f.to_dict()["path"],
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in findings
+        ),
+        key=lambda entry: (entry["path"], entry["checker"], entry["message"]),
+    )
+    payload = {"version": _SCHEMA_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+def apply_baseline(findings: Iterable[Finding], accepted: set) -> List[Finding]:
+    """Mark accepted findings; returns the full list with flags set."""
+    out = []
+    for finding in findings:
+        if finding.fingerprint in accepted:
+            finding = Finding(
+                checker=finding.checker,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                symbol=finding.symbol,
+                baselined=True,
+            )
+        out.append(finding)
+    return out

@@ -1,0 +1,20 @@
+"""The project-specific checkers (one module per invariant)."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.aliasing import HotCopyChecker
+from repro.analysis.checkers.confinement import LoopConfinementChecker
+from repro.analysis.checkers.parity import FastScalarParityChecker
+from repro.analysis.checkers.secret_hygiene import SecretFlowChecker
+
+#: Construction order == report order for equal locations.
+ALL_CHECKERS = (
+    SecretFlowChecker,
+    LoopConfinementChecker,
+    HotCopyChecker,
+    FastScalarParityChecker,
+)
+
+
+def default_checkers() -> list:
+    return [cls() for cls in ALL_CHECKERS]

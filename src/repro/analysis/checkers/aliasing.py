@@ -1,0 +1,175 @@
+"""Zero-copy aliasing checker for the batched datapath.
+
+The batched seal/unseal path earns its throughput by never materialising
+per-chunk ``bytes``: ciphertext lives in one backing array and each
+``SealedChunk`` carries a memoryview row of it.  Two classes of bug undo
+that:
+
+* a copy sneaks back in (``bytes(row)``, ``row.tobytes()``, ``arr.copy()``,
+  ``np.array(..., copy=True)``) and the "zero-copy" path quietly allocates
+  per chunk again;
+* code writes to a backing array *after* exporting memoryview rows of it,
+  silently corrupting every previously returned chunk.
+
+Inside functions marked ``@hot_path`` this checker flags the copy calls
+(suppressible with ``# lint: allow[hot-copy]`` on declared scalar
+fallbacks), and flags subscript-stores to any array whose ``.data`` /
+``.reshape(...).data`` memoryview has already been exported in the same
+function.  The runtime sanitizer enforces the same aliasing rule
+dynamically by flipping ``writeable=False`` on shared backing arrays.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    Checker,
+    Project,
+    SourceFile,
+    call_name,
+    decorator_names,
+    dotted_source,
+)
+
+#: Method calls that materialise a copy of a buffer.
+COPY_METHODS = frozenset({"copy", "tobytes", "deepcopy"})
+
+#: Bare calls that materialise a copy when given a buffer argument.
+COPY_CALLS = frozenset({"bytes", "bytearray"})
+
+
+class HotCopyChecker(Checker):
+    id = "hot-copy"
+
+    def __init__(self):
+        self._hot_paths: set = set()
+
+    # -- phase 1 ------------------------------------------------------------------
+
+    def collect(self, file: SourceFile, project: Project) -> None:
+        for node in file.functions():
+            for name, _ in decorator_names(node):
+                if name == "hot_path":
+                    self._hot_paths.add(file.qualname(node))
+
+    # -- phase 2 ------------------------------------------------------------------
+
+    def check(self, file: SourceFile, project: Project):
+        findings = []
+        for node in file.functions():
+            if file.qualname(node) in self._hot_paths:
+                self._check_hot_function(file, node, findings)
+        return findings
+
+    def _check_hot_function(self, file: SourceFile, func, findings) -> None:
+        #: array root -> line of the first statement exporting a view of it.
+        exported: dict = {}
+        for statement in ast.walk(func):
+            if isinstance(statement, ast.Call):
+                self._check_copy_call(file, func, statement, findings)
+            if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr)):
+                self._track_exports(statement, exported)
+        for statement in ast.walk(func):
+            if isinstance(statement, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._check_aliased_store(file, statement, exported, findings)
+
+    def _check_copy_call(self, file: SourceFile, func, node: ast.Call, findings) -> None:
+        callee = call_name(node)
+        if isinstance(node.func, ast.Name):
+            if callee in COPY_CALLS and node.args:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"{callee}() copies a buffer inside hot path "
+                        f"{func.name}(); pass the memoryview through instead",
+                    )
+                )
+            elif callee == "deepcopy" and node.args:
+                findings.append(
+                    self.finding(
+                        file, node, f"deepcopy() inside hot path {func.name}()"
+                    )
+                )
+        elif isinstance(node.func, ast.Attribute):
+            receiver = dotted_source(node.func.value)
+            if callee in COPY_METHODS:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"{receiver or '<expr>'}.{callee}() copies a buffer "
+                        f"inside hot path {func.name}()",
+                    )
+                )
+            elif callee in {"array", "copy"} and receiver in {"np", "numpy"}:
+                if callee == "copy" or _np_array_copies(node):
+                    findings.append(
+                        self.finding(
+                            file,
+                            node,
+                            f"{receiver}.{callee}() allocates a copy inside "
+                            f"hot path {func.name}()",
+                        )
+                    )
+
+    @staticmethod
+    def _track_exports(statement, exported: dict) -> None:
+        """Record backing arrays whose memoryviews escape this statement."""
+        value = getattr(statement, "value", None)
+        if value is None:
+            return
+        for node in ast.walk(value):
+            if isinstance(node, ast.Attribute) and node.attr == "data":
+                root = _array_root(node.value)
+                if root:
+                    line = getattr(statement, "lineno", 0)
+                    exported[root] = min(exported.get(root, line), line)
+
+    def _check_aliased_store(self, file: SourceFile, statement, exported: dict, findings) -> None:
+        targets = (
+            statement.targets
+            if isinstance(statement, ast.Assign)
+            else [statement.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            root = _array_root(target.value)
+            if root in exported and getattr(statement, "lineno", 0) > exported[root]:
+                findings.append(
+                    self.finding(
+                        file,
+                        statement,
+                        f"write to array {root!r} after exporting memoryview "
+                        f"rows of it; live SealedChunk views would be corrupted",
+                    )
+                )
+
+
+def _array_root(node: ast.AST) -> str:
+    """The base name of an array expression, through reshape/view calls.
+
+    ``arr`` -> 'arr'; ``arr.reshape(-1)`` -> 'arr'; ``self.buf.reshape(-1)``
+    -> 'self.buf'.  Unrelated expressions yield ''.
+    """
+    while True:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in {"reshape", "view", "ravel"}:
+                node = node.func.value
+                continue
+            return ""
+        break
+    return dotted_source(node)
+
+
+def _np_array_copies(node: ast.Call) -> bool:
+    """True unless ``np.array(..., copy=False)`` was spelled out."""
+    for keyword in node.keywords:
+        if keyword.arg == "copy":
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            )
+    return True

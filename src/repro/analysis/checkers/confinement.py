@@ -1,0 +1,158 @@
+"""Thread-confinement checker: executor code must not touch loop state.
+
+The serving stack splits every job into a loop-side phase (placement,
+queueing, scheduler bookkeeping -- ``@loop_owned`` methods of
+``ShieldCloudService`` / ``FleetScheduler`` / ``AsyncShieldFrontend``) and an
+executor-side phase (the blocking job body -- ``@executor_side`` functions
+such as ``execute_placed``).  The invariant is that the executor phase never
+calls back into loop-owned methods and never mutates scheduler state: doing
+so races the event loop's single-threaded view of queues and board
+occupancy.
+
+Both registries are collected syntactically from decorators, so the checker
+works on fixture files that never import the real service.  Within an
+``@executor_side`` function (and its nested defs) it flags:
+
+* calls to any collected ``@loop_owned`` method name,
+* calls routed through a scheduler attribute (``self.scheduler.evict(...)``),
+* attribute stores whose target path mentions the scheduler or its private
+  state (``_queue``, ``_free_boards``, ...),
+* one-hop ``self._helper()`` calls where ``_helper`` on the same class is
+  itself flagged (the classic "hide the evict behind a private method"
+  laundering).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    Checker,
+    Project,
+    SourceFile,
+    call_name,
+    decorator_names,
+    dotted_source,
+)
+
+#: Scheduler-private attribute names executor-side code must not store to.
+SCHEDULER_STATE = frozenset(
+    {
+        "_queue",
+        "_free_boards",
+        "_submit_ts",
+        "_futures",
+        "_inflight",
+        "_terminal_jobs",
+    }
+)
+
+
+class LoopConfinementChecker(Checker):
+    id = "loop-confinement"
+
+    def __init__(self):
+        #: Bare method names decorated @loop_owned anywhere in the project.
+        self._loop_owned: set = set()
+        #: Qualnames of @executor_side functions.
+        self._executor_side: set = set()
+
+    # -- phase 1 ------------------------------------------------------------------
+
+    def collect(self, file: SourceFile, project: Project) -> None:
+        for node in file.functions():
+            for name, _ in decorator_names(node):
+                if name == "loop_owned":
+                    self._loop_owned.add(node.name)
+                elif name == "executor_side":
+                    self._executor_side.add(file.qualname(node))
+
+    # -- phase 2 ------------------------------------------------------------------
+
+    def check(self, file: SourceFile, project: Project):
+        findings = []
+        for node in file.functions():
+            if file.qualname(node) not in self._executor_side:
+                continue
+            # First sweep: find this function's directly-offending helper
+            # calls, plus which same-class helpers it invokes one hop away.
+            helper_calls = self._check_body(file, node, findings)
+            self._check_helpers(file, node, helper_calls, findings)
+        return findings
+
+    def _check_body(self, file: SourceFile, func, findings) -> dict:
+        """Flag direct violations inside ``func``; return ``{helper: call_node}``."""
+        helper_calls: dict = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                callee = call_name(node)
+                receiver = (
+                    dotted_source(node.func.value)
+                    if isinstance(node.func, ast.Attribute)
+                    else ""
+                )
+                if callee in self._loop_owned:
+                    findings.append(
+                        self.finding(
+                            file,
+                            node,
+                            f"executor-side code calls loop-owned method "
+                            f".{callee}(); route through the event loop instead",
+                        )
+                    )
+                elif ".scheduler" in f".{receiver}" or receiver == "scheduler":
+                    findings.append(
+                        self.finding(
+                            file,
+                            node,
+                            f"executor-side code calls scheduler method "
+                            f"{receiver}.{callee}(); scheduler state is loop-owned",
+                        )
+                    )
+                elif receiver == "self" and callee.startswith("_"):
+                    helper_calls.setdefault(callee, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    path = dotted_source(target)
+                    if "scheduler" in path.split(".") or target.attr in SCHEDULER_STATE:
+                        findings.append(
+                            self.finding(
+                                file,
+                                node,
+                                f"executor-side code mutates loop-owned state "
+                                f"{path}; only the event loop may write it",
+                            )
+                        )
+        return helper_calls
+
+    def _check_helpers(self, file: SourceFile, func, helper_calls: dict, findings) -> None:
+        """One-hop laundering: ``self._helper()`` where ``_helper`` offends."""
+        if not helper_calls:
+            return
+        scope = file.scope_of(func)  # the enclosing class qualname, if any
+        if not scope:
+            return
+        for other in file.functions():
+            if file.scope_of(other) != scope or other.name not in helper_calls:
+                continue
+            if file.qualname(other) in self._executor_side:
+                continue  # judged on its own
+            probe: list = []
+            self._check_body(file, other, probe)
+            if probe:
+                call_node = helper_calls[other.name]
+                findings.append(
+                    self.finding(
+                        file,
+                        call_node,
+                        f"executor-side code calls self.{other.name}(), which "
+                        f"touches loop-owned scheduler state",
+                    )
+                )

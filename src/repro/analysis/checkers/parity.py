@@ -1,0 +1,101 @@
+"""Fast/scalar parity checker: every batched entry point needs a reference.
+
+The batched datapath (``*_many`` / ``*_array`` functions) exists purely for
+throughput; its contract is bit-for-bit agreement with the scalar
+implementation it replaces.  That contract is only real if (a) the scalar
+twin is named, and (b) a conformance test actually exercises the fast path.
+
+For every *public* ``*_many`` / ``*_array`` def this checker requires:
+
+* a ``@scalar_reference("<target>")`` decorator,
+* the target to resolve -- a bare name must be defined in the same
+  module/class scope, a dotted ``pkg.mod:name`` anywhere in the project,
+* the fast path's own name to appear in the test corpus (when the runner was
+  given a ``--tests-dir``).
+
+Files under ``repro/analysis`` itself are exempt (the registry is not a
+datapath), as are private (``_``-prefixed) helpers -- the public entry point
+that wraps them carries the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Checker, Project, SourceFile, decorator_names
+
+FAST_SUFFIXES = ("_many", "_array")
+
+
+def _is_fast_name(name: str) -> bool:
+    return name.endswith(FAST_SUFFIXES) and not name.startswith("_")
+
+
+class FastScalarParityChecker(Checker):
+    id = "fast-parity"
+
+    # -- phase 2 only (the decorator itself is read per-file) ----------------------
+
+    def check(self, file: SourceFile, project: Project):
+        if "repro/analysis" in file.path.replace("\\", "/"):
+            return []
+        findings = []
+        for node in file.functions():
+            if not _is_fast_name(node.name):
+                continue
+            target = self._reference_target(node)
+            if target is None:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"fast path {node.name}() has no @scalar_reference; "
+                        f"register its scalar twin",
+                    )
+                )
+                continue
+            if not self._resolves(target, file, node, project):
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"scalar reference {target!r} for {node.name}() does "
+                        f"not resolve to a known definition",
+                    )
+                )
+            if project.tests_text and node.name not in project.tests_text:
+                findings.append(
+                    self.finding(
+                        file,
+                        node,
+                        f"fast path {node.name}() is not exercised by any "
+                        f"test; add a conformance test against {target!r}",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _reference_target(node):
+        for name, call in decorator_names(node):
+            if name == "scalar_reference" and call is not None and call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    return arg.value
+        return None
+
+    @staticmethod
+    def _resolves(target: str, file: SourceFile, node, project: Project) -> bool:
+        if ":" in target:
+            module, _, name = target.partition(":")
+            return project.defines(module, name)
+        # Bare name: same class scope first, then same module (top level or
+        # any class in the file).
+        scope = file.scope_of(node)
+        if scope and project.defines(file.module, f"{scope}.{target}"):
+            return True
+        if project.defines(file.module, target):
+            return True
+        return any(
+            qualname.rsplit(".", 1)[-1] == target
+            for qualname in project.defs.get(file.module, ())
+        )

@@ -1,0 +1,319 @@
+"""Secret-hygiene taint pass: key material must never reach text surfaces.
+
+The paper's isolation guarantee is only as strong as the observability
+surface: a Data Encryption Key that reaches a log line, a span attribute, a
+metrics label, an exception message, or a ``repr`` has escaped the Shield
+boundary just as surely as plaintext DMA'd through the host.
+
+Taint seeds (per function, intra-procedural):
+
+* calls to ``@secret``-annotated sources (collected syntactically from the
+  whole project -- ``derive_subkey``, ``hkdf*``, ``region_key``,
+  ``data_key``, ...),
+* attribute reads of secret fields (``.material``, ``.scalar``,
+  ``.private_exponent``),
+* parameters with secret-bearing names (``plaintext``, ``master_key``, ...).
+
+Taint propagates through assignment, slicing, concatenation,
+``bytes``/``bytearray``/``memoryview`` wrapping, and ordinary calls; it is
+*declassified* by encryption/sealing/wrapping/MAC/hash operations (their
+output is ciphertext or a public digest) and by size/type queries.
+
+Sinks: logging/print calls, tracer ``record_span``/``mark``/``security``
+attributes, metrics label kwargs, ``raise`` messages, f-strings and
+stringifiers.  A separate structural rule flags dataclasses whose
+auto-generated ``__repr__`` would print a secret-named field.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Checker, Project, SourceFile, call_name, decorator_names
+
+#: Attribute names whose read is secret material.
+SECRET_ATTRS = frozenset({"material", "scalar", "private_exponent"})
+
+#: Parameter names treated as secret-bearing at function entry.
+SECRET_PARAMS = frozenset(
+    {
+        "plaintext",
+        "plaintexts",
+        "plaintext_array",
+        "data_encryption_key",
+        "input_key_material",
+        "key_material",
+        "master_key",
+        "pseudo_random_key",
+        "session_key",
+        "secret",
+    }
+)
+
+#: Dataclass fields an auto-generated __repr__ must not print.
+SECRET_FIELDS = frozenset(
+    {
+        "material",
+        "scalar",
+        "private_exponent",
+        "private_key",
+        "shield_private_key",
+        "data_encryption_key",
+        "session_key",
+        "data_owner",
+    }
+)
+
+#: Calls whose result is public however secret the inputs (ciphertext,
+#: digests, sizes).  Matched on the bare callee name.
+DECLASSIFIER_NAMES = frozenset(
+    {
+        "len",
+        "bool",
+        "int",
+        "float",
+        "type",
+        "id",
+        "isinstance",
+        "range",
+        "sha256",
+        "hmac_sha256",
+        "compute_mac",
+        "fingerprint",
+        "constant_time_equal",
+        "public_key",
+    }
+)
+DECLASSIFIER_PREFIXES = (
+    "encrypt",
+    "seal",
+    "wrap",
+    "tag",
+    "verify",
+    "ctr_transform",
+    "rsa_encrypt",
+    "sign",
+    "measure",
+)
+
+LOG_METHODS = frozenset({"debug", "info", "warning", "error", "exception", "critical", "log"})
+TRACER_METHODS = frozenset({"record_span", "mark", "security"})
+METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+STRINGIFIERS = frozenset({"str", "repr", "format", "ascii", "hex"})
+
+
+def _declassifies(name: str) -> bool:
+    return name in DECLASSIFIER_NAMES or name.startswith(DECLASSIFIER_PREFIXES)
+
+
+class SecretFlowChecker(Checker):
+    id = "secret-flow"
+
+    def __init__(self):
+        #: Bare names of @secret sources, collected project-wide.
+        self._sources: set = set()
+
+    # -- phase 1 ------------------------------------------------------------------
+
+    def collect(self, file: SourceFile, project: Project) -> None:
+        for node in file.functions():
+            for name, _ in decorator_names(node):
+                if name == "secret":
+                    self._sources.add(node.name)
+
+    # -- taint evaluation ---------------------------------------------------------
+
+    def _tainted(self, node: ast.AST, names: set) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Attribute):
+            return node.attr in SECRET_ATTRS or self._tainted(node.value, names)
+        if isinstance(node, ast.Call):
+            callee = call_name(node)
+            if _declassifies(callee):
+                return False
+            if callee in self._sources:
+                return True
+            children = list(node.args) + [kw.value for kw in node.keywords]
+            if isinstance(node.func, ast.Attribute):
+                children.append(node.func.value)
+            return any(self._tainted(child, names) for child in children)
+        if isinstance(node, ast.Compare):
+            return False  # comparisons yield booleans
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return False
+        return any(
+            self._tainted(child, names) for child in ast.iter_child_nodes(node)
+        )
+
+    # -- phase 2 ------------------------------------------------------------------
+
+    def check(self, file: SourceFile, project: Project):
+        findings = {}
+
+        def emit(node, message):
+            finding = self.finding(file, node, message)
+            findings[(finding.line, finding.col, finding.message)] = finding
+
+        for node in file.functions():
+            self._check_function(file, node, emit)
+        for node in file.classes():
+            self._check_dataclass_repr(node, emit)
+        return list(findings.values())
+
+    def _check_function(self, file: SourceFile, func, emit) -> None:
+        args = func.args
+        params = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ]
+        tainted = {arg.arg for arg in params if arg.arg in SECRET_PARAMS}
+        for statement in func.body:
+            self._walk_statement(statement, tainted, emit, func.name)
+
+    def _walk_statement(self, statement, tainted: set, emit, func_name: str) -> None:
+        self._find_sinks(statement, tainted, emit, func_name)
+        if isinstance(statement, ast.Assign):
+            value_tainted = self._tainted(statement.value, tainted)
+            for target in statement.targets:
+                self._assign(target, value_tainted, tainted)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            self._assign(
+                statement.target, self._tainted(statement.value, tainted), tainted
+            )
+        elif isinstance(statement, ast.AugAssign):
+            if self._tainted(statement.value, tainted):
+                self._assign(statement.target, True, tainted)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            if self._tainted(statement.iter, tainted):
+                self._assign(statement.target, True, tainted)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                if item.optional_vars is not None and self._tainted(
+                    item.context_expr, tainted
+                ):
+                    self._assign(item.optional_vars, True, tainted)
+        for body in _nested_bodies(statement):
+            for child in body:
+                self._walk_statement(child, tainted, emit, func_name)
+
+    @staticmethod
+    def _assign(target, value_tainted: bool, tainted: set) -> None:
+        if isinstance(target, ast.Name):
+            if value_tainted:
+                tainted.add(target.id)
+            else:
+                tainted.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                SecretFlowChecker._assign(element, value_tainted, tainted)
+        # Attribute/subscript stores are out of scope for the intra-procedural pass.
+
+    def _find_sinks(self, statement, tainted: set, emit, func_name: str) -> None:
+        nested = set()
+        for body in _nested_bodies(statement):
+            for child in body:
+                nested.add(child)
+                nested.update(ast.walk(child))
+        if isinstance(statement, ast.Raise) and statement.exc is not None:
+            exc = statement.exc
+            exc_args = exc.args + [kw.value for kw in exc.keywords] if isinstance(exc, ast.Call) else [exc]
+            for arg in exc_args:
+                if self._tainted(arg, tainted):
+                    emit(statement, f"secret-derived value reaches exception message in {func_name}()")
+                    break
+        for node in ast.walk(statement):
+            if node in nested:
+                continue
+            if isinstance(node, ast.JoinedStr):
+                for value in node.values:
+                    if isinstance(value, ast.FormattedValue) and self._tainted(
+                        value.value, tainted
+                    ):
+                        emit(node, f"secret-derived value formatted into an f-string in {func_name}()")
+                        break
+            elif isinstance(node, ast.Call):
+                self._check_call_sink(node, tainted, emit, func_name)
+
+    def _check_call_sink(self, node: ast.Call, tainted: set, emit, func_name: str) -> None:
+        callee = call_name(node)
+        arg_values = list(node.args) + [kw.value for kw in node.keywords]
+        any_tainted = any(self._tainted(value, tainted) for value in arg_values)
+        if callee in LOG_METHODS and isinstance(node.func, ast.Attribute):
+            if any_tainted:
+                emit(node, f"secret-derived value reaches logging call .{callee}() in {func_name}()")
+        elif callee == "print" and any_tainted:
+            emit(node, f"secret-derived value reaches print() in {func_name}()")
+        elif callee in TRACER_METHODS and isinstance(node.func, ast.Attribute):
+            if any_tainted:
+                emit(node, f"secret-derived value reaches tracer .{callee}() attributes in {func_name}()")
+        elif callee in METRIC_METHODS and isinstance(node.func, ast.Attribute):
+            if any(self._tainted(kw.value, tainted) for kw in node.keywords):
+                emit(node, f"secret-derived value used as a metrics label in .{callee}() in {func_name}()")
+        elif callee in STRINGIFIERS and any_tainted:
+            emit(node, f"secret-derived value stringified via {callee}() in {func_name}()")
+        elif callee == "hex" or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "hex"
+        ):
+            if isinstance(node.func, ast.Attribute) and self._tainted(node.func.value, tainted):
+                emit(node, f"secret-derived value stringified via .hex() in {func_name}()")
+
+    # -- structural rule: dataclass auto-repr -------------------------------------
+
+    def _check_dataclass_repr(self, node: ast.ClassDef, emit) -> None:
+        dataclass_call = None
+        is_dataclass = False
+        for name, call in decorator_names(node):
+            if name == "dataclass":
+                is_dataclass = True
+                dataclass_call = call
+        if not is_dataclass:
+            return
+        if dataclass_call is not None and _keyword_is_false(dataclass_call, "repr"):
+            return
+        for member in node.body:
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if member.name == "__repr__":
+                    return
+        for member in node.body:
+            if not isinstance(member, ast.AnnAssign) or not isinstance(
+                member.target, ast.Name
+            ):
+                continue
+            field_name = member.target.id
+            if field_name not in SECRET_FIELDS:
+                continue
+            if _field_repr_disabled(member.value):
+                continue
+            emit(
+                member,
+                f"dataclass {node.name} auto-generates a __repr__ that prints "
+                f"secret field {field_name!r}; add repr=False or a custom __repr__",
+            )
+
+
+def _nested_bodies(statement) -> list:
+    bodies = []
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(statement, attr, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            bodies.append(block)
+    for handler in getattr(statement, "handlers", ()):
+        bodies.append(handler.body)
+    return bodies
+
+
+def _keyword_is_false(call: ast.Call, name: str) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+def _field_repr_disabled(value) -> bool:
+    return (
+        isinstance(value, ast.Call)
+        and call_name(value) == "field"
+        and _keyword_is_false(value, "repr")
+    )

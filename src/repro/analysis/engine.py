@@ -1,0 +1,244 @@
+"""The lint engine: source model, checker protocol, suppression, and runner.
+
+The engine is deliberately small: it parses every target file once, gives
+each checker a *collect* pass over the whole project (so cross-file facts
+like "which methods are ``@loop_owned``" exist before any file is judged),
+then a *check* pass that yields :class:`~repro.analysis.findings.Finding`
+objects.  Checkers never import the code they scan -- all project knowledge
+is syntactic, which is what lets the fixture tests feed them purpose-built
+bad files.
+
+Suppression: a trailing ``# lint: allow[checker-id]`` comment on the finding
+line accepts that line's findings for the named checker(s)
+(comma-separated, ``*`` for all).  Accepted-but-unfixed findings belong in
+the baseline file instead (:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.findings import Finding
+
+SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]+)\]")
+
+#: Attribute names the AST prepass hangs scope information on.
+_SCOPE_ATTR = "_lint_scope"
+_QUALNAME_ATTR = "_lint_qualname"
+
+
+class SourceFile:
+    """One parsed source file plus the lint-side view of it."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.tree = ast.parse(text, filename=path)
+        self.lines = text.splitlines()
+        self.module = _module_name(path)
+        #: line number -> set of checker ids allowed on that line.
+        self.suppressions: dict = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = SUPPRESS_RE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                self.suppressions.setdefault(lineno, set()).update(ids)
+        _annotate_scopes(self.tree)
+
+    def suppressed(self, checker_id: str, line: int) -> bool:
+        allowed = self.suppressions.get(line, ())
+        return checker_id in allowed or "*" in allowed
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Qualname of the function/class enclosing ``node`` ('' at top level)."""
+        return getattr(node, _SCOPE_ATTR, "")
+
+    def qualname(self, node: ast.AST) -> str:
+        """Qualname of a def/class node itself."""
+        return getattr(node, _QUALNAME_ATTR, getattr(node, "name", ""))
+
+    def functions(self) -> Iterator[ast.AST]:
+        """Every (sync or async) function definition in the file."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+class Project:
+    """Everything the checkers may know: parsed files plus the test corpus."""
+
+    def __init__(self, files: list, tests_text: str = ""):
+        self.files = files
+        #: module name -> set of def/class qualnames defined there.
+        self.defs: dict = {}
+        for file in files:
+            names = self.defs.setdefault(self.module_key(file), set())
+            for node in ast.walk(file.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    names.add(file.qualname(node))
+        #: Concatenated text of the test corpus ('' when none was given) --
+        #: the parity checker greps it for fast-path entry-point names.
+        self.tests_text = tests_text
+
+    @staticmethod
+    def module_key(file: SourceFile) -> str:
+        return file.module
+
+    def defines(self, module: str, qualname: str) -> bool:
+        return qualname in self.defs.get(module, ())
+
+
+class Checker:
+    """Base checker: a two-phase visitor over the project."""
+
+    id = "checker"
+
+    def collect(self, file: SourceFile, project: Project) -> None:
+        """Phase 1: gather cross-file facts (annotations, registries)."""
+
+    def check(self, file: SourceFile, project: Project) -> Iterable[Finding]:
+        """Phase 2: judge one file; yield findings."""
+        return ()
+
+    def finding(
+        self, file: SourceFile, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            checker=self.id,
+            path=file.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            symbol=file.scope_of(node),
+        )
+
+
+def decorator_names(node) -> list:
+    """The decorators of a def/class as ``(name, call_node_or_None)`` pairs.
+
+    ``@secret`` yields ``("secret", None)``; ``@scalar_reference("x")``
+    yields ``("scalar_reference", <Call>)``; dotted decorators use their
+    final attribute name.
+    """
+    names = []
+    for decorator in getattr(node, "decorator_list", ()):
+        target, call = decorator, None
+        if isinstance(target, ast.Call):
+            call = target
+            target = target.func
+        if isinstance(target, ast.Attribute):
+            names.append((target.attr, call))
+        elif isinstance(target, ast.Name):
+            names.append((target.id, call))
+    return names
+
+
+def call_name(node: ast.Call) -> str:
+    """The bare callee name of a call (attribute calls use the final attr)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_source(node: ast.AST) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain ('' otherwise)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _annotate_scopes(tree: ast.AST) -> None:
+    """One prepass stamping every node with its enclosing def/class qualname."""
+
+    def visit(node: ast.AST, scope: str) -> None:
+        is_scope = isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+        if is_scope:
+            qualname = f"{scope}.{node.name}" if scope else node.name
+            setattr(node, _QUALNAME_ATTR, qualname)
+            setattr(node, _SCOPE_ATTR, scope)
+            scope = qualname
+        else:
+            setattr(node, _SCOPE_ATTR, scope)
+        for child in ast.iter_child_nodes(node):
+            visit(child, scope)
+
+    visit(tree, "")
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name for fingerprints ('repro.core.sealing' style).
+
+    Files outside a ``repro`` package root (fixtures) use their stem, so
+    fixture findings are stable however the test suite is laid out.
+    """
+    parts = Path(path).with_suffix("").parts
+    if "repro" in parts:
+        return ".".join(parts[parts.index("repro"):])
+    return parts[-1]
+
+
+def iter_source_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, de-duplicated list of .py files."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate.suffix == ".py" and candidate not in seen:
+                seen.add(candidate)
+                yield str(candidate)
+
+
+def load_project(paths: Iterable[str], tests_dir: Optional[str] = None) -> Project:
+    """Parse every target file (and slurp the test corpus) into a Project.
+
+    Unparseable files raise: the lint pass runs on code the test suite
+    already imports, so a syntax error is a real failure, not a lint finding.
+    """
+    files = [
+        SourceFile(path, Path(path).read_text(encoding="utf-8"))
+        for path in iter_source_files(paths)
+    ]
+    tests_text = ""
+    if tests_dir is not None and Path(tests_dir).is_dir():
+        tests_text = "\n".join(
+            Path(path).read_text(encoding="utf-8")
+            for path in iter_source_files([tests_dir])
+        )
+    return Project(files, tests_text)
+
+
+def run_checkers(project: Project, checkers: list) -> list:
+    """Two-phase run; returns non-suppressed findings sorted by location."""
+    for checker in checkers:
+        for file in project.files:
+            checker.collect(file, project)
+    findings = []
+    for checker in checkers:
+        for file in project.files:
+            for finding in checker.check(file, project):
+                if not file.suppressed(finding.checker, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.checker))
+    return findings

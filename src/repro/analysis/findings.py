@@ -1,0 +1,60 @@
+"""The per-file finding model shared by every checker and reporter."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at one source location.
+
+    ``symbol`` is the enclosing function/class qualname (empty at module
+    level); it feeds the baseline fingerprint so accepted findings survive
+    unrelated line-number churn.
+    """
+
+    checker: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    #: True when a baseline entry accepted this finding (reported, not fatal).
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number independent)."""
+        key = "\x1f".join((self.checker, _normalize_path(self.path), self.symbol, self.message))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "path": _normalize_path(self.path),
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        tag = " [baselined]" if self.baselined else ""
+        return f"{where}: {self.checker}: {self.message}{tag}"
+
+
+def _normalize_path(path: str) -> str:
+    """Forward-slash path anchored at the repo tree so fingerprints match
+    whether the tool was invoked with relative or absolute paths."""
+    path = path.replace("\\", "/")
+    for anchor in ("src/repro/", "tests/"):
+        index = path.find(anchor)
+        if index > 0:
+            path = path[index:]
+            break
+    return path.lstrip("./")

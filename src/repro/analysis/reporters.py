@@ -1,0 +1,35 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: List[Finding], files_scanned: int) -> str:
+    """grep-able ``path:line:col: checker: message`` lines plus a summary."""
+    lines = [finding.render() for finding in findings]
+    fresh = sum(1 for f in findings if not f.baselined)
+    baselined = len(findings) - fresh
+    summary = (
+        f"{files_scanned} file(s) scanned: "
+        f"{fresh} finding(s), {baselined} baselined"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_scanned: int) -> str:
+    """Stable JSON document (the CI lint job uploads this as an artifact)."""
+    payload = {
+        "files_scanned": files_scanned,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": {
+            "total": len(findings),
+            "fresh": sum(1 for f in findings if not f.baselined),
+            "baselined": sum(1 for f in findings if f.baselined),
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,170 @@
+"""The runtime half of the invariant tooling (armed by ``REPRO_SANITIZE=1``).
+
+Static analysis catches what it can see; the sanitizer catches what it
+cannot.  With ``REPRO_SANITIZE=1`` in the environment (or after
+:func:`enable`):
+
+* :func:`freeze` flips a shared backing array to ``writeable=False`` before
+  its memoryview rows escape (the zero-copy seal/unseal buffers), so any
+  later write through a live :class:`~repro.core.sealing.SealedChunk` row's
+  backing storage raises immediately instead of silently corrupting
+  ciphertext another consumer is still reading.
+* :func:`assert_owner` (used by the ``@loop_owned`` decorator) binds each
+  guarded object to the first thread that touches it and raises
+  :class:`SanitizerError` when any *other* thread calls a loop-owned method
+  -- the executable form of PR 7's "the event loop owns all scheduler state".
+* :func:`note_copy` + :func:`counting_copies` expose a copy counter that the
+  batched datapath's known fallback-copy sites report into, so a hot-path
+  test can assert that a fast-path operation allocated nothing.
+
+Everything here is stdlib-only and free when disabled: the product-code call
+sites guard on :func:`enabled`, which is a plain module-global read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SanitizerError",
+    "assert_owner",
+    "counting_copies",
+    "disable",
+    "enable",
+    "enabled",
+    "freeze",
+    "note_copy",
+    "release_owner",
+]
+
+
+class SanitizerError(AssertionError):
+    """An invariant the sanitizer polices was violated at runtime."""
+
+
+_enabled = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def enabled() -> bool:
+    """Whether sanitizer checks are armed (``REPRO_SANITIZE=1`` or :func:`enable`)."""
+    return _enabled
+
+
+def enable() -> None:
+    """Arm the sanitizer for this process (tests use this instead of the env var)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+# -- zero-copy aliasing ------------------------------------------------------------
+
+
+def freeze(array) -> None:
+    """Make a shared backing array read-only while memoryview rows are live.
+
+    ``array`` is any object with numpy's ``flags.writeable`` protocol; taking
+    it duck-typed keeps this module numpy-free.  No-op when the sanitizer is
+    disabled, so the fast path's buffers stay writable for legitimate reuse
+    patterns outside sanitize mode.
+    """
+    if _enabled:
+        array.flags.writeable = False
+
+
+# -- thread confinement ------------------------------------------------------------
+
+#: Attribute slot used to bind a guarded object to its owning thread.
+_OWNER_ATTR = "_sanitizer_owner_ident"
+
+
+def assert_owner(obj, method_name: str) -> None:
+    """Bind ``obj`` to the calling thread on first use; fail on any other thread.
+
+    Lazy binding matches both drive modes: the synchronous drain binds the
+    main thread, the async front-end binds the event-loop thread at the first
+    submit -- and an executor worker touching a loop-owned method afterwards
+    raises :class:`SanitizerError` naming the method and both threads.
+    """
+    if not _enabled:
+        return
+    ident = threading.get_ident()
+    owner = getattr(obj, _OWNER_ATTR, None)
+    if owner is None:
+        try:
+            setattr(obj, _OWNER_ATTR, ident)
+        except AttributeError:  # frozen/slotted objects cannot be bound
+            pass
+        return
+    if owner != ident:
+        raise SanitizerError(
+            f"{type(obj).__name__}.{method_name} is owned by thread {owner} "
+            f"but was called from thread {ident} "
+            f"({threading.current_thread().name!r}); scheduler state must "
+            "only be touched from the event loop"
+        )
+
+
+def release_owner(obj) -> None:
+    """Unbind a guarded object (tests that legitimately hand an object over)."""
+    if hasattr(obj, _OWNER_ATTR):
+        delattr(obj, _OWNER_ATTR)
+
+
+# -- copy counting -----------------------------------------------------------------
+
+
+@dataclass
+class CopyCounter:
+    """Copies the datapath reported while a :func:`counting_copies` scope was open."""
+
+    copies: int = 0
+    bytes: int = 0
+    sites: dict = field(default_factory=dict)
+
+    def record(self, site: str, nbytes: int) -> None:
+        self.copies += 1
+        self.bytes += nbytes
+        self.sites[site] = self.sites.get(site, 0) + 1
+
+
+_counter_stack: list = []
+_counter_lock = threading.Lock()
+
+
+def note_copy(site: str, nbytes: int) -> None:
+    """Report one fallback copy of ``nbytes`` at ``site``.
+
+    Called by the batched datapath wherever it materializes ``bytes`` from a
+    shared buffer (the scalar fallbacks).  Free when no counter is open.
+    """
+    if not _counter_stack:
+        return
+    with _counter_lock:
+        for counter in _counter_stack:
+            counter.record(site, nbytes)
+
+
+@contextmanager
+def counting_copies():
+    """Collect every :func:`note_copy` within the scope into a :class:`CopyCounter`.
+
+    Hot-path tests run a fast-path batch inside the scope and assert
+    ``counter.copies == 0``; scalar-fallback tests assert the copies (and
+    their sites) were recorded.  Nested scopes each see all copies.
+    """
+    counter = CopyCounter()
+    with _counter_lock:
+        _counter_stack.append(counter)
+    try:
+        yield counter
+    finally:
+        with _counter_lock:
+            _counter_stack.remove(counter)

@@ -1,0 +1,40 @@
+"""Known-bad fixture for the hot-copy checker (never imported)."""
+
+import numpy as np
+
+
+def hot_path(func):
+    return func
+
+
+@hot_path
+def copies_rows(rows):
+    return [bytes(row) for row in rows]  # BAD line 12: bytes() copy
+
+
+@hot_path
+def copies_array(array):
+    return array.copy()  # BAD line 17: .copy()
+
+
+@hot_path
+def materializes(array):
+    return array.tobytes()  # BAD line 22: .tobytes()
+
+
+@hot_path
+def np_array_copy(array):
+    return np.array(array)  # BAD line 27: np.array default-copies
+
+
+@hot_path
+def writes_after_export(array, chunk_size):
+    flat = array.reshape(-1).data
+    views = [flat[i : i + chunk_size] for i in range(0, len(flat), chunk_size)]
+    array[0] = 0  # BAD line 34: store after export
+    return views
+
+
+@hot_path
+def suppressed_fallback(rows):
+    return [bytes(row) for row in rows]  # lint: allow[hot-copy]

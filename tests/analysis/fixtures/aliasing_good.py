@@ -1,0 +1,27 @@
+"""Known-good fixture for the hot-copy checker (never imported)."""
+
+import numpy as np
+
+
+def hot_path(func):
+    return func
+
+
+@hot_path
+def exports_views(array, chunk_size):
+    flat = array.reshape(-1).data
+    return [flat[i : i + chunk_size] for i in range(0, len(flat), chunk_size)]
+
+
+@hot_path
+def fills_then_exports(n, chunk_size):
+    array = np.empty((n, chunk_size), dtype=np.uint8)
+    for row in range(n):
+        array[row] = row  # fine: no views exported yet
+    flat = array.reshape(-1).data
+    return [flat[i : i + chunk_size] for i in range(0, len(flat), chunk_size)]
+
+
+def cold_path_copies(rows):
+    # Not annotated @hot_path: copies are unconstrained here.
+    return [bytes(row) for row in rows]

@@ -1,0 +1,41 @@
+"""Known-bad fixture for the loop-confinement checker (never imported)."""
+
+
+def loop_owned(func):
+    return func
+
+
+def executor_side(func):
+    return func
+
+
+class Scheduler:
+    @loop_owned
+    def release(self, job):
+        pass
+
+    @loop_owned
+    def evict(self, board):
+        pass
+
+
+class Service:
+    def __init__(self):
+        self.scheduler = Scheduler()
+
+    @executor_side
+    def execute(self, job, slot):
+        self.scheduler.evict(slot)  # BAD line 28: loop-owned call
+        self._teardown(slot)  # BAD line 29: helper touches scheduler
+        self.scheduler._queue = []  # BAD line 30: scheduler state store
+
+    def _teardown(self, slot):
+        self.scheduler.release(slot)
+
+    @executor_side
+    def body_with_direct_store(self, job):
+        self._free_boards = []  # BAD line 37: loop-owned field store
+
+    @executor_side
+    def suppressed(self, slot):
+        self.scheduler.evict(slot)  # lint: allow[loop-confinement]

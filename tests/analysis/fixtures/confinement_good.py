@@ -1,0 +1,34 @@
+"""Known-good fixture for the loop-confinement checker (never imported)."""
+
+
+def loop_owned(func):
+    return func
+
+
+def executor_side(func):
+    return func
+
+
+class Scheduler:
+    @loop_owned
+    def release(self, job):
+        pass
+
+
+class Service:
+    def __init__(self):
+        self.scheduler = Scheduler()
+
+    @loop_owned
+    def finish(self, job):
+        # Loop-side code may touch the scheduler freely.
+        self.scheduler.release(job)
+
+    @executor_side
+    def execute(self, job, slot):
+        # Executor code touches only the job and its slot.
+        slot.shield = None
+        job.result = self._run(job)
+
+    def _run(self, job):
+        return job

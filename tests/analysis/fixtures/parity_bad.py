@@ -1,0 +1,21 @@
+"""Known-bad fixture for the fast-parity checker (never imported)."""
+
+
+def scalar_reference(target):
+    def register(func):
+        return func
+
+    return register
+
+
+def transform(data):
+    return data
+
+
+def transform_many(items):  # BAD line 14: no @scalar_reference
+    return [transform(item) for item in items]
+
+
+@scalar_reference("nonexistent_scalar")
+def hash_many(items):  # BAD line 19: reference does not resolve
+    return items

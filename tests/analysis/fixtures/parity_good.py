@@ -1,0 +1,22 @@
+"""Known-good fixture for the fast-parity checker (never imported)."""
+
+
+def scalar_reference(target):
+    def register(func):
+        return func
+
+    return register
+
+
+def transform(data):
+    return data
+
+
+@scalar_reference("transform")
+def transform_many(items):
+    return [transform(item) for item in items]
+
+
+def _private_helper_many(items):
+    # Private helpers carry no parity contract of their own.
+    return items

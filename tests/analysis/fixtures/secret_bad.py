@@ -1,0 +1,62 @@
+"""Known-bad fixture for the secret-flow checker (never imported)."""
+
+from dataclasses import dataclass
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def secret(func):
+    return func
+
+
+@secret
+def derive_key(seed: bytes) -> bytes:
+    return seed * 2
+
+
+def leaks_to_log():
+    key = derive_key(b"seed")
+    log.info("derived key %s", key)  # BAD line 21: log sink
+
+
+def leaks_via_fstring():
+    key = derive_key(b"seed")
+    banner = f"key={key}"  # BAD line 26: f-string sink
+    return banner
+
+
+def leaks_attribute(container):
+    material = container.material
+    raise ValueError(material)  # BAD line 31: exception sink
+
+
+def leaks_param(plaintext: bytes):
+    print(plaintext)  # BAD line 35: print sink
+
+
+def leaks_metrics_label(metrics):
+    key = derive_key(b"seed")
+    metrics.counter("ops", key=key)  # BAD line 40: metrics label sink
+
+
+def declassified_is_fine(plaintext: bytes):
+    log.info("sealing %d bytes", len(plaintext))  # OK: len() declassifies
+    sealed = encrypt_chunk(plaintext)
+    log.info("sealed %s", sealed)  # OK: ciphertext is public
+
+
+def encrypt_chunk(data: bytes) -> bytes:
+    return bytes(reversed(data))
+
+
+def suppressed_leak():
+    key = derive_key(b"seed")
+    log.info("key %s", key)  # lint: allow[secret-flow]
+
+
+@dataclass
+class BadKeyHolder:
+    material: bytes  # BAD line 60: auto-repr prints a secret field
+    label: str = ""

@@ -1,0 +1,49 @@
+"""Known-good fixture for the secret-flow checker (never imported)."""
+
+from dataclasses import dataclass, field
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def secret(func):
+    return func
+
+
+@secret
+def derive_key(seed: bytes) -> bytes:
+    return seed * 2
+
+
+def uses_key_quietly():
+    key = derive_key(b"seed")
+    ciphertext = encrypt_chunk(key)
+    log.info("sealed %d bytes", len(ciphertext))
+    return ciphertext
+
+
+def encrypt_chunk(data: bytes) -> bytes:
+    return bytes(reversed(data))
+
+
+def reassignment_clears_taint():
+    value = derive_key(b"seed")
+    value = b"public"
+    log.info("value %s", value)
+
+
+@dataclass
+class GoodKeyHolder:
+    material: bytes = field(repr=False)
+    label: str = ""
+
+
+@dataclass
+class CustomReprHolder:
+    material: bytes
+
+    def __repr__(self) -> str:
+        return f"CustomReprHolder(label={self.label!r})"
+
+    label: str = ""

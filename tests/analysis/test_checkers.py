@@ -1,0 +1,129 @@
+"""Checker tests over the known-good / known-bad fixture files.
+
+Each test loads a fixture *syntactically* (the fixtures are never imported)
+and asserts the exact finding locations, plus that the matching good fixture
+is silent and that ``# lint: allow[...]`` suppressions hold.
+"""
+
+from pathlib import Path
+
+from repro.analysis.checkers import default_checkers
+from repro.analysis.checkers.aliasing import HotCopyChecker
+from repro.analysis.checkers.confinement import LoopConfinementChecker
+from repro.analysis.checkers.parity import FastScalarParityChecker
+from repro.analysis.checkers.secret_hygiene import SecretFlowChecker
+from repro.analysis.engine import load_project, run_checkers
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def findings_for(fixture: str, checker_id: str | None = None):
+    project = load_project([str(FIXTURES / fixture)])
+    findings = run_checkers(project, default_checkers())
+    if checker_id is not None:
+        findings = [f for f in findings if f.checker == checker_id]
+    return findings
+
+
+class TestSecretFlowChecker:
+    def test_bad_fixture_locations(self):
+        findings = findings_for("secret_bad.py", SecretFlowChecker.id)
+        by_line = {f.line: f.message for f in findings}
+        assert "logging call .info() in leaks_to_log()" in by_line[21]
+        assert "f-string in leaks_via_fstring()" in by_line[26]
+        assert "exception message in leaks_attribute()" in by_line[32]
+        assert "print() in leaks_param()" in by_line[36]
+        assert "metrics label in .counter() in leaks_metrics_label()" in by_line[41]
+        assert "BadKeyHolder" in by_line[61]  # dataclass auto-repr
+        assert len(findings) == 6
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("secret_good.py", SecretFlowChecker.id) == []
+
+    def test_suppression_comment_holds(self):
+        # secret_bad.suppressed_leak carries `# lint: allow[secret-flow]`.
+        findings = findings_for("secret_bad.py", SecretFlowChecker.id)
+        assert not any("suppressed_leak" in f.message for f in findings)
+
+    def test_declassifiers_clear_taint(self):
+        findings = findings_for("secret_bad.py", SecretFlowChecker.id)
+        assert not any("declassified_is_fine" in f.message for f in findings)
+
+
+class TestLoopConfinementChecker:
+    def test_bad_fixture_locations(self):
+        findings = findings_for("confinement_bad.py", LoopConfinementChecker.id)
+        assert [f.line for f in findings] == [28, 29, 30, 37]
+        by_line = {f.line: f.message for f in findings}
+        assert "loop-owned method .evict()" in by_line[28]
+        assert "self._teardown()" in by_line[29]  # one-hop laundering
+        assert "self.scheduler._queue" in by_line[30]
+        assert "self._free_boards" in by_line[37]
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("confinement_good.py", LoopConfinementChecker.id) == []
+
+    def test_suppression_comment_holds(self):
+        findings = findings_for("confinement_bad.py", LoopConfinementChecker.id)
+        assert not any(f.line == 41 for f in findings)
+
+
+class TestHotCopyChecker:
+    def test_bad_fixture_locations(self):
+        findings = findings_for("aliasing_bad.py", HotCopyChecker.id)
+        assert [f.line for f in findings] == [12, 17, 22, 27, 34]
+        by_line = {f.line: f.message for f in findings}
+        assert "bytes()" in by_line[12]
+        assert ".copy()" in by_line[17]
+        assert ".tobytes()" in by_line[22]
+        assert "np.array()" in by_line[27]
+        assert "after exporting memoryview" in by_line[34]
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("aliasing_good.py", HotCopyChecker.id) == []
+
+    def test_fill_before_export_is_allowed(self):
+        # aliasing_good.fills_then_exports writes rows *before* exporting
+        # views; only writes after the export are aliasing bugs.
+        findings = findings_for("aliasing_good.py", HotCopyChecker.id)
+        assert findings == []
+
+    def test_suppression_comment_holds(self):
+        findings = findings_for("aliasing_bad.py", HotCopyChecker.id)
+        assert not any(f.line == 39 for f in findings)
+
+
+class TestFastScalarParityChecker:
+    def test_bad_fixture_locations(self):
+        findings = findings_for("parity_bad.py", FastScalarParityChecker.id)
+        assert [f.line for f in findings] == [15, 20]
+        assert "has no @scalar_reference" in findings[0].message
+        assert "does not resolve" in findings[1].message
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("parity_good.py", FastScalarParityChecker.id) == []
+
+    def test_tests_corpus_requirement(self):
+        # With a test corpus that never mentions transform_many, even a
+        # resolving reference is not enough.
+        project = load_project(
+            [str(FIXTURES / "parity_good.py")], tests_dir=None
+        )
+        project.tests_text = "def test_unrelated(): pass"
+        findings = [
+            f
+            for f in run_checkers(project, default_checkers())
+            if f.checker == FastScalarParityChecker.id
+        ]
+        assert len(findings) == 1
+        assert "not exercised by any test" in findings[0].message
+
+    def test_tests_corpus_mention_satisfies(self):
+        project = load_project([str(FIXTURES / "parity_good.py")])
+        project.tests_text = "result = transform_many([1, 2])"
+        findings = [
+            f
+            for f in run_checkers(project, default_checkers())
+            if f.checker == FastScalarParityChecker.id
+        ]
+        assert findings == []

@@ -1,0 +1,164 @@
+"""Engine, baseline, reporter, and CLI tests for repro.analysis."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.engine import SourceFile
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSourceFile:
+    def test_suppression_parsing(self):
+        file = SourceFile(
+            "x.py",
+            "a = 1  # lint: allow[secret-flow]\n"
+            "b = 2  # lint: allow[hot-copy, loop-confinement]\n"
+            "c = 3  # lint: allow[*]\n"
+            "d = 4\n",
+        )
+        assert file.suppressed("secret-flow", 1)
+        assert not file.suppressed("hot-copy", 1)
+        assert file.suppressed("hot-copy", 2)
+        assert file.suppressed("loop-confinement", 2)
+        assert file.suppressed("anything", 3)
+        assert not file.suppressed("secret-flow", 4)
+
+    def test_scope_qualnames(self):
+        file = SourceFile(
+            "x.py",
+            "class Outer:\n"
+            "    def method(self):\n"
+            "        pass\n"
+            "def top():\n"
+            "    pass\n",
+        )
+        names = {file.qualname(node) for node in file.functions()}
+        assert names == {"Outer.method", "top"}
+
+    def test_module_name_inside_repro(self):
+        file = SourceFile("src/repro/core/sealing.py", "x = 1\n")
+        assert file.module == "repro.core.sealing"
+
+    def test_module_name_for_fixture(self):
+        file = SourceFile(str(FIXTURES / "parity_good.py"), "x = 1\n")
+        assert file.module == "parity_good"
+
+
+class TestFindingModel:
+    def make(self, **overrides):
+        values = dict(
+            checker="secret-flow",
+            path="src/repro/x.py",
+            line=10,
+            col=5,
+            message="bad",
+            symbol="X.f",
+        )
+        values.update(overrides)
+        return Finding(**values)
+
+    def test_fingerprint_ignores_line_numbers(self):
+        assert self.make(line=10).fingerprint == self.make(line=99).fingerprint
+
+    def test_fingerprint_distinguishes_checker_and_symbol(self):
+        base = self.make().fingerprint
+        assert self.make(checker="hot-copy").fingerprint != base
+        assert self.make(symbol="Y.g").fingerprint != base
+
+    def test_render(self):
+        assert self.make().render() == "src/repro/x.py:10:5: secret-flow: bad"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = [
+            Finding("hot-copy", "a.py", 1, 1, "copy in hot path", "f"),
+            Finding("secret-flow", "b.py", 2, 1, "leak", "g"),
+        ]
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), findings)
+        accepted = load_baseline(str(path))
+        assert accepted == {f.fingerprint for f in findings}
+        marked = apply_baseline(findings, accepted)
+        assert all(f.baselined for f in marked)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == set()
+
+    def test_new_finding_not_baselined(self, tmp_path):
+        old = Finding("hot-copy", "a.py", 1, 1, "old", "f")
+        path = tmp_path / "baseline.json"
+        save_baseline(str(path), [old])
+        fresh = Finding("hot-copy", "a.py", 5, 1, "new message", "f")
+        marked = apply_baseline([fresh], load_baseline(str(path)))
+        assert not marked[0].baselined
+
+
+class TestReporters:
+    def test_json_report_shape(self):
+        finding = Finding("fast-parity", "a.py", 3, 1, "msg", "f")
+        payload = json.loads(render_json([finding], files_scanned=4))
+        assert payload["files_scanned"] == 4
+        assert payload["counts"] == {"total": 1, "fresh": 1, "baselined": 0}
+        assert payload["findings"][0]["checker"] == "fast-parity"
+        assert payload["findings"][0]["fingerprint"] == finding.fingerprint
+
+    def test_text_report_summary(self):
+        text = render_text([], files_scanned=2)
+        assert "2 file(s) scanned: 0 finding(s), 0 baselined" in text
+
+
+class TestCli:
+    def test_bad_fixture_fails(self, capsys):
+        code = analysis_main(
+            [str(FIXTURES / "secret_bad.py"), "--tests-dir", "none"]
+        )
+        assert code == 1
+        assert "secret-flow" in capsys.readouterr().out
+
+    def test_good_fixture_passes(self, capsys):
+        code = analysis_main(
+            [str(FIXTURES / "secret_good.py"), "--tests-dir", "none"]
+        )
+        assert code == 0
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        fixture = str(FIXTURES / "secret_bad.py")
+        assert (
+            analysis_main(
+                [fixture, "--tests-dir", "none", "--baseline", str(baseline), "--write-baseline"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = analysis_main(
+            [fixture, "--tests-dir", "none", "--baseline", str(baseline)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[baselined]" in out
+
+    def test_json_format(self, capsys):
+        code = analysis_main(
+            [str(FIXTURES / "parity_bad.py"), "--tests-dir", "none", "--format", "json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["fresh"] == 2
+
+
+def test_repo_source_tree_is_clean():
+    """The shipped tree must lint clean (modulo the checked-in baseline)."""
+    repo_root = Path(__file__).resolve().parents[2]
+    src = repo_root / "src"
+    baseline = repo_root / "analysis-baseline.json"
+    args = [str(src), "--tests-dir", str(repo_root / "tests")]
+    if baseline.is_file():
+        args += ["--baseline", str(baseline)]
+    assert analysis_main(args) == 0
