@@ -191,6 +191,9 @@ class EcPrivateKey:
     scalar: int
     public_key: EcPublicKey
 
+    def __repr__(self) -> str:  # Never print the private scalar.
+        return f"EcPrivateKey(fingerprint={self.public_key.fingerprint().hex()[:16]})"
+
     @staticmethod
     def generate(rng: HmacDrbg) -> "EcPrivateKey":
         """Generate a key pair from the supplied deterministic RNG."""

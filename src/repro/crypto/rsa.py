@@ -102,6 +102,12 @@ class RsaPrivateKey:
     public_exponent: int
     private_exponent: int
 
+    def __repr__(self) -> str:  # Never print the private exponent.
+        return (
+            f"RsaPrivateKey(bits={self.modulus.bit_length()}, "
+            f"fingerprint={self.public_key.fingerprint().hex()[:16]})"
+        )
+
     @property
     def public_key(self) -> RsaPublicKey:
         return RsaPublicKey(self.modulus, self.public_exponent)
