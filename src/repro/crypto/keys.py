@@ -84,7 +84,7 @@ class DeviceKeySet:
     """
 
     aes_key: AesDeviceKey
-    private_key: EcPrivateKey
+    private_key: EcPrivateKey = field(repr=False)
     device_serial: str
 
     @property
@@ -96,7 +96,7 @@ class DeviceKeySet:
 class AttestationKeyPair:
     """The per-boot Attestation Key, bound to (device, Security Kernel hash)."""
 
-    private_key: EcPrivateKey
+    private_key: EcPrivateKey = field(repr=False)
     kernel_hash: bytes
 
     @property
@@ -108,7 +108,7 @@ class AttestationKeyPair:
 class ShieldEncryptionKeyPair:
     """The IP Vendor's Shield Encryption Key (asymmetric; private half is in the Shield)."""
 
-    private_key: RsaPrivateKey
+    private_key: RsaPrivateKey = field(repr=False)
 
     @property
     def public_key(self) -> RsaPublicKey:
