@@ -99,6 +99,12 @@ class TenantSession:
     #: Boards this session's Shield has been loaded onto, in order.
     boards_used: list = field(default_factory=list)
 
+    def __repr__(self) -> str:  # Sessions hold key material; print identity only.
+        return (
+            f"TenantSession(session_id={self.session_id!r}, tenant={self.tenant!r}, "
+            f"state={self.state.name}, weight={self.weight})"
+        )
+
     @property
     def shield_id(self) -> str:
         return self.shield_config.shield_id

@@ -13,7 +13,7 @@ Two complementary harnesses drive the experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 from repro.accelerators.base import DirectMemoryAdapter, ShieldMemoryAdapter
@@ -43,7 +43,7 @@ class ProvisionedTestShield:
 
     board: FpgaBoard
     shield: Shield
-    data_owner: DataOwner
+    data_owner: DataOwner = field(repr=False)
     shield_config: ShieldConfig
 
     @property

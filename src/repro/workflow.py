@@ -46,8 +46,8 @@ class Deployment:
     manufacturer: Manufacturer
     provisioned_device: ProvisionedDevice
     ip_vendor: IpVendor
-    data_owner: DataOwner
-    driver: FpgaDriver
+    data_owner: DataOwner = field(repr=False)
+    driver: FpgaDriver = field(repr=False)
     security_kernel: SecurityKernel
     boot_result: SecureBootResult
     package: PackagedAccelerator
