@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 import repro.obs as obs_api
+from repro.analysis.annotations import loop_owned
 from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
 from repro.errors import AdmissionError, SchedulingError
 
@@ -148,6 +149,7 @@ class FleetScheduler:
 
     # -- queueing -----------------------------------------------------------------
 
+    @loop_owned
     def submit(self, job: AcceleratorJob) -> None:
         """Queue a job, enforcing the fleet cap and the tenant quota.
 
@@ -201,6 +203,7 @@ class FleetScheduler:
 
     # -- placement ----------------------------------------------------------------
 
+    @loop_owned
     def acquire(self, eligible=None) -> tuple | None:
         """Pick (policy) and place (affinity) the next job.
 
@@ -246,6 +249,7 @@ class FleetScheduler:
         self._gauge_update()
         return job, chosen.name, warm
 
+    @loop_owned
     def release(self, job: AcceleratorJob, completed: bool, error: str | None = None) -> None:
         """Return the job's board to the free pool and finalize its state.
 
@@ -263,6 +267,7 @@ class FleetScheduler:
         job.error = error
         self._gauge_update()
 
+    @loop_owned
     def evict(self, board_name: str) -> None:
         """Forget the board's resident Shield (the service tore it down)."""
         self.resident_sessions[board_name] = None
@@ -274,6 +279,7 @@ class FleetScheduler:
             if resident == session_id
         ]
 
+    @loop_owned
     def cancel_queued(
         self,
         predicate=None,
@@ -303,6 +309,7 @@ class FleetScheduler:
         self._gauge_update()
         return cancelled
 
+    @loop_owned
     def cancel_session_jobs(self, session_id: str) -> list:
         """Cancel still-queued jobs of a session (used at session teardown)."""
         return self.cancel_queued(

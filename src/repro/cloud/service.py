@@ -49,6 +49,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
 
 import repro.obs as obs_api
+from repro.analysis.annotations import executor_side, loop_owned
 from repro.accelerators.base import ShieldMemoryAdapter
 from repro.attestation.data_owner import DataOwner
 from repro.cloud.scheduler import (
@@ -405,6 +406,7 @@ class ShieldCloudService:
             ]
         return config
 
+    @loop_owned
     def close_session(self, session_id: str) -> list:
         """Tear a session down: cancel its queued jobs, free its warm Shields.
 
@@ -456,6 +458,7 @@ class ShieldCloudService:
             )
             self._retire_job(job)
 
+    @loop_owned
     def cancel_queued_jobs(self, reason: str = "service draining") -> list:
         """Cancel every still-queued job (the shutdown/drain path).
 
@@ -475,6 +478,7 @@ class ShieldCloudService:
 
     # -- job submission and execution ---------------------------------------------
 
+    @loop_owned
     def submit_job(
         self,
         session_id: str,
@@ -576,6 +580,7 @@ class ShieldCloudService:
         self._retire_job(job)
         return job
 
+    @loop_owned
     def begin_next_job(self, eligible=None) -> PlacedJob | None:
         """Acquire + attribute the next queued job; ``None`` if none runnable.
 
@@ -592,6 +597,14 @@ class ShieldCloudService:
             return None
         job, board_name, warm = placement
         slot = self.slots[board_name]
+        if not (
+            warm and slot.shield is not None and slot.resident_session == job.session_id
+        ):
+            # Cold placement: whatever Shield is resident belongs to another
+            # session (or the warm path is off).  Wipe it here, on the
+            # scheduler-owning thread, so the executor phase never touches
+            # scheduler residency state.
+            self._evict(slot)
         queue_start = self._submit_ts.pop(job.job_id, place_start)
         self.tracer.record_span(
             "queue",
@@ -614,6 +627,7 @@ class ShieldCloudService:
         )
         return PlacedJob(job=job, slot=slot, warm=warm, queue_start=queue_start)
 
+    @executor_side
     def execute_placed(self, placed: PlacedJob) -> None:
         """Run a placed job's body: Shield load, seal, execute, download.
 
@@ -629,6 +643,7 @@ class ShieldCloudService:
         session = self._session(placed.job.session_id)
         self._execute(placed.job, placed.slot, session, placed.warm)
 
+    @loop_owned
     def finish_placed(self, placed: PlacedJob, error: BaseException | None) -> None:
         """Release the board, finalize counters/spans, retire the job.
 
@@ -654,6 +669,11 @@ class ShieldCloudService:
             if session is not None:
                 session.usage.jobs_failed += 1
         else:
+            if not self.affinity:
+                # Affinity off restores the seed behaviour: the Shield is
+                # torn off the board after every job.  With affinity on, a
+                # successful job leaves its Shield resident (warm).
+                self._evict(slot)
             self.scheduler.release(job, completed=True)
             session = self.sessions.get(job.session_id)
             if session is not None:
@@ -696,6 +716,7 @@ class ShieldCloudService:
             finished.append(job)
         return finished
 
+    @executor_side
     def _execute(
         self,
         job: AcceleratorJob,
@@ -715,10 +736,9 @@ class ShieldCloudService:
             shield = slot.shield
             self._count("affinity_hits", board=slot.name)
         else:
-            # Cold load.  Whatever Shield is resident belongs to a different
-            # session (or the warm path is off): tear it down first so the new
-            # tenant starts from the clean slate, then load fresh.
-            self._evict(slot)
+            # Cold load.  The board was wiped loop-side by begin_next_job
+            # before this job was handed to the executor, so the new tenant
+            # starts from the clean slate here.
             shield = Shield(
                 config,
                 board.shell,
@@ -827,14 +847,12 @@ class ShieldCloudService:
                         session_id=runtime.log.label, board_name=slot.name, entry=entry
                     )
                 )
-            if not self.affinity:
-                # Affinity off restores the seed behaviour: the Shield is torn
-                # off the board after every job.  With affinity on, a
-                # *successful* job leaves the Shield resident (warm); failures
-                # are evicted by run_next_job's error path.
-                self._evict(slot)
+            # Affinity-off teardown (and failure eviction) happens loop-side
+            # in finish_placed: eviction updates scheduler residency, which
+            # executor threads must not touch.
             slot.active_session = None
 
+    @executor_side
     def _download_output(
         self,
         session: TenantSession,
@@ -881,6 +899,7 @@ class ShieldCloudService:
         unseal_end = self._now()
         return plaintext, unseal_start - download_start, unseal_end - unseal_start
 
+    @loop_owned
     def _evict(self, slot: BoardSlot) -> None:
         """Tear the resident Shield off a board: free on-chip memory, drop the
         register port, and forget the residency.  No-op on an empty board."""
@@ -902,6 +921,7 @@ class ShieldCloudService:
         slot.resident_session = None
         self.scheduler.evict(slot.name)
 
+    @loop_owned
     def evict_idle_shields(self) -> int:
         """Evict every resident warm Shield (the drain/shutdown path).
 

@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.analysis.annotations import executor_side
 from repro.cloud.scheduler import JobState
 from repro.cloud.service import PlacedJob, ShieldCloudService
 from repro.errors import CloudError
@@ -224,6 +225,7 @@ class AsyncShieldFrontend:
                 lambda done, placed=placed: self._on_done(loop, placed, done)
             )
 
+    @executor_side
     def _run_body(self, placed: PlacedJob, handoff_start: float) -> None:
         """Executor-thread entry: stamp the handoff span, run the job body."""
         service = self.service
