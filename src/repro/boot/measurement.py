@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.annotations import scalar_reference
 from repro.crypto.hashes import sha256
 
 
@@ -19,6 +20,7 @@ def measure(data: bytes) -> bytes:
     return sha256(data)
 
 
+@scalar_reference("measure")
 def measure_many(*components: bytes) -> bytes:
     """Measure several components in order with length framing."""
     body = b"".join(len(c).to_bytes(8, "big") + c for c in components)

@@ -11,9 +11,10 @@ replay-protected regions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.annotations import hot_path
 from repro.core.buffer import PlaintextBuffer
 from repro.core.config import EngineSetConfig, RegionConfig, ShieldConfig, MAC_TAG_BYTES
 from repro.core.counters import IntegrityCounterStore
@@ -89,6 +90,7 @@ class RegionPipeline:
         """Read, verify, and decrypt one chunk from DRAM."""
         return self._fetch_chunks([chunk_index])[0]
 
+    @hot_path
     def _fetch_chunks(self, chunk_indices: list) -> list:
         """Read, verify, and decrypt a batch of chunks from DRAM.
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path, scalar_reference
 from repro.core.config import EngineSetConfig
 from repro.crypto.aes import AES
 from repro.crypto.fastaes import VectorAes
@@ -128,12 +129,14 @@ class AesEngine:
         self.stats.operations += 1
         return self._transform(iv, ciphertext)
 
+    @scalar_reference("encrypt")
     def encrypt_many(self, ivs: list, plaintexts: list) -> list:
         """Encrypt a batch of chunks, one IV each, in a single fast-path pass."""
         self.stats.bytes_encrypted += sum(len(p) for p in plaintexts)
         self.stats.operations += len(plaintexts)
         return self._transform_many(ivs, plaintexts)
 
+    @scalar_reference("decrypt")
     def decrypt_many(self, ivs: list, ciphertexts: list) -> list:
         """Decrypt a batch of chunks, one IV each, in a single fast-path pass."""
         self.stats.bytes_decrypted += sum(len(c) for c in ciphertexts)
@@ -155,6 +158,8 @@ class AesEngine:
             )
         return out
 
+    @hot_path
+    @scalar_reference("encrypt")
     def encrypt_many_array(self, ivs: np.ndarray, plaintexts: np.ndarray) -> np.ndarray:
         """Encrypt an ``(n, chunk)`` uint8 array under ``(n, 12)`` IVs.
 
@@ -166,6 +171,8 @@ class AesEngine:
         self.stats.operations += plaintexts.shape[0]
         return self._transform_array(ivs, plaintexts)
 
+    @hot_path
+    @scalar_reference("decrypt")
     def decrypt_many_array(self, ivs: np.ndarray, ciphertexts: np.ndarray) -> np.ndarray:
         """Decrypt an ``(n, chunk)`` uint8 array under ``(n, 12)`` IVs."""
         self.stats.bytes_decrypted += ciphertexts.size
@@ -227,6 +234,7 @@ class MacEngine:
         if not constant_time_equal(self.tag(message), tag):
             raise IntegrityError(f"{self.algorithm} tag mismatch")
 
+    @scalar_reference("tag")
     def tag_many(self, messages: list) -> list:
         """Tag a batch of messages in one vectorized MAC pass on the fast path.
 
@@ -251,6 +259,8 @@ class MacEngine:
             self._batched = BatchedMac(self.algorithm, self._key)
         return self._batched
 
+    @hot_path
+    @scalar_reference("tag")
     def tag_many_array(self, messages: np.ndarray) -> np.ndarray:
         """Tag an equal-length ``(n, length)`` uint8 batch; returns ``(n, 16)``.
 
@@ -266,10 +276,11 @@ class MacEngine:
             return self._batched_mac().tag_many_array(messages)[:, :16]
         out = np.empty((messages.shape[0], 16), dtype=np.uint8)
         for row in range(messages.shape[0]):
-            tag = compute_mac(self.algorithm, self._key, messages[row].tobytes())
+            tag = compute_mac(self.algorithm, self._key, messages[row].tobytes())  # lint: allow[hot-copy] scalar fallback
             out[row] = np.frombuffer(tag[:16], dtype=np.uint8)
         return out
 
+    @scalar_reference("verify")
     def verify_many_array(self, messages: np.ndarray, tags: list) -> None:
         """Verify a batch of 16-byte tags over an ``(n, length)`` message array.
 
@@ -285,6 +296,7 @@ class MacEngine:
         if not matched:
             raise IntegrityError(f"{self.algorithm} tag mismatch")
 
+    @scalar_reference("verify")
     def verify_many(self, messages: list, tags: list) -> None:
         """Verify a batch of tags produced by :meth:`tag` / :meth:`tag_many`.
 

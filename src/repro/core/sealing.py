@@ -21,14 +21,16 @@ from dataclasses import dataclass
 import numpy as np
 
 import repro.obs as obs_api
-from repro.core.config import RegionConfig
+from repro.analysis import sanitizer
+from repro.analysis.annotations import hot_path, scalar_reference, secret
+from repro.core.config import EngineSetConfig, RegionConfig
 from repro.core.engines import AesEngine, MacEngine, build_engines
-from repro.core.config import EngineSetConfig
 from repro.crypto.hashes import sha256
 from repro.crypto.kdf import derive_subkey
 from repro.errors import IntegrityError, ShieldError
 
 
+@secret
 def region_key(data_encryption_key: bytes, region_name: str) -> bytes:
     """Derive the per-region sub-key from the Data Encryption Key."""
     return derive_subkey(data_encryption_key, f"region:{region_name}", 32)
@@ -213,6 +215,8 @@ class RegionSealer:
             plaintext_array[row] = np.frombuffer(plaintext, dtype=np.uint8)
         return self._seal_array(indices, plaintext_array, versions)
 
+    @hot_path
+    @scalar_reference("seal_chunk")
     def seal_chunks_array(
         self, indices: list, plaintext_array: np.ndarray, versions=0
     ) -> list:
@@ -236,9 +240,9 @@ class RegionSealer:
                 f"chunk plaintext must be exactly {self.region.chunk_size} bytes"
             )
         if not self._fast_batch():
-            return self._seal_chunk_list(
-                indices, [row.tobytes() for row in plaintext_array], versions
-            )
+            rows = [row.tobytes() for row in plaintext_array]  # lint: allow[hot-copy] scalar fallback
+            sanitizer.note_copy("seal_chunks_array.scalar_fallback", plaintext_array.size)
+            return self._seal_chunk_list(indices, rows, versions)
         return self._seal_array(indices, plaintext_array, versions)
 
     def _seal_chunk_list(self, indices: list, plaintexts: list, versions: list) -> list:
@@ -265,6 +269,7 @@ class RegionSealer:
             for index, ciphertext, tag in zip(indices, ciphertexts, tags)
         ]
 
+    @hot_path
     def _seal_array(
         self, indices: list, plaintext_array: np.ndarray, versions: list
     ) -> list:
@@ -280,12 +285,13 @@ class RegionSealer:
         tags = self._mac_engine.tag_many_array(messages)
         if timed:
             self._observe("seal", plaintext_array.size, time.perf_counter() - start)
+        sanitizer.freeze(ciphertext_array)
         flat = ciphertext_array.reshape(-1).data
         return [
             SealedChunk(
                 chunk_index=index,
                 ciphertext=flat[row * chunk_size : (row + 1) * chunk_size],
-                tag=tags[row].tobytes(),
+                tag=tags[row].tobytes(),  # lint: allow[hot-copy] 16-byte tag, SealedChunk.tag is bytes
             )
             for row, index in enumerate(indices)
         ]
@@ -400,6 +406,8 @@ class RegionSealer:
         ivs = self._chunk_ivs_array(indices, versions)
         return self._aes_engine.decrypt_many_array(ivs, messages[:, 22:])
 
+    @hot_path
+    @scalar_reference("unseal_chunk")
     def unseal_chunks(
         self, indices: list, ciphertexts: list, tags: list, versions=0
     ) -> list:
@@ -420,8 +428,11 @@ class RegionSealer:
                 "unseal_chunks needs matching indices/ciphertexts/tags/versions"
             )
         if not self._batchable(ciphertexts):
+            sanitizer.note_copy(
+                "unseal_chunks.scalar_fallback", sum(len(c) for c in ciphertexts)
+            )
             return [
-                self.unseal_chunk(index, bytes(ciphertext), bytes(tag), version)
+                self.unseal_chunk(index, bytes(ciphertext), bytes(tag), version)  # lint: allow[hot-copy] scalar fallback
                 for index, ciphertext, tag, version in zip(
                     indices, ciphertexts, tags, versions
                 )
@@ -432,6 +443,7 @@ class RegionSealer:
         if timed:
             self._observe("unseal", plaintext_array.size, time.perf_counter() - start)
         chunk_len = plaintext_array.shape[1]
+        sanitizer.freeze(plaintext_array)
         flat = plaintext_array.reshape(-1).data
         return [
             flat[row * chunk_len : (row + 1) * chunk_len]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path, scalar_reference
 from repro.crypto.aes import AES, BLOCK_SIZE, INV_SBOX, SBOX, _MUL2, _MUL3
 from repro.errors import CryptoError
 
@@ -116,6 +117,8 @@ class VectorAes:
         stream = self.keystream(iv, len(data), initial_counter)
         return (np.frombuffer(data, dtype=np.uint8) ^ stream).tobytes()
 
+    @hot_path
+    @scalar_reference("repro.crypto.modes:ctr_transform")
     def ctr_transform_array(
         self, ivs: np.ndarray, data: np.ndarray, initial_counter: int = 0
     ) -> np.ndarray:
@@ -142,6 +145,7 @@ class VectorAes:
         stream = stream.reshape(num_chunks, blocks_per_chunk * BLOCK_SIZE)[:, :chunk_len]
         return data ^ stream
 
+    @scalar_reference("repro.crypto.modes:ctr_transform")
     def ctr_transform_many(
         self, ivs: list, datas: list, initial_counter: int = 0
     ) -> list:
@@ -191,6 +195,7 @@ def fast_ctr_transform(
     return vector.ctr_transform(iv, data, initial_counter)
 
 
+@scalar_reference("repro.crypto.modes:ctr_transform")
 def fast_ctr_transform_many(
     cipher: AES | VectorAes, ivs: list, datas: list, initial_counter: int = 0
 ) -> list:

@@ -35,6 +35,7 @@ import struct
 
 import numpy as np
 
+from repro.analysis.annotations import hot_path, scalar_reference
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.fastaes import VectorAes
 from repro.crypto.hashes import _INITIAL_STATE, _K, SHA256
@@ -92,6 +93,8 @@ def _compress_many(state: list, words: np.ndarray) -> None:
         state[index] = state[index] + value
 
 
+@hot_path
+@scalar_reference("repro.crypto.hashes:sha256")
 def sha256_many_array(messages: np.ndarray) -> np.ndarray:
     """SHA-256 over an ``(n, length)`` uint8 message array in one pass.
 
@@ -120,6 +123,7 @@ def sha256_many_array(messages: np.ndarray) -> np.ndarray:
     return np.stack(state, axis=1).astype(">u4").view(np.uint8).reshape(n, 32)
 
 
+@scalar_reference("repro.crypto.hashes:sha256")
 def sha256_many(messages: list) -> list:
     """SHA-256 of many *equal-length* messages in one vectorized pass.
 
@@ -175,6 +179,7 @@ class BatchedMac:
 
     # -- public API ---------------------------------------------------------------
 
+    @scalar_reference("repro.crypto.mac:compute_mac")
     def tag_many(self, messages: list) -> list:
         """Tag a batch (possibly ragged); one scalar-identical tag per message."""
         if not messages:
@@ -192,6 +197,8 @@ class BatchedMac:
                 tags[index] = tag.tobytes()
         return tags
 
+    @hot_path
+    @scalar_reference("repro.crypto.mac:compute_mac")
     def tag_many_array(self, messages: np.ndarray) -> np.ndarray:
         """Tag an equal-length ``(n, length)`` uint8 batch; returns ``(n, tag)``.
 
@@ -292,21 +299,25 @@ class BatchedMac:
 # -- module-level conveniences (mirror repro.crypto.mac signatures) ----------------
 
 
+@scalar_reference("repro.crypto.mac:hmac_sha256")
 def fast_hmac_sha256_many(key: bytes, messages: list) -> list:
     """Batched :func:`repro.crypto.mac.hmac_sha256`; one 32-byte tag per message."""
     return BatchedMac("HMAC", key).tag_many(messages)
 
 
+@scalar_reference("repro.crypto.mac:aes_pmac")
 def fast_aes_pmac_many(key: bytes, messages: list) -> list:
     """Batched :func:`repro.crypto.mac.aes_pmac`; one 16-byte tag per message."""
     return BatchedMac("PMAC", key).tag_many(messages)
 
 
+@scalar_reference("repro.crypto.mac:aes_cmac")
 def fast_aes_cmac_many(key: bytes, messages: list) -> list:
     """Batched :func:`repro.crypto.mac.aes_cmac`; one 16-byte tag per message."""
     return BatchedMac("CMAC", key).tag_many(messages)
 
 
+@scalar_reference("repro.crypto.mac:compute_mac")
 def fast_mac_many(algorithm: str, key: bytes, messages: list) -> list:
     """Batched :func:`repro.crypto.mac.compute_mac` by algorithm name."""
     return BatchedMac(algorithm, key).tag_many(messages)

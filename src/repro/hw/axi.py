@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional
 
+from repro.analysis.annotations import hot_path, scalar_reference
 from repro.errors import MemoryAccessError
 
 AXI_DATA_WIDTH_BYTES = 64  # 512-bit data bus, as on the F1 Shell.
@@ -125,6 +126,8 @@ class AxiPort:
 
     # -- multi-entry helpers (coalesced bursts) ------------------------------------
 
+    @hot_path
+    @scalar_reference("read")
     def read_many(
         self, spans: list, region_hint: Optional[str] = None
     ) -> list:
@@ -163,6 +166,8 @@ class AxiPort:
                     break
         return blobs
 
+    @hot_path
+    @scalar_reference("write")
     def write_many(
         self, entries: list, region_hint: Optional[str] = None
     ) -> None:
@@ -182,7 +187,7 @@ class AxiPort:
                 runs.append((address, [data]))
             last_end = address + len(data)
         for start, pieces in runs:
-            blob = b"".join(bytes(piece) for piece in pieces)
+            blob = b"".join(pieces)
             for piece in AxiBurst(
                 BurstKind.WRITE, start, len(blob), blob, region_hint=region_hint
             ).split_at_boundary():
