@@ -11,7 +11,7 @@ on top, which the attack tests exercise through exactly these hooks.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ProtocolError

@@ -12,7 +12,7 @@ over-provisioned RTL design would fail placement.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ShieldError
 

@@ -18,7 +18,7 @@ Data Owner's Load Key has been provisioned.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import repro.obs as obs_api

@@ -9,7 +9,7 @@ reconfiguration of the user region without touching the Shell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import FabricError

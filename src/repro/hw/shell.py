@@ -12,7 +12,7 @@ in a ShEF deployment) must assume all of it is hostile.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import ShieldError

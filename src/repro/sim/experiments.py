@@ -20,7 +20,6 @@ from repro.accelerators.vector_add import VectorAddAccelerator
 from repro.boot.process import F1_BITSTREAM_LOAD_SECONDS, TYPICAL_VM_BOOT_SECONDS
 from repro.core.area import shield_utilization, table1_rows
 from repro.core.merkle import merkle_extra_dram_bytes
-from repro.core.timing import TimingModel
 from repro.hw.board import ULTRA96_PROFILE
 from repro.sim.results import ExperimentResult
 from repro.sim.simulator import TimingSimulator

@@ -1,7 +1,6 @@
 """Workload-specific unit tests for the remaining accelerator models."""
 
 import numpy as np
-import pytest
 
 from repro.accelerators.affine import AffineTransformAccelerator
 from repro.accelerators.base import DirectMemoryAdapter

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.attestation.data_owner import DataOwner
-from repro.crypto.rsa import RsaPrivateKey, rsa_decrypt
+from repro.crypto.rsa import rsa_decrypt
 from repro.errors import AttestationError, IntegrityError
 from tests.conftest import make_small_shield_config
 

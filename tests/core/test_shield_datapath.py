@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MAC_TAG_BYTES
-from repro.errors import IntegrityError, ShieldError
+from repro.errors import ShieldError
 from repro.sim.simulator import build_test_shield
 from tests.conftest import make_small_shield_config
 

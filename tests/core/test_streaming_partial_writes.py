@@ -9,8 +9,6 @@ sealed chunk back before merging the new span.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.config import RegionConfig
 from repro.sim.simulator import build_test_shield
 from tests.conftest import make_small_shield_config

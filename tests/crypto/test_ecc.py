@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.crypto.drbg import HmacDrbg
 from repro.crypto.ecc import (
     GENERATOR,
     INFINITY,
