@@ -14,7 +14,9 @@ observability overhead gate records its disabled/enabled ratios into
 record concurrent-vs-sync throughput and latency percentiles into
 ``BENCH_serve.json`` (``BENCH_SERVE_JSON``), and the vectorized Merkle
 replay-protection gate records its scalar-vs-batched ratios into
-``BENCH_merkle.json`` (``BENCH_MERKLE_JSON``); CI uploads all five as
+``BENCH_merkle.json`` (``BENCH_MERKLE_JSON``), and the shard-scale replay
+gate records its throughput, tail-wait, and utilization figures into
+``BENCH_shard.json`` (``BENCH_SHARD_JSON``); CI uploads all of these as
 workflow artifacts so the perf trajectory of the fast paths, the scheduler,
 the observability layer, and the request path is tracked across PRs.
 
@@ -102,6 +104,16 @@ _BENCH_MERKLE_JSON = Path(
 def record_merkle_metric(name: str, **fields) -> None:
     """Merge one Merkle-datapath measurement into ``BENCH_merkle.json``."""
     _merge_bench_entry(_BENCH_MERKLE_JSON, name, dict(fields))
+
+
+_BENCH_SHARD_JSON = Path(
+    os.environ.get("BENCH_SHARD_JSON", _REPO_ROOT / "BENCH_shard.json")
+)
+
+
+def record_shard_metric(name: str, **fields) -> None:
+    """Merge one shard-scale replay measurement into ``BENCH_shard.json``."""
+    _merge_bench_entry(_BENCH_SHARD_JSON, name, dict(fields))
 
 
 def stage_percentiles(metrics, stages=("shield_load", "input_seal", "execute")) -> dict:

@@ -65,12 +65,25 @@ def test_affinity_makespan_ratio_on_repeated_tenant_trace():
 
 
 def test_policy_zoo_mean_waits_recorded():
-    """Not a gate -- a tracked series: mean wait of each policy on the
-    default mixed trace, so policy regressions show up in the artifact."""
+    """Not a gate -- a tracked series: mean wait of each policy on a mixed
+    trace, so policy regressions show up in the artifact.
+
+    The trace assigns *distinct* per-job priorities and fair-share weights on
+    top of the three distinct workload costs: on the seed's uniform trace
+    (every job priority 0, weight 1) the priority policy degenerated to FIFO
+    and ``BENCH_sched.json`` reported identical mean waits for both, so the
+    series could never catch a priority-policy regression."""
+    from dataclasses import replace
+
     from repro.cloud.policies import POLICY_NAMES
     from repro.sim.cloud import default_mixed_trace
 
-    trace = default_mixed_trace(jobs_per_tenant=3, arrival_gap_s=0.0)
+    trace = [
+        replace(event, priority=index % 5, weight=float(1 + index % 3))
+        for index, event in enumerate(
+            default_mixed_trace(jobs_per_tenant=4, arrival_gap_s=0.0)
+        )
+    ]
     waits = {}
     for policy in POLICY_NAMES:
         result = CloudSimulator(num_boards=2, policy=policy).replay_experiment(trace)
@@ -78,6 +91,9 @@ def test_policy_zoo_mean_waits_recorded():
     print(f"\nmean wait by policy (s): {waits}")
     record_sched_metric("policy_mean_wait_s", **waits)
     assert all(wait >= 0 for wait in waits.values())
+    assert waits["fifo"] != waits["priority"], (
+        "the comparison trace must differentiate the priority policy from FIFO"
+    )
 
 
 def test_functional_stage_timings_recorded():

@@ -17,6 +17,10 @@ Three subcommands cover the common workflows without writing any Python:
 * ``cloud-trace`` -- replay a multi-tenant trace through the timed
   :class:`~repro.sim.cloud.CloudSimulator` under a chosen scheduling policy,
   with or without warm-board Shield affinity;
+* ``shard-replay`` -- generate a large synthetic trace (Poisson, diurnal, or
+  heavy-tailed arrivals; Zipf tenant popularity) and replay it across N shard
+  fleets behind the consistent-hash :class:`~repro.cloud.shard.ShardRouter`,
+  one simulator worker per shard, optionally with the queue-depth autoscaler;
 * ``trace-report`` -- render per-stage latency percentiles and per-tenant
   breakdowns from a JSONL trace written by ``--trace``;
 * ``list`` -- enumerate the available accelerators, experiments, and board
@@ -36,6 +40,7 @@ Usage::
     python -m repro.cli cloud-demo --trace run.jsonl --metrics -
     python -m repro.cli serve-demo --boards 2 --fast-crypto --rate-limit 4
     python -m repro.cli cloud-trace --policy sjf --repeated-tenant
+    python -m repro.cli shard-replay --shards 8 --jobs 100000 --arrival diurnal
     python -m repro.cli trace-report run.jsonl
     python -m repro.cli list
 """
@@ -185,6 +190,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=8, help="jobs in the repeated-tenant trace"
     )
     _add_obs_flags(trace_parser)
+
+    shard_parser = subparsers.add_parser(
+        "shard-replay",
+        help="replay a generated large-scale trace across N shard fleets "
+        "(consistent-hash session routing, one simulator worker per shard)",
+    )
+    shard_parser.add_argument(
+        "--shards", type=int, default=8, help="number of shard fleets"
+    )
+    shard_parser.add_argument(
+        "--boards-per-shard", type=int, default=4,
+        help="starting board count of each shard fleet",
+    )
+    shard_parser.add_argument(
+        "--jobs", type=int, default=100_000, help="jobs in the generated trace"
+    )
+    shard_parser.add_argument(
+        "--seed", type=int, default=42, help="trace generator seed"
+    )
+    shard_parser.add_argument(
+        "--arrival",
+        choices=["poisson", "diurnal", "heavy_tailed"],
+        default="poisson",
+        help="arrival process of the generated trace",
+    )
+    shard_parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="mean arrival rate of the generated trace (jobs/s)",
+    )
+    shard_parser.add_argument(
+        "--workers",
+        choices=["thread", "process", "serial"],
+        default="thread",
+        help="executor running the per-shard replay workers",
+    )
+    shard_parser.add_argument(
+        "--autoscale-max", type=int, default=None, metavar="N",
+        help="enable the queue-depth autoscaler, growing each shard up to N "
+        "boards (default: fixed fleets)",
+    )
+    _add_scheduling_flags(shard_parser)
 
     report_parser = subparsers.add_parser(
         "trace-report",
@@ -525,6 +571,60 @@ def run_cloud_trace(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def run_shard_replay(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Shard-scale replay: generate a trace, route it, replay per shard."""
+    import time
+
+    from repro.cloud.shard import QueueDepthAutoscaler, replay_sharded
+    from repro.sim.traces import generate_trace
+
+    if args.shards < 1:
+        print("error: --shards must be at least 1", file=out)
+        return 2
+    if args.boards_per_shard < 1:
+        print("error: --boards-per-shard must be at least 1", file=out)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=out)
+        return 2
+    if args.autoscale_max is not None and args.autoscale_max < args.boards_per_shard:
+        print("error: --autoscale-max must be >= --boards-per-shard", file=out)
+        return 2
+    autoscaler_factory = None
+    if args.autoscale_max is not None:
+        def autoscaler_factory(shard, _max=args.autoscale_max,
+                               _min=args.boards_per_shard):
+            return QueueDepthAutoscaler(min_boards=_min, max_boards=_max)
+    trace = generate_trace(
+        args.jobs, seed=args.seed, arrival=args.arrival,
+        rate_jobs_per_s=args.rate,
+    )
+    started = time.perf_counter()
+    report = replay_sharded(
+        trace,
+        num_shards=args.shards,
+        boards_per_shard=args.boards_per_shard,
+        policy=args.policy,
+        affinity=not args.no_affinity,
+        executor=args.workers,
+        autoscaler_factory=autoscaler_factory,
+    )
+    wall = time.perf_counter() - started
+    print(render_experiment(report.to_experiment()), file=out)
+    print(file=out)
+    print(f"replayed          : {report.jobs} jobs / {len(report.shard_stats)} "
+          f"shards ({args.workers} workers)", file=out)
+    print(f"wall time         : {wall:.2f} s "
+          f"({report.jobs / wall:.0f} jobs/s, "
+          f"{wall / report.jobs * 1e6:.1f} us/job)", file=out)
+    print(f"modelled makespan : {report.makespan_s:.1f} s", file=out)
+    print(f"wait p50/p99/p999 : {report.wait_percentile(50.0):.1f} s / "
+          f"{report.wait_percentile(99.0):.1f} s / "
+          f"{report.wait_percentile(99.9):.1f} s", file=out)
+    print(f"affinity hit rate : {report.affinity_hit_rate:.1%}", file=out)
+    return 0
+
+
 def run_trace_report(args: argparse.Namespace, out=sys.stdout) -> int:
     """Render the per-stage/per-tenant report from a JSONL trace file."""
     from repro.obs.exporters import read_jsonl
@@ -568,6 +668,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return run_serve_demo(args, out=out)
     if args.command == "cloud-trace":
         return run_cloud_trace(args, out=out)
+    if args.command == "shard-replay":
+        return run_shard_replay(args, out=out)
     if args.command == "trace-report":
         return run_trace_report(args, out=out)
     return run_list(out=out)

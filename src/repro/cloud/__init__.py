@@ -29,6 +29,13 @@ from repro.cloud.policies import (
     make_policy,
 )
 from repro.cloud.scheduler import AcceleratorJob, FleetScheduler, JobState
+from repro.cloud.shard import (
+    QueueDepthAutoscaler,
+    ShardReplayReport,
+    ShardRouter,
+    partition_trace,
+    replay_sharded,
+)
 from repro.cloud.service import (
     BoardSlot,
     CloudServiceStats,
@@ -61,4 +68,9 @@ __all__ = [
     "ShortestJobFirstPolicy",
     "choose_board",
     "make_policy",
+    "QueueDepthAutoscaler",
+    "ShardReplayReport",
+    "ShardRouter",
+    "partition_trace",
+    "replay_sharded",
 ]

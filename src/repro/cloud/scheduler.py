@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import repro.obs as obs_api
 from repro.analysis.annotations import loop_owned
-from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
+from repro.cloud.policies import BoardIndex, JobRequest, make_policy
 from repro.errors import AdmissionError, SchedulingError
 
 #: Default per-board placement-history ring size.  Under sustained traffic the
@@ -117,14 +117,19 @@ class FleetScheduler:
         if tenant_quota is not None and tenant_quota < 1:
             raise SchedulingError("tenant_quota must be positive (or None for unbounded)")
         self._board_names = list(board_names)
-        self._free_boards = deque(board_names)
-        self._queue: list = []
         self.policy = make_policy(policy)
+        #: Indexed policy queue: O(log n) selection, selection-identical to
+        #: the linear scans (see :class:`~repro.cloud.policies.PolicyQueue`).
+        self._queue = self.policy.make_queue()
         self.affinity = bool(affinity)
         self.queue_cap = queue_cap
         self.tenant_quota = tenant_quota
         #: board name -> session the board's resident (warm) Shield belongs to.
+        #: Shared with the :class:`BoardIndex`, so ``evict`` is one dict write.
         self.resident_sessions: dict = {name: None for name in board_names}
+        #: Incremental free-fleet + warm-affinity index (replaces rebuilding
+        #: BoardView lists per dispatch).
+        self._boards = BoardIndex(board_names, resident=self.resident_sessions)
         #: board name -> recent session ids placed on it (bounded ring).
         self._history: dict = {
             name: deque(maxlen=history_limit) for name in board_names
@@ -163,10 +168,7 @@ class FleetScheduler:
             self._reject(job, f"fleet queue is full ({self.queue_cap} job(s) pending)")
         if self.tenant_quota is not None:
             tenant = job.tenant or job.session_id
-            pending = sum(
-                1 for queued in self._queue
-                if (queued.tenant or queued.session_id) == tenant
-            )
+            pending = self._queue.pending_for(tenant)
             if pending >= self.tenant_quota:
                 self._reject(
                     job,
@@ -175,7 +177,7 @@ class FleetScheduler:
                 )
         self._seq += 1
         job.seq = self._seq
-        self._queue.append(job)
+        self._queue.push(job.request_view(), job)
         self._gauge_update()
 
     def _reject(self, job: AcceleratorJob, reason: str) -> None:
@@ -189,17 +191,15 @@ class FleetScheduler:
         return len(self._queue)
 
     def pending_for_tenant(self, tenant: str) -> int:
-        return sum(
-            1 for job in self._queue if (job.tenant or job.session_id) == tenant
-        )
+        return self._queue.pending_for(tenant)
 
     @property
     def free_boards(self) -> int:
-        return len(self._free_boards)
+        return len(self._boards)
 
     @property
     def busy_boards(self) -> int:
-        return len(self._board_names) - len(self._free_boards)
+        return len(self._board_names) - len(self._boards)
 
     # -- placement ----------------------------------------------------------------
 
@@ -216,38 +216,24 @@ class FleetScheduler:
         session would race on the session's key rotation).  Ineligible jobs
         stay queued in their original order.
         """
-        if not self._queue or not self._free_boards:
+        if not self._queue or not self._boards:
             return None
-        if eligible is None:
-            candidates = list(enumerate(self._queue))
-        else:
-            candidates = [
-                (index, job) for index, job in enumerate(self._queue) if eligible(job)
-            ]
-            if not candidates:
-                return None
-        views = [job.request_view() for _, job in candidates]
-        picked = self.policy.select(views)
-        queue_index, job = candidates[picked]
-        self._queue.pop(queue_index)
-        view = views[picked]
-        boards = [
-            BoardView(name=name, rank=rank, resident_session=self.resident_sessions[name])
-            for rank, name in enumerate(self._free_boards)
-        ]
-        chosen = choose_board(view, boards, prefer_affinity=self.affinity)
-        self._free_boards.remove(chosen.name)
-        warm = self.affinity and chosen.resident_session == job.session_id
+        popped = self._queue.pop(eligible)
+        if popped is None:
+            return None
+        view, job = popped
+        board_name = self._boards.place(job.session_id, prefer_affinity=self.affinity)
+        warm = self.affinity and self.resident_sessions[board_name] == job.session_id
         if warm:
             self.affinity_hits += 1
         job.state = JobState.RUNNING
-        job.board_name = chosen.name
+        job.board_name = board_name
         job.warm_start = warm
-        self._history[chosen.name].append(job.session_id)
-        self.placement_totals[chosen.name] += 1
+        self._history[board_name].append(job.session_id)
+        self.placement_totals[board_name] += 1
         self.policy.record_service(view)
         self._gauge_update()
-        return job, chosen.name, warm
+        return job, board_name, warm
 
     @loop_owned
     def release(self, job: AcceleratorJob, completed: bool, error: str | None = None) -> None:
@@ -260,9 +246,9 @@ class FleetScheduler:
         """
         if job.state is not JobState.RUNNING or job.board_name is None:
             raise SchedulingError(f"job {job.job_id!r} is not running on any board")
-        self._free_boards.append(job.board_name)
         keep_warm = self.affinity and completed
         self.resident_sessions[job.board_name] = job.session_id if keep_warm else None
+        self._boards.release(job.board_name)
         job.state = JobState.COMPLETED if completed else JobState.FAILED
         job.error = error
         self._gauge_update()
@@ -287,21 +273,13 @@ class FleetScheduler:
     ) -> list:
         """Cancel every queued job matching ``predicate`` (all jobs if None).
 
-        The queue is rebuilt in one pass -- the old per-job ``list.remove``
-        was O(n^2) in the number of cancelled jobs, which matters once the
-        async front-end allows deep queues.  Survivors keep their relative
-        order, so policy tie-breaks are unchanged.
+        Cancellation is one pass over the queue (the indexed queues mark
+        matching cells dead in place); survivors keep their relative order,
+        so policy tie-breaks are unchanged.
         """
-        kept: list = []
-        cancelled: list = []
-        for job in self._queue:
-            if predicate is None or predicate(job):
-                cancelled.append(job)
-            else:
-                kept.append(job)
+        cancelled = [job for _, job in self._queue.remove(predicate)]
         if not cancelled:
             return []
-        self._queue[:] = kept
         for job in cancelled:
             job.state = JobState.CANCELLED
             job.error = reason

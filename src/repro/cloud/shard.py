@@ -1,0 +1,528 @@
+"""Shard-scale serving: consistent-hash session routing over N board fleets.
+
+One :class:`~repro.cloud.service.ShieldCloudService` (and its timed twin,
+:class:`~repro.sim.cloud.CloudSimulator`) models one fleet.  The ROADMAP's
+north star is millions of tenant sessions, which no single fleet reaches --
+so this module adds the scale-out layer:
+
+* :class:`ShardRouter` -- a consistent-hash ring with virtual nodes that maps
+  every session id to one shard.  Sessions are *sticky*: once routed, a
+  session stays on its shard until an explicit :meth:`ShardRouter.rebalance`
+  or :meth:`ShardRouter.remove_shard`, so warm-Shield affinity remains a
+  shard-local property (a session's warm boards are always inside the shard
+  that serves it).  Virtual nodes keep the key space balanced, and the ring
+  structure guarantees that adding or removing one of N shards remaps only
+  ~1/N of the sessions (the minimal-disruption invariant the property tests
+  pin down).
+* :class:`QueueDepthAutoscaler` -- a deterministic queue-depth-driven
+  controller the simulator consults as modelled time advances.  It grows a
+  shard's fleet with cold boards when the backlog per board crosses the high
+  watermark and drains idle boards (longest idle first -- busy boards are
+  never revoked) once the backlog falls below the low watermark.
+* :func:`replay_sharded` -- the multi-fleet replay driver: partition a trace
+  by routed session, replay every shard on its own
+  :class:`~repro.sim.cloud.CloudSimulator` via ``concurrent.futures`` (one
+  worker per shard), and merge the per-shard
+  :class:`~repro.sim.cloud.ReplayStats` into a single
+  :class:`ShardReplayReport` with *global* tail percentiles.
+
+The driver is how the scheduling core gets validated at 10^5-10^6-job scale
+where the functional byte-moving service is too expensive to run; see
+``docs/sharding.md`` and ``benchmarks/test_shard_scale.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.analysis.annotations import executor_side, loop_owned
+from repro.errors import ShardingError
+from repro.obs.stats import percentile
+from repro.sim.results import ExperimentResult
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "QueueDepthAutoscaler",
+    "ShardReplayReport",
+    "ShardRouter",
+    "partition_trace",
+    "replay_sharded",
+]
+
+#: Default virtual nodes per shard.  128 points per shard keeps the expected
+#: per-shard key share within a few percent of 1/N (see the balance property
+#: test) while the ring stays small enough that rebuilds are trivial.
+DEFAULT_VNODES = 128
+
+
+def _ring_hash(token: str) -> int:
+    """Position of ``token`` on the ring: a 64-bit blake2b digest.
+
+    blake2b is stdlib, keyless here (placement is not a security boundary --
+    tenant isolation lives in the crypto layer), stable across processes and
+    Python versions (unlike ``hash()``, which is salted per process), and
+    uniform enough that virtual nodes balance the key space.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ShardRouter:
+    """Consistent-hash ring with virtual nodes and sticky session assignments.
+
+    ``route(session)`` is the serving-path entry point: the first call walks
+    the ring (binary search over the vnode positions) and *pins* the session
+    to the owning shard; later calls return the pinned shard unconditionally.
+    Pinning is what keeps warm-Shield affinity shard-local -- a session never
+    silently migrates mid-stream, even while shards are being added, so its
+    warm boards stay valid until an explicit :meth:`rebalance` migrates it
+    (paying one cold Shield load on the new shard, exactly like a warm-board
+    eviction inside a single fleet).
+
+    ``drain(shard)`` removes a shard's virtual nodes from the ring without
+    touching its pinned sessions: no *new* session lands there, existing ones
+    finish in place, and a later :meth:`rebalance` (or :meth:`remove_shard`)
+    moves the stragglers off.  That is the same retire-only-idle semantics
+    the :class:`QueueDepthAutoscaler` applies to individual boards, one level
+    up the hierarchy.
+    """
+
+    def __init__(self, shard_ids, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ShardingError("vnodes must be positive")
+        self.vnodes = vnodes
+        self._shards: set = set()
+        self._draining: set = set()
+        #: Sorted vnode positions and the shard owning each (parallel lists).
+        self._ring_keys: list = []
+        self._ring_shards: list = []
+        #: session id -> pinned shard (sticky until rebalance/remove).
+        self._assignments: dict = {}
+        shard_ids = list(shard_ids)
+        if not shard_ids:
+            raise ShardingError("a shard router needs at least one shard")
+        for shard_id in shard_ids:
+            self.add_shard(shard_id)
+
+    # -- ring maintenance ---------------------------------------------------------
+
+    def _vnode_tokens(self, shard_id) -> list:
+        return [f"{shard_id}#{i}" for i in range(self.vnodes)]
+
+    @loop_owned
+    def add_shard(self, shard_id) -> None:
+        """Insert a shard's virtual nodes into the ring.
+
+        Existing sessions stay pinned where they are; only future (or
+        rebalanced) sessions can land on the new shard -- so scaling out is
+        zero-disruption until the operator opts into a rebalance.
+        """
+        if shard_id in self._shards:
+            raise ShardingError(f"shard {shard_id!r} is already on the ring")
+        self._shards.add(shard_id)
+        for token in self._vnode_tokens(shard_id):
+            position = _ring_hash(token)
+            index = bisect.bisect_left(self._ring_keys, position)
+            self._ring_keys.insert(index, position)
+            self._ring_shards.insert(index, shard_id)
+
+    def _strip_vnodes(self, shard_id) -> None:
+        keep = [i for i, s in enumerate(self._ring_shards) if s != shard_id]
+        self._ring_keys = [self._ring_keys[i] for i in keep]
+        self._ring_shards = [self._ring_shards[i] for i in keep]
+
+    @loop_owned
+    def drain(self, shard_id) -> list:
+        """Stop routing *new* sessions to the shard; pinned sessions remain.
+
+        Returns the sessions still pinned to the draining shard (the
+        operator's work list).  A drained shard leaves the ring, so
+        :meth:`lookup` never returns it, but :meth:`route` keeps honouring
+        existing pins until :meth:`rebalance` or :meth:`remove_shard`.
+        """
+        if shard_id not in self._shards:
+            raise ShardingError(f"shard {shard_id!r} is not on the ring")
+        if len(self._shards - self._draining) <= 1:
+            raise ShardingError("cannot drain the last active shard")
+        self._draining.add(shard_id)
+        self._strip_vnodes(shard_id)
+        return sorted(
+            session for session, owner in self._assignments.items()
+            if owner == shard_id
+        )
+
+    @loop_owned
+    def remove_shard(self, shard_id) -> dict:
+        """Drop a shard entirely, re-pinning its sessions via the ring.
+
+        Returns ``{session: new_shard}`` for every migrated session.  Only
+        the removed shard's sessions move -- every other pin is untouched,
+        which is the minimal-disruption half of the consistent-hash bargain.
+        """
+        if shard_id not in self._shards:
+            raise ShardingError(f"shard {shard_id!r} is not on the ring")
+        if len(self._shards) <= 1:
+            raise ShardingError("cannot remove the last shard")
+        self._shards.discard(shard_id)
+        self._draining.discard(shard_id)
+        self._strip_vnodes(shard_id)
+        if not self._ring_keys:
+            raise ShardingError("removing the shard emptied the ring")
+        moved = {}
+        for session, owner in self._assignments.items():
+            if owner == shard_id:
+                moved[session] = self.lookup(session)
+        self._assignments.update(moved)
+        return moved
+
+    @loop_owned
+    def rebalance(self) -> dict:
+        """Re-pin every session to its current ring owner.
+
+        Returns ``{session: new_shard}`` for the sessions that moved.  After
+        shards were added this migrates ~A/N of the sessions onto the A new
+        shards; it also evacuates draining shards (their vnodes are already
+        off the ring).  Each move costs the session one cold Shield load on
+        its new shard -- the price of rebalancing, visible in the replay
+        stats as a dip in the affinity hit-rate.
+        """
+        moved = {}
+        for session, owner in self._assignments.items():
+            target = self.lookup(session)
+            if target != owner:
+                moved[session] = target
+        self._assignments.update(moved)
+        return moved
+
+    # -- routing ------------------------------------------------------------------
+
+    def lookup(self, session_id: str):
+        """Pure ring walk (no pinning): the shard owning ``session_id`` now.
+
+        The first vnode clockwise from the session's hash owns it; the ring
+        wraps at the top.  Draining shards own no vnodes, so they are never
+        returned.
+        """
+        if not self._ring_keys:
+            raise ShardingError("the ring has no active shards")
+        index = bisect.bisect_right(self._ring_keys, _ring_hash(session_id))
+        if index == len(self._ring_keys):
+            index = 0
+        return self._ring_shards[index]
+
+    @loop_owned
+    def route(self, session_id: str):
+        """The serving-path lookup: pinned shard, or pin via the ring."""
+        shard = self._assignments.get(session_id)
+        if shard is None:
+            shard = self.lookup(session_id)
+            self._assignments[session_id] = shard
+        return shard
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def shards(self) -> list:
+        """All shards, including draining ones, in sorted order."""
+        return sorted(self._shards, key=str)
+
+    @property
+    def active_shards(self) -> list:
+        """Shards currently receiving new sessions, in sorted order."""
+        return sorted(self._shards - self._draining, key=str)
+
+    @property
+    def draining_shards(self) -> list:
+        return sorted(self._draining, key=str)
+
+    def assignment_counts(self) -> dict:
+        """shard -> number of sessions currently pinned to it."""
+        counts = {shard: 0 for shard in self._shards}
+        for owner in self._assignments.values():
+            counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+
+@dataclass
+class QueueDepthAutoscaler:
+    """Deterministic queue-depth autoscaling for one shard's board fleet.
+
+    The simulator consults :meth:`target_boards` whenever modelled time
+    advances.  The controller is proportional on the backlog: above the high
+    watermark it asks for ``ceil(queue_depth / high_watermark)`` boards (the
+    fleet that would bring the per-board backlog back to the watermark); at
+    or below the low watermark it retires one board per cooldown window.
+    Growth adds *cold* boards (their first job pays the full Shield load);
+    shrinking is drain-only -- the simulator revokes idle boards, longest
+    idle first, and a busy board simply finishes its work and falls idle
+    before a later consult can retire it.  The cooldown gates scaling in
+    *modelled* seconds, so decisions replay identically across runs and
+    executors.
+    """
+
+    min_boards: int = 1
+    max_boards: int = 64
+    #: Queued jobs per board above which the fleet grows.
+    high_watermark: float = 4.0
+    #: Queued jobs per board at or below which the fleet shrinks by one.
+    low_watermark: float = 0.5
+    #: Minimum modelled seconds between scaling decisions.
+    cooldown_s: float = 30.0
+    _last_scale_s: float = field(default=float("-inf"), repr=False)
+
+    def __post_init__(self):
+        if self.min_boards < 1:
+            raise ShardingError("min_boards must be positive")
+        if self.max_boards < self.min_boards:
+            raise ShardingError("max_boards must be >= min_boards")
+        if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
+            raise ShardingError("watermarks must satisfy 0 <= low < high")
+
+    def target_boards(self, now_s: float, queue_depth: int, num_boards: int) -> int:
+        """The board count the shard should run right now."""
+        if now_s - self._last_scale_s < self.cooldown_s:
+            return num_boards
+        if queue_depth > self.high_watermark * num_boards:
+            desired = math.ceil(queue_depth / self.high_watermark)
+            target = min(self.max_boards, max(num_boards + 1, desired))
+        elif queue_depth <= self.low_watermark * num_boards:
+            target = max(self.min_boards, num_boards - 1)
+        else:
+            return num_boards
+        if target != num_boards:
+            self._last_scale_s = now_s
+        return target
+
+
+# -- multi-shard replay driver --------------------------------------------------
+
+
+def partition_trace(trace: list, router: ShardRouter) -> dict:
+    """Split a trace into per-shard traces by routed session.
+
+    Events keep their relative order inside each shard (arrival order is
+    re-derived by the simulator anyway), and routing *pins* every session on
+    the router -- so a second partition of follow-on traffic lands sessions
+    on the same shards.
+    """
+    shard_traces: dict = {shard: [] for shard in router.shards}
+    route = router.route
+    for event in trace:
+        shard_traces[route(event.session_id or event.tenant)].append(event)
+    return shard_traces
+
+
+class _DefaultSimulatorFactory:
+    """Picklable default simulator factory (process workers can't unpickle a
+    closure, and every shard needs its *own* simulator so worker state never
+    crosses shard boundaries)."""
+
+    def __init__(self, boards_per_shard: int, policy, affinity: bool):
+        self.boards_per_shard = boards_per_shard
+        self.policy = policy
+        self.affinity = affinity
+
+    def __call__(self, shard_id):
+        from repro.sim.cloud import CloudSimulator
+
+        return CloudSimulator(
+            num_boards=self.boards_per_shard,
+            policy=self.policy,
+            affinity=self.affinity,
+        )
+
+
+@executor_side
+def _replay_one_shard(shard_id, events, simulator_factory, autoscaler):
+    """Worker body: replay one shard's trace on its own simulator.
+
+    Runs on an executor worker (thread or process).  Everything it touches
+    is shard-private -- the simulator, the policy queue, and the board index
+    are constructed here and die here; results flow back only through the
+    returned :class:`~repro.sim.cloud.ReplayStats`.
+    """
+    simulator = simulator_factory(shard_id)
+    return shard_id, simulator.replay_stats(events, autoscaler=autoscaler)
+
+
+@dataclass
+class ShardReplayReport:
+    """Merged outcome of a multi-shard replay.
+
+    Per-shard :class:`~repro.sim.cloud.ReplayStats` plus the global view:
+    tail percentiles are computed over the *concatenated* per-job waits (a
+    per-shard percentile average would understate the global tail), and
+    throughput is total jobs over the driver's wall-clock time.
+    """
+
+    shard_stats: dict
+    shard_jobs: dict
+    boards_per_shard: int
+    policy: str
+    executor: str
+    wall_s: float
+
+    @property
+    def shards(self) -> list:
+        return sorted(self.shard_stats, key=str)
+
+    @property
+    def jobs(self) -> int:
+        return sum(stats.jobs for stats in self.shard_stats.values())
+
+    @property
+    def warm_hits(self) -> int:
+        return sum(stats.warm_hits for stats in self.shard_stats.values())
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        jobs = self.jobs
+        return self.warm_hits / jobs if jobs else 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Modelled makespan: shards replay concurrently, so the max."""
+        if not self.shard_stats:
+            return 0.0
+        return max(stats.makespan_s for stats in self.shard_stats.values())
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Replay throughput (jobs over driver wall-clock seconds)."""
+        return self.jobs / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def seconds_per_job(self) -> float:
+        jobs = self.jobs
+        return self.wall_s / jobs if jobs else 0.0
+
+    def wait_percentile(self, q: float) -> float:
+        """Global wait percentile over every shard's per-job waits."""
+        merged: list = []
+        for stats in self.shard_stats.values():
+            merged.extend(stats.waits)
+        return percentile(merged, q)
+
+    @property
+    def utilization_by_shard(self) -> dict:
+        return {
+            shard: stats.utilization for shard, stats in self.shard_stats.items()
+        }
+
+    def to_experiment(self, experiment_id: str = "shard-replay") -> ExperimentResult:
+        """Package the merged replay as a renderable/exportable experiment."""
+        result = ExperimentResult(
+            experiment_id=experiment_id,
+            description=(
+                f"{self.jobs} jobs across {len(self.shard_stats)} shards x "
+                f"{self.boards_per_shard} boards ({self.policy} policy, "
+                f"{self.executor} workers)"
+            ),
+            metadata={
+                "shards": len(self.shard_stats),
+                "boards_per_shard": self.boards_per_shard,
+                "policy": self.policy,
+                "executor": self.executor,
+                "jobs": self.jobs,
+                "makespan_s": round(self.makespan_s, 3),
+                "wall_s": round(self.wall_s, 4),
+                "jobs_per_sec": round(self.jobs_per_sec, 1),
+                "wait_p50_s": round(self.wait_percentile(50.0), 3),
+                "wait_p99_s": round(self.wait_percentile(99.0), 3),
+                "wait_p999_s": round(self.wait_percentile(99.9), 3),
+                "affinity_hit_rate": round(self.affinity_hit_rate, 4),
+            },
+        )
+        for shard in self.shards:
+            stats = self.shard_stats[shard]
+            result.add_row(
+                shard=shard,
+                jobs=stats.jobs,
+                makespan_s=round(stats.makespan_s, 3),
+                utilization=round(stats.utilization, 4),
+                affinity_hit_rate=round(stats.affinity_hit_rate, 4),
+                warm_hits=stats.warm_hits,
+                wait_p99_s=round(stats.wait_percentile(99.0), 3),
+                final_boards=stats.final_boards,
+                scale_events=len(stats.scale_events),
+            )
+        return result
+
+
+def replay_sharded(
+    trace: list,
+    num_shards: int = 8,
+    boards_per_shard: int = 4,
+    router: ShardRouter | None = None,
+    policy="fifo",
+    affinity: bool = True,
+    executor: str = "thread",
+    max_workers: int | None = None,
+    autoscaler_factory=None,
+    simulator_factory=None,
+) -> ShardReplayReport:
+    """Replay a trace across N shard fleets, one worker per shard.
+
+    ``router`` defaults to a fresh :class:`ShardRouter` over shards
+    ``0..num_shards-1``; pass one to reuse pinned assignments across calls.
+    ``executor`` is ``"thread"`` (default -- the replay is cheap enough that
+    process spawn + trace pickling costs more than the GIL does),
+    ``"process"`` (true parallelism for very heavy per-shard models), or
+    ``"serial"`` (in-line, for debugging and deterministic profiles).
+    ``autoscaler_factory(shard_id)`` builds one autoscaler per shard (state
+    is per-fleet, so instances must not be shared); ``simulator_factory``
+    overrides simulator construction entirely (same signature).
+    """
+    if executor not in ("thread", "process", "serial"):
+        raise ShardingError(f"unknown executor {executor!r}")
+    if router is None:
+        router = ShardRouter(range(num_shards))
+    if simulator_factory is None:
+        simulator_factory = _DefaultSimulatorFactory(boards_per_shard, policy, affinity)
+    shard_traces = partition_trace(trace, router)
+    autoscalers = {
+        shard: autoscaler_factory(shard) if autoscaler_factory else None
+        for shard in shard_traces
+    }
+    started = time.perf_counter()
+    shard_stats: dict = {}
+    if executor == "serial":
+        for shard, events in shard_traces.items():
+            shard_stats[shard] = _replay_one_shard(
+                shard, events, simulator_factory, autoscalers[shard]
+            )[1]
+    else:
+        pool_cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+        workers = max_workers or len(shard_traces)
+        with pool_cls(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _replay_one_shard,
+                    shard,
+                    events,
+                    simulator_factory,
+                    autoscalers[shard],
+                )
+                for shard, events in shard_traces.items()
+            ]
+            for future in futures:
+                shard, stats = future.result()
+                shard_stats[shard] = stats
+    wall = time.perf_counter() - started
+    return ShardReplayReport(
+        shard_stats=shard_stats,
+        shard_jobs={shard: len(events) for shard, events in shard_traces.items()},
+        boards_per_shard=boards_per_shard,
+        policy=str(policy),
+        executor=executor,
+        wall_s=wall,
+    )

@@ -105,3 +105,8 @@ class AdmissionError(SchedulingError):
 
 class TenantIsolationError(CloudError):
     """An operation would have crossed a tenant-isolation boundary."""
+
+
+class ShardingError(CloudError):
+    """The shard router or multi-fleet replay driver was misused (unknown
+    shard, empty ring, duplicate shard id)."""

@@ -3,6 +3,7 @@
 from repro.sim.cloud import (
     CloudJobRecord,
     CloudSimulator,
+    ReplayStats,
     TraceEvent,
     cloud_trace_experiment,
     default_mixed_trace,
@@ -25,6 +26,7 @@ from repro.sim.experiments import (
 )
 from repro.sim.reporting import format_table, print_experiment, render_experiment
 from repro.sim.results import ExperimentResult, FunctionalRecord, TimingRecord
+from repro.sim.traces import default_profile_pool, generate_trace
 from repro.sim.simulator import (
     FunctionalSimulator,
     ProvisionedTestShield,
@@ -37,7 +39,10 @@ from repro.sim.simulator import (
 __all__ = [
     "CloudJobRecord",
     "CloudSimulator",
+    "ReplayStats",
     "TraceEvent",
+    "default_profile_pool",
+    "generate_trace",
     "cloud_trace_experiment",
     "default_mixed_trace",
     "repeated_tenant_trace",

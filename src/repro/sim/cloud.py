@@ -20,12 +20,12 @@ experiment.
 from __future__ import annotations
 
 import heapq
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import repro.obs as obs_api
+from repro.analysis.annotations import hot_path
 from repro.obs.tracing import SPAN, ObsEvent
-from repro.cloud.policies import BoardView, JobRequest, choose_board, make_policy
+from repro.cloud.policies import BoardIndex, JobRequest, make_policy
 from repro.core.config import ShieldConfig
 from repro.core.timing import TimingModel, WorkloadProfile
 from repro.errors import SimulationError
@@ -92,6 +92,49 @@ class CloudJobRecord:
         return self.finish_s - self.arrival_s
 
 
+@dataclass
+class ReplayStats:
+    """Aggregates of one replay, cheap enough for million-job traces.
+
+    ``waits`` keeps the raw per-job wait seconds so a multi-shard driver can
+    merge shards and compute *global* tail percentiles; everything else is a
+    scalar or a small per-board dict.
+    """
+
+    jobs: int
+    makespan_s: float
+    #: Per-job wait seconds, dispatch order.
+    waits: list = field(default_factory=list)
+    #: board id -> seconds the board spent serving (load + execute).
+    board_busy_s: dict = field(default_factory=dict)
+    warm_hits: int = 0
+    #: Integral of active board count over modelled time (board-seconds) --
+    #: the utilization denominator even when an autoscaler resized the fleet.
+    capacity_board_seconds: float = 0.0
+    #: Board count when the replay finished (equals the start count unless an
+    #: autoscaler resized the fleet).
+    final_boards: int = 0
+    #: ``(modelled_time_s, new_board_count)`` autoscaler decisions.
+    scale_events: list = field(default_factory=list)
+
+    @property
+    def shield_loads(self) -> int:
+        return self.jobs - self.warm_hits
+
+    @property
+    def affinity_hit_rate(self) -> float:
+        return self.warm_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def utilization(self) -> float:
+        busy = sum(self.board_busy_s.values())
+        capacity = self.capacity_board_seconds
+        return busy / capacity if capacity else 0.0
+
+    def wait_percentile(self, q: float) -> float:
+        return percentile(self.waits, q)
+
+
 class CloudSimulator:
     """Replays a multi-tenant trace over an N-board fleet using the timing model.
 
@@ -142,110 +185,185 @@ class CloudSimulator:
 
     # -- replay -------------------------------------------------------------------
 
-    def replay(self, trace: list) -> list:
+    def replay(self, trace: list, autoscaler=None) -> list:
         """Replay the trace through the shared policy + affinity placement core.
 
-        Event-driven: arrivals join the queue at their arrival time; whenever
-        a board is free and the queue is non-empty, the policy picks the next
-        job and :func:`~repro.cloud.policies.choose_board` places it --
-        preferring a board whose last job belonged to the same session (warm,
-        load cost zero).  Free boards are ranked in release order (seeded by
-        board index), the timed analogue of the functional scheduler's
-        longest-idle rotation, so placements are deterministic and match the
-        functional fleet wherever time permits a comparison.
+        Event-driven: arrivals join the indexed policy queue at their arrival
+        time; whenever a board is free and the queue is non-empty, the policy
+        picks the next job in O(log n) and the incremental
+        :class:`~repro.cloud.policies.BoardIndex` places it -- preferring a
+        board whose last job belonged to the same session (warm, load cost
+        zero).  Free boards are ranked in release order (seeded by board
+        index), the timed analogue of the functional scheduler's longest-idle
+        rotation, so placements are deterministic, selection-identical to the
+        pre-indexed linear scans, and match the functional fleet wherever
+        time permits a comparison.
+
+        ``autoscaler`` is an optional queue-depth-driven controller (see
+        :class:`~repro.cloud.shard.QueueDepthAutoscaler`): it is consulted as
+        modelled time advances and may grow the fleet with cold boards or
+        drain idle ones; ``None`` keeps the fleet fixed at zero overhead.
+        """
+        rows: list = []
+        self._replay(trace, autoscaler, rows)
+        return [
+            CloudJobRecord(
+                tenant=event.tenant,
+                workload=event.profile.name,
+                board=board,
+                arrival_s=event.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                warm=warm,
+                load_s=load,
+            )
+            for event, board, start, finish, warm, load in rows
+        ]
+
+    def replay_stats(self, trace: list, autoscaler=None) -> "ReplayStats":
+        """Replay without materializing per-job records: aggregates only.
+
+        The shard-scale driver replays 10^5-10^6-job traces where building a
+        :class:`CloudJobRecord` per job dominates the runtime; this path
+        accumulates waits, per-board busy time, warm hits, and the capacity
+        integral inline and returns one :class:`ReplayStats`.
+        """
+        return self._replay(trace, autoscaler, None)
+
+    @hot_path
+    def _replay(self, trace: list, autoscaler, rows) -> "ReplayStats":
+        """The dispatch loop shared by :meth:`replay` and :meth:`replay_stats`.
+
+        When ``rows`` is a list, one raw ``(event, board, start, finish,
+        warm, load)`` tuple is appended per job; aggregates are accumulated
+        either way.  Tracing costs nothing when the tracer is disabled: the
+        enabled check is hoisted out of the loop and the untraced path does
+        no per-job observability work at all.
         """
         policy = make_policy(self.policy)
+        queue = policy.make_queue()
         tracer = self.obs.tracer
+        traced = tracer.enabled
+        affinity = self.affinity
+        load_cost = self.shield_load_seconds
         # seq is the *arrival-order* position (ties broken by trace index), so
         # FIFO -- and every policy's tie-break -- is first-come-first-served
         # even when the caller's trace list is not sorted by arrival.
-        arrivals = deque(
-            (seq, index, event)
-            for seq, (index, event) in enumerate(
-                sorted(enumerate(trace), key=lambda pair: (pair[1].arrival_s, pair[0]))
-            )
-        )
-        free: deque = deque(range(self.num_boards))
-        resident: dict = {board: None for board in range(self.num_boards)}
+        order = sorted(range(len(trace)), key=lambda i: (trace[i].arrival_s, i))
+        events = [trace[i] for i in order]
+        arrival_times = [event.arrival_s for event in events]
+        num_events = len(events)
+        next_arrival = 0
+        resident: dict = {}
+        boards = BoardIndex(range(self.num_boards), resident=resident)
+        next_board = self.num_boards
+        active_boards = self.num_boards
         busy: list = []  # (finish_s, board) min-heap
-        queue: list = []  # (JobRequest, TraceEvent) awaiting placement
-        records: list[CloudJobRecord] = []
         admitted: set = set()
+        # The modelled service time of a profile/config pair never changes
+        # mid-replay; generated traces draw events from a small workload
+        # pool, so pricing is one TimingModel evaluation per distinct pair.
+        cost_cache: dict = {}
+        # Aggregates (always accumulated -- they are three ops per job).
+        waits: list = []
+        board_busy: dict = {}
+        warm_hits = 0
+        capacity_s = 0.0
+        scale_events: list = []
         now = 0.0
-        while arrivals or queue or busy:
-            while arrivals and arrivals[0][2].arrival_s <= now:
-                seq, index, event = arrivals.popleft()
-                if tracer.enabled and event.session not in admitted:
+        while True:
+            while next_arrival < num_events and arrival_times[next_arrival] <= now:
+                event = events[next_arrival]
+                session = event.session_id or event.tenant
+                if traced and session not in admitted:
                     # First arrival of a session stands in for tenant
                     # admission (the functional service admits before any job
                     # is submitted, so modelled admission is instantaneous).
-                    admitted.add(event.session)
+                    admitted.add(session)
                     tracer.record_span(
                         "admit", event.arrival_s, 0.0,
-                        tenant=event.tenant, session=event.session,
+                        tenant=event.tenant, session=session,
                     )
-                queue.append(
-                    (
-                        JobRequest(
-                            key=f"trace-{index}",
-                            tenant=event.tenant,
-                            session_id=event.session,
-                            seq=seq,
-                            priority=event.priority,
-                            weight=event.weight,
-                            cost_estimate=self.execution_seconds(event),
-                        ),
-                        event,
-                    )
-                )
-            if queue and free:
-                views = [request for request, _ in queue]
-                index = policy.select(views)
-                request, event = queue.pop(index)
-                boards = [
-                    BoardView(name=str(b), rank=rank, resident_session=resident[b])
-                    for rank, b in enumerate(free)
-                ]
-                chosen = choose_board(request, boards, prefer_affinity=self.affinity)
-                board = int(chosen.name)
-                free.remove(board)
-                warm = self.affinity and resident[board] == request.session_id
-                load = 0.0 if warm else self.shield_load_seconds
-                start = max(now, event.arrival_s)
-                finish = start + load + request.cost_estimate
-                heapq.heappush(busy, (finish, board))
-                resident[board] = request.session_id if self.affinity else None
-                policy.record_service(request)
-                if tracer.enabled:
-                    self._emit_job_events(
-                        tracer, request, event, board, start, load, finish, warm
-                    )
-                records.append(
-                    CloudJobRecord(
+                cost_key = (id(event.profile), id(event.shield_config))
+                cost = cost_cache.get(cost_key)
+                if cost is None:
+                    cost_cache[cost_key] = cost = self.execution_seconds(event)
+                queue.push(
+                    JobRequest(
+                        key=f"trace-{order[next_arrival]}",
                         tenant=event.tenant,
-                        workload=event.workload,
-                        board=board,
-                        arrival_s=event.arrival_s,
-                        start_s=start,
-                        finish_s=finish,
-                        warm=warm,
-                        load_s=load,
-                    )
+                        session_id=session,
+                        seq=next_arrival,
+                        priority=event.priority,
+                        weight=event.weight,
+                        cost_estimate=cost,
+                    ),
+                    event,
                 )
-                continue
+                next_arrival += 1
+            if autoscaler is not None:
+                target = autoscaler.target_boards(now, len(queue), active_boards)
+                if target > active_boards:
+                    for _ in range(target - active_boards):
+                        boards.add_board(next_board)
+                        next_board += 1
+                    active_boards = target
+                    scale_events.append((now, target))
+                elif target < active_boards:
+                    # Drain semantics: only idle boards retire (longest idle
+                    # first); busy boards finish their jobs and a later
+                    # consult shrinks further once they fall idle.
+                    before = active_boards
+                    for name in boards.free_names[: before - target]:
+                        boards.discard(name)
+                        active_boards -= 1
+                    if active_boards != before:
+                        scale_events.append((now, active_boards))
+            while len(queue) and len(boards):
+                request, event = queue.pop()
+                session = request.session_id
+                board = boards.place(session, affinity)
+                warm = affinity and resident[board] == session
+                load = 0.0 if warm else load_cost
+                finish = now + load + request.cost_estimate
+                heapq.heappush(busy, (finish, board))
+                resident[board] = session if affinity else None
+                policy.record_service(request)
+                if traced:
+                    self._emit_job_events(
+                        tracer, request, event, board, now, load, finish, warm
+                    )
+                if warm:
+                    warm_hits += 1
+                waits.append(now - event.arrival_s)
+                board_busy[board] = board_busy.get(board, 0.0) + (finish - now)
+                if rows is not None:
+                    rows.append((event, board, now, finish, warm, load))
             # Nothing placeable: advance time to the next arrival or finish,
             # releasing boards in deterministic (finish, board-index) order.
-            frontier = []
-            if arrivals:
-                frontier.append(arrivals[0][2].arrival_s)
-            if busy:
-                frontier.append(busy[0][0])
-            if not frontier:
+            if next_arrival < num_events:
+                frontier = arrival_times[next_arrival]
+                if busy and busy[0][0] < frontier:
+                    frontier = busy[0][0]
+            elif busy:
+                frontier = busy[0][0]
+            else:
                 break
-            now = max(now, min(frontier))
+            if frontier > now:
+                capacity_s += active_boards * (frontier - now)
+                now = frontier
             while busy and busy[0][0] <= now:
-                free.append(heapq.heappop(busy)[1])
-        return records
+                boards.release(heapq.heappop(busy)[1])
+        return ReplayStats(
+            jobs=len(waits),
+            makespan_s=now,
+            waits=waits,
+            board_busy_s=board_busy,
+            warm_hits=warm_hits,
+            capacity_board_seconds=capacity_s,
+            final_boards=active_boards,
+            scale_events=scale_events,
+        )
 
     def _emit_job_events(
         self, tracer, request, event, board, start, load, finish, warm

@@ -218,3 +218,104 @@ def test_placements_match_simulator_under_serialized_arrivals(policy):
     assert functional == simulated
     # The repeated tenant actually exercised affinity: at least one warm hit.
     assert any(job.warm_start for job in jobs)
+
+
+# ---------------------------------------------------------------------------
+# Indexed queues <-> linear scans
+# ---------------------------------------------------------------------------
+
+
+def _random_request(rng, seq: int):
+    """Deliberately collision-heavy metadata: few distinct priorities,
+    weights, and costs, so seq tie-breaks decide most picks -- exactly where
+    an indexed queue could silently diverge from the linear scan."""
+    from repro.cloud.policies import JobRequest
+
+    return JobRequest(
+        key=f"job-{seq}",
+        tenant=f"tenant-{rng.randrange(4)}",
+        session_id=f"session-{rng.randrange(6)}",
+        seq=seq,
+        priority=rng.randrange(3),
+        weight=float(rng.choice((1, 2, 4))),
+        cost_estimate=float(rng.choice((1.0, 2.5, 4.0))),
+    )
+
+
+@pytest.mark.parametrize("policy", POLICY_NAMES)
+def test_indexed_queue_matches_linear_scan_on_randomized_queues(policy):
+    """Every built-in policy's indexed queue must be *selection-identical*
+    (seq tie-breaks included) to the linear ``select()`` scan it replaced.
+
+    Two queues run the same randomized operation stream -- the policy's
+    indexed queue and a :class:`~repro.cloud.policies.LinearPolicyQueue` over
+    a second policy instance (fair-share keeps per-tenant served state, so
+    each queue drives its own) -- and every pop, filtered pop, removal, and
+    pending count must agree exactly.
+    """
+    import random
+
+    from repro.cloud.policies import LinearPolicyQueue, make_policy
+
+    policy_index = list(POLICY_NAMES).index(policy)
+    for trial in range(8):
+        rng = random.Random(1009 * (policy_index + 1) + trial)
+        indexed_policy = make_policy(policy)
+        linear_policy = make_policy(policy)
+        indexed = indexed_policy.make_queue()
+        linear = LinearPolicyQueue(linear_policy)
+        # The point of the test is indexed-vs-linear: the built-ins must not
+        # satisfy it trivially by vending a linear queue themselves.
+        assert not isinstance(indexed, LinearPolicyQueue)
+        seq = 0
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.55 or not len(indexed):
+                seq += 1
+                request = _random_request(rng, seq)
+                # Payload mirrors the scheduler: the job object itself (the
+                # ``remove`` predicate receives payloads, not requests).
+                indexed.push(request, request)
+                linear.push(request, request)
+            elif action < 0.80:
+                picked = indexed.pop()
+                reference = linear.pop()
+                assert (picked is None) == (reference is None)
+                if picked is not None:
+                    assert picked[0] == reference[0], (
+                        f"{policy}: indexed picked {picked[0].key}, "
+                        f"linear picked {reference[0].key}"
+                    )
+                    assert picked[1] == reference[1]
+                    indexed_policy.record_service(picked[0])
+                    linear_policy.record_service(reference[0])
+            elif action < 0.92:
+                # The async front-end's in-flight-session filter.
+                blocked = f"session-{rng.randrange(6)}"
+                eligible = lambda r, b=blocked: r.session_id != b  # noqa: E731
+                picked = indexed.pop(eligible)
+                reference = linear.pop(eligible)
+                assert (picked is None) == (reference is None)
+                if picked is not None:
+                    assert picked[0] == reference[0]
+                    assert picked[0].session_id != blocked
+                    indexed_policy.record_service(picked[0])
+                    linear_policy.record_service(reference[0])
+            else:
+                # Session-teardown cancellation.
+                doomed = f"session-{rng.randrange(6)}"
+                predicate = lambda r, d=doomed: r.session_id == d  # noqa: E731
+                removed = {r.key for r, _ in indexed.remove(predicate)}
+                expected = {r.key for r, _ in linear.remove(predicate)}
+                assert removed == expected
+            assert len(indexed) == len(linear)
+            tenant = f"tenant-{rng.randrange(4)}"
+            assert indexed.pending_for(tenant) == linear.pending_for(tenant)
+        # Drain to empty: the full remaining order must agree.
+        while len(linear):
+            picked = indexed.pop()
+            reference = linear.pop()
+            assert picked is not None and picked[0] == reference[0]
+            indexed_policy.record_service(picked[0])
+            linear_policy.record_service(reference[0])
+        assert indexed.pop() is None and linear.pop() is None

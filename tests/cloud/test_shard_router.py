@@ -1,0 +1,253 @@
+"""Shard layer: consistent-hash ring properties, autoscaler, replay driver.
+
+The two properties that make consistent hashing the right router for warm
+sessions are pinned here as randomized-but-seeded tests: virtual nodes keep
+the key space *balanced* (every shard gets within tolerance of 1/N of the
+sessions), and ring edits are *minimally disruptive* (adding or removing one
+of N shards remaps ~1/N of the sessions, never an unrelated one).  On top of
+the ring, the sticky-assignment layer, drain/rebalance semantics, the
+queue-depth autoscaler's grow/drain/cooldown rules, and the multi-shard
+replay driver's merge are covered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.shard import (
+    QueueDepthAutoscaler,
+    ShardRouter,
+    partition_trace,
+    replay_sharded,
+)
+from repro.errors import ShardingError
+from repro.sim.traces import generate_trace
+
+NUM_SESSIONS = 8000
+
+
+def _sessions():
+    return [f"session-{index}" for index in range(NUM_SESSIONS)]
+
+
+# ---------------------------------------------------------------------------
+# Ring properties
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_shards", [4, 8, 16])
+def test_ring_balances_sessions_within_tolerance(num_shards):
+    """Virtual nodes keep every shard within +-40% of the ideal 1/N share."""
+    router = ShardRouter(range(num_shards))
+    counts = {shard: 0 for shard in range(num_shards)}
+    for session in _sessions():
+        counts[router.lookup(session)] += 1
+    ideal = NUM_SESSIONS / num_shards
+    assert sum(counts.values()) == NUM_SESSIONS
+    for shard, count in counts.items():
+        assert 0.6 * ideal <= count <= 1.4 * ideal, (
+            f"shard {shard} owns {count} sessions (ideal {ideal:.0f}); "
+            f"the vnode count no longer balances the ring"
+        )
+
+
+def test_adding_a_shard_remaps_about_one_nth_of_sessions():
+    router = ShardRouter(range(8))
+    before = {session: router.lookup(session) for session in _sessions()}
+    router.add_shard(8)
+    moved = [s for s in _sessions() if router.lookup(s) != before[s]]
+    # Expected fraction is 1/9; allow generous sampling slack either side.
+    fraction = len(moved) / NUM_SESSIONS
+    assert 0.05 <= fraction <= 0.20, f"add remapped {fraction:.1%} of sessions"
+    # Minimal disruption: every moved session moved *to* the new shard --
+    # no session was shuffled between two old shards.
+    assert all(router.lookup(session) == 8 for session in moved)
+
+
+def test_removing_a_shard_remaps_only_its_own_sessions():
+    router = ShardRouter(range(8))
+    before = {session: router.lookup(session) for session in _sessions()}
+    for session in _sessions():
+        router.route(session)  # pin everything
+    moved = router.remove_shard(3)
+    # Exactly the removed shard's sessions moved, each to a surviving shard.
+    assert set(moved) == {s for s, shard in before.items() if shard == 3}
+    assert all(new_shard != 3 for new_shard in moved.values())
+    for session in _sessions():
+        expected = moved.get(session, before[session])
+        assert router.route(session) == expected
+
+
+def test_lookup_is_deterministic_across_instances():
+    """Ring placement must not depend on instance or process state (the hash
+    is keyless blake2b, not the salted builtin ``hash``)."""
+    first = ShardRouter(range(8))
+    second = ShardRouter(range(8))
+    for session in _sessions()[:500]:
+        assert first.lookup(session) == second.lookup(session)
+
+
+# ---------------------------------------------------------------------------
+# Sticky assignments, drain, rebalance
+# ---------------------------------------------------------------------------
+
+
+def test_route_pins_sessions_across_ring_changes():
+    router = ShardRouter(range(4))
+    pinned = {session: router.route(session) for session in _sessions()[:1000]}
+    router.add_shard(4)
+    # Pins hold (warm boards stay valid) until an explicit rebalance.
+    for session, shard in pinned.items():
+        assert router.route(session) == shard
+    moved = router.rebalance()
+    assert moved, "rebalancing onto a new shard should migrate some sessions"
+    assert all(shard == 4 for shard in moved.values())
+    for session, shard in moved.items():
+        assert router.route(session) == shard
+
+
+def test_drain_stops_new_sessions_but_keeps_pinned_ones():
+    router = ShardRouter(range(4))
+    pinned = {session: router.route(session) for session in _sessions()[:1000]}
+    stragglers = router.drain(2)
+    assert stragglers == sorted(s for s, shard in pinned.items() if shard == 2)
+    assert router.draining_shards == [2]
+    assert 2 not in router.active_shards
+    # Existing pins still honoured; no *new* session lands on the drained shard.
+    for session in stragglers:
+        assert router.route(session) == 2
+    for session in _sessions()[1000:3000]:
+        assert router.route(session) != 2
+    # Rebalance evacuates the drained shard entirely.
+    router.rebalance()
+    assert all(router.route(session) != 2 for session in stragglers)
+
+
+def test_router_edge_cases_raise():
+    router = ShardRouter(range(2))
+    with pytest.raises(ShardingError):
+        router.add_shard(1)  # duplicate
+    with pytest.raises(ShardingError):
+        router.remove_shard(7)  # unknown
+    with pytest.raises(ShardingError):
+        ShardRouter([])  # empty ring
+    with pytest.raises(ShardingError):
+        ShardRouter(range(2), vnodes=0)
+    router.drain(0)
+    with pytest.raises(ShardingError):
+        router.drain(1)  # last active shard
+    router.remove_shard(0)
+    with pytest.raises(ShardingError):
+        router.remove_shard(1)  # last shard
+
+
+# ---------------------------------------------------------------------------
+# Queue-depth autoscaler
+# ---------------------------------------------------------------------------
+
+
+def test_autoscaler_grows_proportionally_and_respects_cooldown():
+    scaler = QueueDepthAutoscaler(
+        min_boards=2, max_boards=32, high_watermark=4.0,
+        low_watermark=0.5, cooldown_s=30.0,
+    )
+    # Backlog of 100 over 4 boards: grow to ceil(100/4) = 25 boards.
+    assert scaler.target_boards(0.0, 100, 4) == 25
+    # Inside the cooldown window nothing changes, however deep the queue.
+    assert scaler.target_boards(10.0, 500, 25) == 25
+    # After the cooldown the backlog is gone: drain one board per window.
+    assert scaler.target_boards(40.0, 0, 25) == 24
+    assert scaler.target_boards(50.0, 0, 24) == 24  # cooldown again
+    assert scaler.target_boards(80.0, 0, 24) == 23
+
+
+def test_autoscaler_clamps_to_min_and_max():
+    scaler = QueueDepthAutoscaler(
+        min_boards=2, max_boards=8, high_watermark=2.0,
+        low_watermark=0.5, cooldown_s=0.0,
+    )
+    assert scaler.target_boards(0.0, 10_000, 4) == 8
+    assert scaler.target_boards(1.0, 0, 2) == 2
+    with pytest.raises(ShardingError):
+        QueueDepthAutoscaler(min_boards=0)
+    with pytest.raises(ShardingError):
+        QueueDepthAutoscaler(min_boards=4, max_boards=2)
+    with pytest.raises(ShardingError):
+        QueueDepthAutoscaler(high_watermark=1.0, low_watermark=2.0)
+
+
+def test_autoscaled_replay_grows_fleet_and_never_revokes_busy_boards():
+    trace = generate_trace(4000, seed=3, arrival="heavy_tailed",
+                           rate_jobs_per_s=100.0)
+    report = replay_sharded(
+        trace, num_shards=4, boards_per_shard=2, executor="serial",
+        autoscaler_factory=lambda shard: QueueDepthAutoscaler(
+            min_boards=2, max_boards=16, high_watermark=4.0,
+            low_watermark=0.5, cooldown_s=60.0,
+        ),
+    )
+    assert report.jobs == 4000
+    for stats in report.shard_stats.values():
+        assert stats.scale_events, "overload must trigger scaling"
+        # Drain-only shrink: the modelled board count never dips below min.
+        assert stats.final_boards >= 2
+        # Capacity integral reflects the resized fleet, so utilization is a
+        # real fraction even mid-scaling.
+        assert 0.0 < stats.utilization <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Multi-shard replay driver
+# ---------------------------------------------------------------------------
+
+
+def test_partition_preserves_jobs_and_session_locality():
+    trace = generate_trace(5000, seed=9)
+    router = ShardRouter(range(8))
+    shard_traces = partition_trace(trace, router)
+    assert sum(len(events) for events in shard_traces.values()) == len(trace)
+    # Session locality: every event of a session lands on one shard.
+    seen: dict = {}
+    for shard, events in shard_traces.items():
+        for event in events:
+            assert seen.setdefault(event.session, shard) == shard
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_replay_sharded_merges_shard_stats(executor):
+    trace = generate_trace(6000, seed=21, rate_jobs_per_s=100.0)
+    report = replay_sharded(
+        trace, num_shards=8, boards_per_shard=4, executor=executor
+    )
+    assert report.jobs == len(trace)
+    assert len(report.shard_stats) == 8
+    assert report.warm_hits == sum(
+        stats.warm_hits for stats in report.shard_stats.values()
+    )
+    assert report.makespan_s == max(
+        stats.makespan_s for stats in report.shard_stats.values()
+    )
+    # Global percentiles are monotone and bracket the per-shard extremes.
+    p50, p99, p999 = (report.wait_percentile(q) for q in (50.0, 99.0, 99.9))
+    assert 0.0 <= p50 <= p99 <= p999
+    assert report.jobs_per_sec > 0
+    experiment = report.to_experiment()
+    assert experiment.metadata["jobs"] == len(trace)
+    assert len(experiment.rows) == 8
+
+
+def test_replay_sharded_is_executor_invariant():
+    """Modelled results must be bit-identical whatever runs the workers."""
+    trace = generate_trace(3000, seed=33, rate_jobs_per_s=100.0)
+    serial = replay_sharded(trace, num_shards=4, boards_per_shard=4,
+                            executor="serial")
+    threaded = replay_sharded(trace, num_shards=4, boards_per_shard=4,
+                              executor="thread")
+    for shard in serial.shard_stats:
+        a, b = serial.shard_stats[shard], threaded.shard_stats[shard]
+        assert a.jobs == b.jobs
+        assert a.makespan_s == b.makespan_s
+        assert a.warm_hits == b.warm_hits
+        assert a.waits == b.waits
+    with pytest.raises(ShardingError):
+        replay_sharded(trace, executor="fork-bomb")

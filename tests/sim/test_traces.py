@@ -1,0 +1,89 @@
+"""The synthetic trace generator: determinism, arrival statistics, structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.traces import (
+    ARRIVAL_PROCESSES,
+    default_profile_pool,
+    generate_trace,
+)
+
+JOBS = 5000
+
+
+@pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+def test_same_seed_same_trace(arrival):
+    pool = default_profile_pool()
+    first = generate_trace(200, seed=5, arrival=arrival, profile_pool=pool)
+    second = generate_trace(200, seed=5, arrival=arrival, profile_pool=pool)
+    assert [
+        (e.arrival_s, e.tenant, e.session, e.priority, e.weight) for e in first
+    ] == [
+        (e.arrival_s, e.tenant, e.session, e.priority, e.weight) for e in second
+    ]
+
+
+@pytest.mark.parametrize("arrival", ARRIVAL_PROCESSES)
+def test_arrivals_are_monotone_and_match_mean_rate(arrival):
+    trace = generate_trace(JOBS, seed=1, arrival=arrival, rate_jobs_per_s=50.0)
+    times = [event.arrival_s for event in trace]
+    assert times == sorted(times)
+    assert times[0] > 0.0
+    # Every process is normalized to the same mean rate; the heavy tail has
+    # infinite variance, so its tolerance is the loosest.
+    mean_rate = JOBS / times[-1]
+    tolerance = 0.5 if arrival == "heavy_tailed" else 0.15
+    assert abs(mean_rate - 50.0) <= 50.0 * tolerance, (
+        f"{arrival}: mean rate {mean_rate:.1f} jobs/s, expected ~50"
+    )
+
+
+def test_heavy_tail_is_burstier_than_poisson():
+    """The Pareto process must show a heavier inter-arrival tail than the
+    exponential at the same mean rate (that is its entire purpose)."""
+    def max_gap(arrival):
+        trace = generate_trace(JOBS, seed=2, arrival=arrival,
+                               rate_jobs_per_s=50.0)
+        times = [event.arrival_s for event in trace]
+        return max(b - a for a, b in zip(times, times[1:]))
+
+    assert max_gap("heavy_tailed") > 3.0 * max_gap("poisson")
+
+
+def test_zipf_tenant_popularity_is_skewed():
+    trace = generate_trace(JOBS, seed=4, num_tenants=50, zipf_s=1.1)
+    counts: dict = {}
+    for event in trace:
+        counts[event.tenant] = counts.get(event.tenant, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    # Head tenant far above uniform share; a long tail exists.
+    assert ranked[0] > 3 * (JOBS / 50)
+    assert len(counts) > 25
+
+
+def test_sessions_repeat_within_tenants_and_metadata_varies():
+    trace = generate_trace(2000, seed=6, num_tenants=20, sessions_per_tenant=3)
+    sessions = {event.session for event in trace}
+    assert len(sessions) <= 20 * 3
+    # Sessions recur (warm affinity has something to hit) ...
+    assert len(sessions) < 2000
+    # ... sessions belong to their tenant ...
+    assert all(event.session.startswith(event.tenant) for event in trace)
+    # ... and the scheduling metadata actually differentiates policies.
+    assert len({event.priority for event in trace}) > 1
+    assert len({event.weight for event in trace}) > 1
+    assert len({id(event.profile) for event in trace}) > 1
+
+
+def test_generator_rejects_bad_parameters():
+    with pytest.raises(SimulationError):
+        generate_trace(0)
+    with pytest.raises(SimulationError):
+        generate_trace(10, arrival="lunar")
+    with pytest.raises(SimulationError):
+        generate_trace(10, rate_jobs_per_s=0.0)
+    with pytest.raises(SimulationError):
+        generate_trace(10, arrival="diurnal", diurnal_amplitude=1.0)
